@@ -1,0 +1,168 @@
+//! Cryptographic sortition through a VRF-lite.
+//!
+//! Algorand selects block proposers (and committee members) by having
+//! each account evaluate a Verifiable Random Function over the round
+//! seed; selection is private until revealed and verifiable afterwards.
+//! The Stabl experiments never attack the VRF, so the model keeps its
+//! *distributional* behaviour — an unpredictable, per-(round, attempt,
+//! node) pseudo-random draw that every node can verify — using SHA-256
+//! over the public round coordinates. Crucially, crashed nodes keep
+//! being selected (the schedule cannot observe liveness), which is what
+//! makes rounds slow down under crash faults (paper §4).
+
+use stabl_sim::NodeId;
+use stabl_types::Sha256;
+
+/// The sortition hash for `(round, attempt, node)`: a uniform `u64`.
+fn draw(seed: u64, round: u64, attempt: u64, node: NodeId) -> u64 {
+    let mut hasher = Sha256::new();
+    hasher.update(b"algorand-sortition-v1");
+    hasher.update(&seed.to_be_bytes());
+    hasher.update(&round.to_be_bytes());
+    hasher.update(&attempt.to_be_bytes());
+    hasher.update(&node.as_u32().to_be_bytes());
+    hasher.finalize().prefix_u64()
+}
+
+/// `true` if `node` is selected as a block proposer for the attempt.
+///
+/// Selection happens with probability `proposer_permille / 1000`,
+/// independently per node — so an attempt can have zero proposers (the
+/// round then times out and retries) or several (priority breaks ties).
+pub fn is_proposer(seed: u64, round: u64, attempt: u64, node: NodeId, proposer_permille: u32) -> bool {
+    let threshold = (u64::MAX / 1000) * proposer_permille as u64;
+    draw(seed, round, attempt, node) < threshold
+}
+
+/// The proposal priority of a selected proposer (lower wins), derived
+/// from the same VRF output.
+pub fn priority(seed: u64, round: u64, attempt: u64, node: NodeId) -> u64 {
+    draw(seed, round, attempt, node)
+}
+
+/// The proposer priority everybody should prefer for an attempt, over an
+/// `n`-node network: the selected node with the lowest draw, if any.
+pub fn best_proposer(
+    seed: u64,
+    round: u64,
+    attempt: u64,
+    n: usize,
+    proposer_permille: u32,
+) -> Option<NodeId> {
+    NodeId::all(n)
+        .filter(|&node| is_proposer(seed, round, attempt, node, proposer_permille))
+        .min_by_key(|&node| priority(seed, round, attempt, node))
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sortition is a pure function of its coordinates.
+        #[test]
+        fn sortition_is_deterministic(
+            seed in proptest::num::u64::ANY,
+            round in 0u64..10_000,
+            attempt in 0u64..8,
+            node in 0u32..32,
+        ) {
+            let a = is_proposer(seed, round, attempt, NodeId::new(node), 300);
+            let b = is_proposer(seed, round, attempt, NodeId::new(node), 300);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(
+                priority(seed, round, attempt, NodeId::new(node)),
+                priority(seed, round, attempt, NodeId::new(node))
+            );
+        }
+
+        /// A higher selection probability can only select more nodes.
+        #[test]
+        fn selection_is_monotone_in_probability(
+            round in 0u64..2_000,
+            node in 0u32..16,
+        ) {
+            let loose = is_proposer(7, round, 0, NodeId::new(node), 900);
+            let tight = is_proposer(7, round, 0, NodeId::new(node), 100);
+            if tight {
+                prop_assert!(loose, "p=0.1 selected but p=0.9 did not");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_is_deterministic_and_spread() {
+        assert_eq!(draw(1, 2, 3, NodeId::new(4)), draw(1, 2, 3, NodeId::new(4)));
+        assert_ne!(draw(1, 2, 3, NodeId::new(4)), draw(1, 2, 3, NodeId::new(5)));
+        assert_ne!(draw(1, 2, 3, NodeId::new(4)), draw(1, 3, 3, NodeId::new(4)));
+        assert_ne!(draw(1, 2, 3, NodeId::new(4)), draw(1, 2, 4, NodeId::new(4)));
+        assert_ne!(draw(1, 2, 3, NodeId::new(4)), draw(2, 2, 3, NodeId::new(4)));
+    }
+
+    #[test]
+    fn selection_rate_matches_probability() {
+        let mut selected = 0u32;
+        let trials = 20_000;
+        for round in 0..trials / 10 {
+            for node in 0..10 {
+                if is_proposer(7, round, 0, NodeId::new(node), 300) {
+                    selected += 1;
+                }
+            }
+        }
+        let rate = selected as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "selection rate {rate}");
+    }
+
+    #[test]
+    fn best_proposer_is_a_selected_minimum() {
+        for round in 0..200 {
+            if let Some(best) = best_proposer(7, round, 0, 10, 300) {
+                assert!(is_proposer(7, round, 0, best, 300));
+                for node in NodeId::all(10) {
+                    if is_proposer(7, round, 0, node, 300) {
+                        assert!(
+                            priority(7, round, 0, best) <= priority(7, round, 0, node),
+                            "round {round}: {best} not minimal"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_attempts_have_no_proposer() {
+        // With p = 0.3 and 10 nodes, ~2.8 % of attempts select nobody;
+        // over 2000 attempts we must observe at least a few.
+        let empty = (0..2000)
+            .filter(|&r| best_proposer(7, r, 0, 10, 300).is_none())
+            .count();
+        assert!(empty > 10, "expected empty attempts, got {empty}");
+        assert!(empty < 200, "far too many empty attempts: {empty}");
+    }
+
+    #[test]
+    fn attempts_redraw_proposers() {
+        // A round with no proposer at attempt 0 usually finds one at a
+        // later attempt.
+        let mut recovered = 0;
+        let mut empties = 0;
+        for r in 0..2000 {
+            if best_proposer(7, r, 0, 10, 300).is_none() {
+                empties += 1;
+                if best_proposer(7, r, 1, 10, 300).is_some() {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(empties > 0);
+        assert!(recovered * 10 >= empties * 9, "{recovered}/{empties} recovered");
+    }
+}

@@ -1,0 +1,245 @@
+//! A timing model of the Block-STM parallel executor.
+//!
+//! Block-STM (Gelashvili et al., PPoPP '23) executes the transactions of a
+//! committed block speculatively in parallel and re-executes on conflict.
+//! For the Stabl study only its *timing* matters: execution is a shared
+//! per-node resource consumed by (i) committed blocks, (ii) the
+//! validation + speculative dispatch of every client submission, and
+//! (iii) `SEQUENCE_NUMBER_TOO_OLD` re-executions of transactions that
+//! were already committed — the overhead the paper traces the secure
+//! client's Aptos degradation to (§7).
+//!
+//! The executor is modelled as a single busy-until timeline: work items
+//! are serialised, each block completes at `max(now, busy_until) + cost`,
+//! and the owning node arms a timer for that instant to deliver commit
+//! notifications.
+
+use stabl_sim::{CpuMeter, SimDuration, SimTime};
+use stabl_types::Block;
+
+/// Half-life of the ancillary-load estimator.
+const ANCILLARY_HALF_LIFE: SimDuration = SimDuration::from_secs(2);
+/// Highest share of the executor ancillary work may claim: block
+/// execution is stretched by at most `1 / (1 - CAP)`.
+const CONTENTION_CAP: f64 = 0.75;
+
+/// A committed block waiting for (or undergoing) execution.
+#[derive(Clone, Debug)]
+struct PendingExec {
+    block: Block,
+    /// When execution of this block finishes.
+    done_at: SimTime,
+}
+
+/// The Block-STM timing model: a serialised block-execution timeline
+/// sharing the node's cores with *ancillary* speculative work.
+///
+/// Ancillary work (request validation, shared-mempool ingestion,
+/// `SEQUENCE_NUMBER_TOO_OLD` re-executions) does not queue ahead of
+/// blocks; it *stretches* them, processor-sharing style: a block's
+/// execution takes `base / (1 − r)` where `r` is the recent ancillary
+/// core utilisation (capped). This matches how Block-STM's worker
+/// threads compete with the validation pipeline for the same vCPUs.
+#[derive(Clone, Debug)]
+pub struct BlockStmExecutor {
+    per_tx: SimDuration,
+    per_block: SimDuration,
+    busy_until: SimTime,
+    queue: Vec<PendingExec>,
+    ancillary: CpuMeter,
+    stale_reexecutions: u64,
+    blocks_executed: u64,
+}
+
+impl BlockStmExecutor {
+    /// Creates an executor with the given per-transaction and per-block
+    /// costs.
+    pub fn new(per_tx: SimDuration, per_block: SimDuration) -> Self {
+        BlockStmExecutor {
+            per_tx,
+            per_block,
+            busy_until: SimTime::ZERO,
+            queue: Vec::new(),
+            ancillary: CpuMeter::new(ANCILLARY_HALF_LIFE),
+            stale_reexecutions: 0,
+            blocks_executed: 0,
+        }
+    }
+
+    /// The estimated ancillary core utilisation at `now` (0 = idle).
+    pub fn ancillary_rate(&mut self, now: SimTime) -> f64 {
+        // Steady-state meter level for input rate r is r·HL/ln2.
+        self.ancillary.usage(now) * std::f64::consts::LN_2
+            / ANCILLARY_HALF_LIFE.as_secs_f64()
+    }
+
+    /// The processor-sharing stretch factor applied to block execution.
+    pub fn contention_factor(&mut self, now: SimTime) -> f64 {
+        1.0 / (1.0 - self.ancillary_rate(now).min(CONTENTION_CAP))
+    }
+
+    /// Enqueues a committed block for execution; returns the time at
+    /// which its execution completes (arm a timer for it).
+    pub fn submit_block(&mut self, now: SimTime, block: Block) -> SimTime {
+        let base = self.per_block + self.per_tx * block.len() as u64;
+        let cost = base.mul_f64(self.contention_factor(now));
+        let start = self.busy_until.max(now);
+        let done_at = start + cost;
+        self.busy_until = done_at;
+        self.queue.push(PendingExec { block, done_at });
+        done_at
+    }
+
+    /// Takes the executed block whose completion time has been reached.
+    ///
+    /// Returns `None` for spurious timer fires (e.g. after a restart
+    /// cleared the queue).
+    pub fn take_completed(&mut self, now: SimTime) -> Option<Block> {
+        let pos = self.queue.iter().position(|p| p.done_at <= now)?;
+        self.blocks_executed += 1;
+        Some(self.queue.remove(pos).block)
+    }
+
+    /// Charges ancillary work (request validation, speculative dispatch):
+    /// it stretches subsequently submitted blocks (processor sharing)
+    /// rather than queueing ahead of them.
+    pub fn charge(&mut self, now: SimTime, cost: SimDuration) {
+        self.ancillary.charge(now, cost.as_secs_f64());
+    }
+
+    /// Charges a `SEQUENCE_NUMBER_TOO_OLD` re-execution.
+    pub fn charge_stale(&mut self, now: SimTime, cost: SimDuration) {
+        self.stale_reexecutions += 1;
+        self.charge(now, cost);
+    }
+
+    /// When the executor becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Blocks waiting for or undergoing execution.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of stale re-executions charged so far.
+    pub fn stale_reexecutions(&self) -> u64 {
+        self.stale_reexecutions
+    }
+
+    /// Number of blocks fully executed.
+    pub fn blocks_executed(&self) -> u64 {
+        self.blocks_executed
+    }
+
+    /// Drops queued work (volatile state lost in a restart; committed
+    /// blocks are re-executed through state sync instead).
+    pub fn clear(&mut self, now: SimTime) {
+        self.queue.clear();
+        self.busy_until = now;
+        self.ancillary.reset(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabl_sim::NodeId;
+    use stabl_types::{AccountId, Hash32, Transaction};
+
+    fn block(height: u64, txs: usize) -> Block {
+        let txs = (0..txs as u64)
+            .map(|n| Transaction::transfer(AccountId::new(9), n + height * 100, AccountId::new(1), 1))
+            .collect();
+        Block::new(Hash32::ZERO, height, NodeId::new(0), txs)
+    }
+
+    fn exec() -> BlockStmExecutor {
+        BlockStmExecutor::new(SimDuration::from_millis(2), SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn cost_scales_with_block_size() {
+        let mut e = exec();
+        let done = e.submit_block(SimTime::ZERO, block(1, 5));
+        assert_eq!(done, SimTime::from_millis(20)); // 10 + 5*2
+    }
+
+    #[test]
+    fn blocks_serialise() {
+        let mut e = exec();
+        let d1 = e.submit_block(SimTime::ZERO, block(1, 5));
+        let d2 = e.submit_block(SimTime::ZERO, block(2, 5));
+        assert_eq!(d2, d1 + SimDuration::from_millis(20));
+        assert_eq!(e.backlog(), 2);
+    }
+
+    #[test]
+    fn take_completed_in_order() {
+        let mut e = exec();
+        let d1 = e.submit_block(SimTime::ZERO, block(1, 1));
+        let d2 = e.submit_block(SimTime::ZERO, block(2, 1));
+        assert!(e.take_completed(SimTime::ZERO).is_none(), "nothing done yet");
+        let b1 = e.take_completed(d1).expect("first block done");
+        assert_eq!(b1.height(), 1);
+        let b2 = e.take_completed(d2).expect("second block done");
+        assert_eq!(b2.height(), 2);
+        assert_eq!(e.blocks_executed(), 2);
+    }
+
+    #[test]
+    fn charges_stretch_later_blocks() {
+        let mut idle = exec();
+        let undisturbed = idle.submit_block(SimTime::ZERO, block(1, 0));
+        let mut busy = exec();
+        // Sustained ancillary load of ~0.5 cores (well past the meter's
+        // half-life warm-up) stretches execution towards 2x.
+        for ms in 0..12_000u64 {
+            busy.charge(SimTime::from_millis(ms), SimDuration::from_micros(500));
+        }
+        let at = SimTime::from_millis(12_000);
+        let stretched = busy.submit_block(at, block(1, 0));
+        let undisturbed_cost = undisturbed - SimTime::ZERO;
+        let stretched_cost = stretched - at;
+        assert!(
+            stretched_cost > undisturbed_cost.mul_f64(1.5),
+            "expected ≥1.5x stretch: {stretched_cost} vs {undisturbed_cost}"
+        );
+        assert!(busy.contention_factor(at) > 1.5);
+        assert!(busy.ancillary_rate(at) > 0.3);
+    }
+
+    #[test]
+    fn contention_factor_is_capped() {
+        let mut e = exec();
+        e.charge(SimTime::ZERO, SimDuration::from_secs(100));
+        assert!(e.contention_factor(SimTime::ZERO) <= 4.0 + 1e-9, "1/(1-0.75) cap");
+    }
+
+    #[test]
+    fn idle_time_is_not_charged() {
+        let mut e = exec();
+        let done = e.submit_block(SimTime::from_secs(5), block(1, 0));
+        assert_eq!(done, SimTime::from_secs(5) + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn stale_counter_tracks() {
+        let mut e = exec();
+        e.charge_stale(SimTime::ZERO, SimDuration::from_millis(4));
+        e.charge_stale(SimTime::ZERO, SimDuration::from_millis(4));
+        assert_eq!(e.stale_reexecutions(), 2);
+        assert!(e.ancillary_rate(SimTime::ZERO) > 0.0);
+    }
+
+    #[test]
+    fn clear_drops_queue() {
+        let mut e = exec();
+        e.submit_block(SimTime::ZERO, block(1, 10));
+        e.clear(SimTime::from_millis(5));
+        assert_eq!(e.backlog(), 0);
+        assert!(e.take_completed(SimTime::from_secs(1)).is_none());
+        assert_eq!(e.busy_until(), SimTime::from_millis(5));
+    }
+}

@@ -1,0 +1,278 @@
+//! The Snowball binary/multi-value consensus loop.
+//!
+//! Avalanche's Snow family (Snowflake/Snowball, Team Rocket 2020) decides
+//! by repeated randomised polling: each round a node queries `k` sampled
+//! validators; if at least `α > k/2` answers prefer the same value the
+//! node leans towards it, and after `β` consecutive supporting rounds it
+//! decides. Crashed nodes stay in the sampling population — a poll that
+//! reaches too few live validators simply fails and resets the
+//! confidence counter, which is what couples Avalanche's liveness to the
+//! fraction of reachable stake (≥ 80 %).
+
+use stabl_types::Hash32;
+use std::collections::HashMap;
+
+/// One Snowball instance deciding the block of one height.
+#[derive(Clone, Debug)]
+pub struct Snowball {
+    alpha: usize,
+    beta: u32,
+    preference: Option<Hash32>,
+    last_majority: Option<Hash32>,
+    confidence: u32,
+    strength: HashMap<Hash32, u32>,
+    decided: Option<Hash32>,
+    polls: u64,
+    failed_polls: u64,
+}
+
+impl Snowball {
+    /// Creates an instance with quorum `alpha` and decision threshold
+    /// `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` or `beta` is zero.
+    pub fn new(alpha: usize, beta: u32) -> Snowball {
+        assert!(alpha > 0 && beta > 0, "alpha and beta must be positive");
+        Snowball {
+            alpha,
+            beta,
+            preference: None,
+            last_majority: None,
+            confidence: 0,
+            strength: HashMap::new(),
+            decided: None,
+            polls: 0,
+            failed_polls: 0,
+        }
+    }
+
+    /// The decided block hash, if any.
+    pub fn decision(&self) -> Option<Hash32> {
+        self.decided
+    }
+
+    /// The hash this node currently prefers (reported in chits).
+    pub fn preference(&self) -> Option<Hash32> {
+        self.decided.or(self.preference)
+    }
+
+    /// Total polls finalised.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Polls that failed to reach an `α` majority.
+    pub fn failed_polls(&self) -> u64 {
+        self.failed_polls
+    }
+
+    /// Considers a newly learned proposal: before any poll succeeded the
+    /// node prefers the lowest hash (a deterministic tie-break all
+    /// honest nodes share).
+    pub fn observe_proposal(&mut self, hash: Hash32) {
+        if self.decided.is_some() {
+            return;
+        }
+        match self.preference {
+            Some(current) if self.strength.get(&current).copied().unwrap_or(0) > 0 => {}
+            Some(current) if current <= hash => {}
+            _ => self.preference = Some(hash),
+        }
+    }
+
+    /// Accounts one finished poll (the chit values that arrived in
+    /// time); returns the decision if `β` was just reached.
+    pub fn record_poll(&mut self, responses: &[Hash32]) -> Option<Hash32> {
+        if self.decided.is_some() {
+            return self.decided;
+        }
+        self.polls += 1;
+        let mut counts: HashMap<Hash32, usize> = HashMap::new();
+        for r in responses {
+            *counts.entry(*r).or_insert(0) += 1;
+        }
+        let majority = counts
+            .iter()
+            .filter(|(_, c)| **c >= self.alpha)
+            .max_by_key(|(hash, c)| (**c, std::cmp::Reverse(**hash)))
+            .map(|(hash, _)| *hash);
+        let Some(winner) = majority else {
+            self.failed_polls += 1;
+            self.confidence = 0;
+            self.last_majority = None;
+            return None;
+        };
+        let strength = self.strength.entry(winner).or_insert(0);
+        *strength += 1;
+        let strength = *strength;
+        let pref_strength = self
+            .preference
+            .and_then(|p| self.strength.get(&p).copied())
+            .unwrap_or(0);
+        if strength > pref_strength || self.preference.is_none() {
+            self.preference = Some(winner);
+        }
+        if self.last_majority == Some(winner) {
+            self.confidence += 1;
+        } else {
+            self.last_majority = Some(winner);
+            self.confidence = 1;
+        }
+        if self.confidence >= self.beta {
+            self.decided = Some(winner);
+        }
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hash(byte: u8) -> Hash32 {
+        Hash32::from_bytes([byte; 32])
+    }
+
+    proptest! {
+        /// A decision, once made, never changes — whatever polls follow.
+        #[test]
+        fn decision_is_immutable(
+            polls in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 0..8), 1..40
+            )
+        ) {
+            let mut sb = Snowball::new(3, 2);
+            let mut decided: Option<Hash32> = None;
+            for poll in polls {
+                let values: Vec<Hash32> = poll.into_iter().map(hash).collect();
+                let result = sb.record_poll(&values);
+                if let Some(first) = decided {
+                    prop_assert_eq!(result, Some(first));
+                } else {
+                    decided = result;
+                }
+            }
+        }
+
+        /// β consecutive unanimous polls always decide.
+        #[test]
+        fn unanimity_always_converges(beta in 1u32..8, value in 0u8..16) {
+            let mut sb = Snowball::new(4, beta);
+            let poll = vec![hash(value); 5];
+            for i in 0..beta {
+                let result = sb.record_poll(&poll);
+                if i + 1 < beta {
+                    prop_assert_eq!(result, None);
+                } else {
+                    prop_assert_eq!(result, Some(hash(value)));
+                }
+            }
+        }
+
+        /// Poll accounting: polls() counts every recorded poll before
+        /// the decision, failed_polls() only the sub-α ones.
+        #[test]
+        fn poll_accounting(
+            polls in proptest::collection::vec(
+                proptest::collection::vec(0u8..3, 0..6), 0..30
+            )
+        ) {
+            let mut sb = Snowball::new(4, u32::MAX);
+            let mut expected_failed = 0u64;
+            let mut expected_total = 0u64;
+            for poll in polls {
+                let values: Vec<Hash32> = poll.into_iter().map(hash).collect();
+                let mut counts = std::collections::HashMap::new();
+                for v in &values {
+                    *counts.entry(*v).or_insert(0usize) += 1;
+                }
+                let has_majority = counts.values().any(|c| *c >= 4);
+                sb.record_poll(&values);
+                expected_total += 1;
+                if !has_majority {
+                    expected_failed += 1;
+                }
+            }
+            prop_assert_eq!(sb.polls(), expected_total);
+            prop_assert_eq!(sb.failed_polls(), expected_failed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(byte: u8) -> Hash32 {
+        Hash32::from_bytes([byte; 32])
+    }
+
+    #[test]
+    fn unanimous_polls_decide_after_beta() {
+        let mut sb = Snowball::new(4, 3);
+        sb.observe_proposal(h(1));
+        assert_eq!(sb.record_poll(&[h(1); 5]), None);
+        assert_eq!(sb.record_poll(&[h(1); 5]), None);
+        assert_eq!(sb.record_poll(&[h(1); 5]), Some(h(1)));
+        assert_eq!(sb.decision(), Some(h(1)));
+    }
+
+    #[test]
+    fn failed_poll_resets_confidence() {
+        let mut sb = Snowball::new(4, 2);
+        sb.record_poll(&[h(1); 5]);
+        // Only 3 of 5 agree: below alpha, confidence resets.
+        sb.record_poll(&[h(1), h(1), h(1), h(2), h(2)]);
+        assert_eq!(sb.failed_polls(), 1);
+        sb.record_poll(&[h(1); 5]);
+        assert_eq!(sb.record_poll(&[h(1); 5]), Some(h(1)));
+    }
+
+    #[test]
+    fn preference_flips_to_stronger_value() {
+        let mut sb = Snowball::new(3, 10);
+        sb.observe_proposal(h(5));
+        assert_eq!(sb.preference(), Some(h(5)));
+        sb.record_poll(&[h(2); 4]);
+        sb.record_poll(&[h(2); 4]);
+        assert_eq!(sb.preference(), Some(h(2)), "polled majority overrides");
+    }
+
+    #[test]
+    fn observe_prefers_lowest_hash_until_polls_speak() {
+        let mut sb = Snowball::new(3, 4);
+        sb.observe_proposal(h(7));
+        sb.observe_proposal(h(3));
+        sb.observe_proposal(h(9));
+        assert_eq!(sb.preference(), Some(h(3)));
+        // Once polls established strength, later lower proposals don't flip.
+        sb.record_poll(&[h(3); 4]);
+        sb.observe_proposal(h(1));
+        assert_eq!(sb.preference(), Some(h(3)));
+    }
+
+    #[test]
+    fn short_poll_below_alpha_fails() {
+        let mut sb = Snowball::new(4, 2);
+        assert_eq!(sb.record_poll(&[h(1), h(1), h(1)]), None);
+        assert_eq!(sb.failed_polls(), 1);
+    }
+
+    #[test]
+    fn decision_is_stable() {
+        let mut sb = Snowball::new(2, 1);
+        assert_eq!(sb.record_poll(&[h(1), h(1)]), Some(h(1)));
+        assert_eq!(sb.record_poll(&[h(2), h(2)]), Some(h(1)), "decided never changes");
+        sb.observe_proposal(h(0));
+        assert_eq!(sb.preference(), Some(h(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = Snowball::new(0, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! The inbound message throttler.
+//!
+//! AvalancheGo guards every node with an `InboundMsgThrottler` stack:
+//! a CPU-quota throttler (`cpuThrottler`) defers message processing when
+//! the tracked CPU usage exceeds its target, and a buffer throttler
+//! (`bufferThrottler`) drops messages outright once too many are waiting
+//! unprocessed. Stabl shows this machinery is double-edged: it protects
+//! steady state but, once a backlog builds after a transient failure,
+//! deferred chits make polls fail, failed polls keep the backlog alive,
+//! and the network enters a metastable congestion it never leaves
+//! (paper §5: "messages were successfully sent and received … but the
+//! throttling prevented them from being processed in a timely manner").
+
+use stabl_sim::{CpuMeter, SimDuration, SimTime};
+
+/// Verdict of the throttler for an arriving message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Process now (CPU charged).
+    Process,
+    /// CPU quota exceeded: park the message in the unprocessed buffer.
+    Defer,
+    /// Buffer full as well: drop the message.
+    Drop,
+}
+
+/// CPU-quota + buffer admission control for inbound messages.
+#[derive(Clone, Debug)]
+pub struct InboundThrottler {
+    cpu: CpuMeter,
+    quota: f64,
+    max_buffered: usize,
+    buffered: usize,
+    deferred_total: u64,
+    dropped_total: u64,
+}
+
+impl InboundThrottler {
+    /// Creates a throttler with a decaying CPU meter (`half_life`),
+    /// a usage `quota` and an unprocessed-message cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quota` is not positive or `max_buffered` is zero.
+    pub fn new(half_life: SimDuration, quota: f64, max_buffered: usize) -> Self {
+        assert!(quota > 0.0, "quota must be positive");
+        assert!(max_buffered > 0, "buffer must hold at least one message");
+        InboundThrottler {
+            cpu: CpuMeter::new(half_life),
+            quota,
+            max_buffered,
+            buffered: 0,
+            deferred_total: 0,
+            dropped_total: 0,
+        }
+    }
+
+    /// Rules on an arriving message with processing cost `cost`
+    /// (core-seconds). `Process` charges the meter; `Defer` reserves a
+    /// buffer slot the caller must later release through
+    /// [`InboundThrottler::drain_one`].
+    pub fn admit(&mut self, now: SimTime, cost: f64) -> Admission {
+        if self.cpu.usage(now) <= self.quota {
+            self.cpu.charge(now, cost);
+            Admission::Process
+        } else if self.buffered < self.max_buffered {
+            self.buffered += 1;
+            self.deferred_total += 1;
+            Admission::Defer
+        } else {
+            self.dropped_total += 1;
+            Admission::Drop
+        }
+    }
+
+    /// Attempts to process one parked message of cost `cost`; `true`
+    /// (and the meter charged, the slot released) if the quota allows.
+    pub fn drain_one(&mut self, now: SimTime, cost: f64) -> bool {
+        debug_assert!(self.buffered > 0, "nothing to drain");
+        if self.cpu.usage(now) <= self.quota {
+            self.cpu.charge(now, cost);
+            self.buffered = self.buffered.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Charges locally generated work (block building, execution) that
+    /// competes with message processing for the same cores.
+    pub fn charge_local(&mut self, now: SimTime, cost: f64) {
+        self.cpu.charge(now, cost);
+    }
+
+    /// The tracked CPU usage at `now`.
+    pub fn usage(&mut self, now: SimTime) -> f64 {
+        self.cpu.usage(now)
+    }
+
+    /// Read-only view of the tracked usage (diagnostics).
+    pub fn usage_peek(&self, now: SimTime) -> f64 {
+        self.cpu.usage_peek(now)
+    }
+
+    /// Messages parked right now.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Messages ever deferred.
+    pub fn deferred_total(&self) -> u64 {
+        self.deferred_total
+    }
+
+    /// Messages ever dropped by the buffer throttler.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Resets meter and buffer accounting (node restart).
+    pub fn reset(&mut self, now: SimTime) {
+        self.cpu.reset(now);
+        self.buffered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn throttler() -> InboundThrottler {
+        InboundThrottler::new(SimDuration::from_secs(1), 1.0, 3)
+    }
+
+    #[test]
+    fn processes_under_quota() {
+        let mut th = throttler();
+        assert_eq!(th.admit(t(0), 0.4), Admission::Process);
+        assert_eq!(th.admit(t(0), 0.4), Admission::Process);
+        assert!(th.usage(t(0)) > 0.7);
+    }
+
+    #[test]
+    fn defers_over_quota_then_drops() {
+        let mut th = throttler();
+        assert_eq!(th.admit(t(0), 1.2), Admission::Process, "first one slips in");
+        assert_eq!(th.admit(t(0), 0.1), Admission::Defer);
+        assert_eq!(th.admit(t(0), 0.1), Admission::Defer);
+        assert_eq!(th.admit(t(0), 0.1), Admission::Defer);
+        assert_eq!(th.admit(t(0), 0.1), Admission::Drop, "buffer of 3 is full");
+        assert_eq!(th.buffered(), 3);
+        assert_eq!(th.dropped_total(), 1);
+    }
+
+    #[test]
+    fn decay_reopens_the_quota() {
+        let mut th = throttler();
+        th.admit(t(0), 2.0);
+        assert_eq!(th.admit(t(0), 0.1), Admission::Defer);
+        // Two half-lives later usage fell to 0.5: drain succeeds.
+        assert!(th.drain_one(t(2000), 0.1));
+        assert_eq!(th.buffered(), 0);
+    }
+
+    #[test]
+    fn drain_respects_quota() {
+        let mut th = throttler();
+        th.admit(t(0), 5.0);
+        th.admit(t(0), 0.1);
+        assert!(!th.drain_one(t(100), 0.1), "still saturated");
+        assert_eq!(th.buffered(), 1);
+    }
+
+    #[test]
+    fn local_work_competes() {
+        let mut th = throttler();
+        th.charge_local(t(0), 2.0);
+        assert_eq!(th.admit(t(0), 0.1), Admission::Defer);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut th = throttler();
+        th.admit(t(0), 5.0);
+        th.admit(t(0), 0.1);
+        th.reset(t(10));
+        assert_eq!(th.buffered(), 0);
+        assert_eq!(th.admit(t(10), 0.1), Admission::Process);
+    }
+}

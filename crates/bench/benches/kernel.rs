@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the simulation kernel and of short end-to-end
+//! chain runs (simulated seconds per wall second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stabl::{Chain, RunConfig};
+use stabl_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime, Simulation};
+
+/// A chatty protocol stressing the event queue: every node broadcasts on
+/// a 10 ms timer.
+struct Chatty;
+impl Protocol for Chatty {
+    type Msg = u64;
+    type Request = u64;
+    type Commit = u64;
+    type Timer = ();
+    type Config = ();
+    fn new(_: NodeId, _: usize, _: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+        ctx.set_timer(SimDuration::from_millis(10), ());
+        Chatty
+    }
+    fn on_message(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, Self>) {}
+    fn on_timer(&mut self, _: (), ctx: &mut Ctx<'_, Self>) {
+        ctx.broadcast(1);
+        ctx.set_timer(SimDuration::from_millis(10), ());
+    }
+    fn on_request(&mut self, _: u64, _: &mut Ctx<'_, Self>) {}
+    fn on_restart(&mut self, _: &mut Ctx<'_, Self>) {}
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel/chatty_10nodes_1s", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::<Chatty>::new(10, 42, ());
+            sim.run_until(SimTime::from_secs(1));
+            sim.stats().messages_delivered
+        });
+    });
+
+    let mut group = c.benchmark_group("chains_10s_baseline");
+    group.sample_size(10);
+    for &chain in &Chain::ALL {
+        group.bench_function(chain.name(), |b| {
+            b.iter(|| {
+                let mut config = RunConfig::quick(42);
+                config.horizon = SimTime::from_secs(10);
+                config.workload.end = SimTime::from_secs(8);
+                chain.run(&config).latencies.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

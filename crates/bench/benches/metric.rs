@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the sensitivity metric machinery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stabl::metrics::{Ecdf, Sensitivity, ThroughputSeries};
+use stabl_sim::{DetRng, SimTime};
+
+fn samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = DetRng::new(seed);
+    (0..n).map(|_| rng.next_f64() * 10.0 + 0.2).collect()
+}
+
+fn bench_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric");
+    for &n in &[1_000usize, 80_000] {
+        group.bench_function(format!("ecdf_build/{n}"), |b| {
+            let data = samples(n, 7);
+            b.iter_batched(
+                || data.clone(),
+                |data| Ecdf::new(data).expect("valid"),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("sensitivity/{n}"), |b| {
+            let base = Ecdf::new(samples(n, 7)).expect("valid");
+            let alt = Ecdf::new(samples(n, 8)).expect("valid");
+            b.iter(|| Sensitivity::from_ecdfs(&base, &alt));
+        });
+        group.bench_function(format!("supercumulative_100ms/{n}"), |b| {
+            let e = Ecdf::new(samples(n, 9)).expect("valid");
+            b.iter(|| e.supercumulative(0.1));
+        });
+        group.bench_function(format!("throughput_series/{n}"), |b| {
+            let mut rng = DetRng::new(10);
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_micros(rng.next_below(400_000_000)))
+                .collect();
+            b.iter(|| {
+                ThroughputSeries::from_commit_times(
+                    times.iter().copied(),
+                    SimTime::from_secs(400),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metric);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the protocol building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stabl_sim::NodeId;
+use stabl_types::{AccountId, AccountPool, Hash32, Ledger, Transaction};
+
+fn bench_protocol_blocks(c: &mut Criterion) {
+    c.bench_function("sha256/1KiB", |b| {
+        let data = vec![0xA5u8; 1024];
+        b.iter(|| Hash32::digest(&data));
+    });
+
+    c.bench_function("transaction/build_and_hash", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            Transaction::transfer(AccountId::new(1), nonce, AccountId::new(2), 5)
+        });
+    });
+
+    c.bench_function("ledger/apply_1000", |b| {
+        let txs: Vec<Transaction> = (0..1000)
+            .map(|n| Transaction::transfer(AccountId::new(0), n, AccountId::new(1), 1))
+            .collect();
+        b.iter(|| {
+            let mut ledger = Ledger::with_uniform_balance(2, 1_000_000);
+            for tx in &txs {
+                ledger.apply(tx).expect("sequential nonces apply");
+            }
+            ledger.executed()
+        });
+    });
+
+    c.bench_function("account_pool/insert_take_1000", |b| {
+        let txs: Vec<Transaction> = (0..1000)
+            .map(|n| Transaction::transfer(AccountId::new((n % 20) as u32), n / 20, AccountId::new(99), 1))
+            .collect();
+        b.iter(|| {
+            let mut pool = AccountPool::new(4096);
+            for tx in &txs {
+                pool.insert(*tx);
+            }
+            pool.take_ready(1000).len()
+        });
+    });
+
+    c.bench_function("sortition/draw_committee_of_10", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round = (round + 1) % 1_000_000;
+            stabl_algorand::sortition::best_proposer(7, round, 0, 10, 300)
+        });
+    });
+
+    c.bench_function("solana/leader_schedule_slot", |b| {
+        let schedule = stabl_solana::EpochSchedule::warmup();
+        let mut slot = 0u64;
+        b.iter(|| {
+            // Stay inside a realistic slot range: epoch lookup cost
+            // grows with the slot number.
+            slot = (slot + 1) % 1_000_000;
+            stabl_solana::schedule::leader_for(7, &schedule, slot, 10)
+        });
+    });
+
+    c.bench_function("redbelly/binary_consensus_4_nodes", |b| {
+        use stabl_redbelly::{BinaryAction, BinaryInstance};
+        b.iter(|| {
+            let mut instances: Vec<BinaryInstance> =
+                (0..4).map(|_| BinaryInstance::new(4, 1)).collect();
+            let mut queue: Vec<(usize, BinaryAction)> = Vec::new();
+            for (i, inst) in instances.iter_mut().enumerate() {
+                for a in inst.start(NodeId::new(i as u32), i % 2 == 0) {
+                    queue.push((i, a));
+                }
+            }
+            while let Some((from, action)) = queue.pop() {
+                let mut new_actions = Vec::new();
+                for (to, inst) in instances.iter_mut().enumerate() {
+                    if to == from {
+                        continue;
+                    }
+                    let out = match action {
+                        BinaryAction::Echo { round, value } => inst.on_echo(
+                            NodeId::new(to as u32),
+                            NodeId::new(from as u32),
+                            round,
+                            value,
+                        ),
+                        BinaryAction::Decide(v) => inst.on_decide(v),
+                    };
+                    new_actions.extend(out.into_iter().map(|a| (to, a)));
+                }
+                queue.extend(new_actions);
+            }
+            instances[0].decision()
+        });
+    });
+
+    c.bench_function("avalanche/snowball_poll", |b| {
+        use stabl_avalanche::Snowball;
+        let votes = vec![Hash32::digest(b"winner"); 8];
+        b.iter(|| {
+            let mut sb = Snowball::new(7, 5);
+            for _ in 0..5 {
+                sb.record_poll(&votes);
+            }
+            sb.decision()
+        });
+    });
+}
+
+criterion_group!(benches, bench_protocol_blocks);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! `dbg_scenario <chain> <scenario>` — run one (chain, scenario) pair at
+//! full paper scale and print latency statistics plus the throughput
+//! timeline; the calibration workhorse behind the figure binaries.
+
+use stabl::{Chain, PaperSetup, ScenarioKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: dbg_scenario <algorand|aptos|avalanche|redbelly|solana> \
+                   <baseline|crash|transient|partition|secure>");
+        std::process::exit(2);
+    }
+    let chain = match args[1].as_str() {
+        "algorand" => Chain::Algorand,
+        "aptos" => Chain::Aptos,
+        "avalanche" => Chain::Avalanche,
+        "redbelly" => Chain::Redbelly,
+        "solana" => Chain::Solana,
+        other => panic!("unknown chain {other}"),
+    };
+    let kind = match args[2].as_str() {
+        "baseline" => ScenarioKind::Baseline,
+        "crash" => ScenarioKind::Crash,
+        "transient" => ScenarioKind::Transient,
+        "partition" => ScenarioKind::Partition,
+        "secure" => ScenarioKind::SecureClient,
+        other => panic!("unknown scenario {other}"),
+    };
+    let setup = PaperSetup::default();
+    let result = setup.run(chain, kind);
+    let base = setup.run_baseline(chain, kind);
+    if let (Ok(b), Ok(a)) = (base.ecdf(), result.ecdf()) {
+        println!(
+            "baseline mean={:.3} p95={:.3} | altered mean={:.3} p95={:.3}",
+            b.mean(),
+            b.quantile(0.95),
+            a.mean(),
+            a.quantile(0.95)
+        );
+    }
+    println!(
+        "submitted={} committed={} unresolved={} lost_liveness={} panics={}",
+        result.submitted,
+        result.latencies.len(),
+        result.unresolved,
+        result.lost_liveness,
+        result.panics.len()
+    );
+    let tp = result.throughput();
+    for (i, chunk) in tp.bins().chunks(10).enumerate() {
+        let sum: u32 = chunk.iter().sum();
+        print!("{:4}s {:5} |", i * 10, sum);
+        if i % 4 == 3 {
+            println!();
+        }
+    }
+    println!();
+}

@@ -1,0 +1,46 @@
+//! Extension: sensitivity at larger network sizes.
+//!
+//! The paper's future work asks how sensitivity evolves in larger
+//! networks, "especially for probabilistic consensus protocols that rely
+//! on the law of large numbers". This extension sweeps the crash
+//! scenario over n ∈ {10, 16, 22} validators (5 clients throughout,
+//! faults on trailing nodes, f = t_B(n)).
+
+use stabl::{Chain, PaperSetup, ScenarioKind};
+use stabl_bench::BenchOpts;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!(
+        "{:<10} {:>6} {:>6} {:>14} {:>14}",
+        "chain", "n", "f=t", "crash score", "baseline p50"
+    );
+    let mut artefact = Vec::new();
+    for n in [10usize, 16, 22] {
+        let mut setup = PaperSetup { n, ..opts.setup.clone() };
+        setup.seed ^= n as u64;
+        for &chain in &Chain::ALL {
+            eprintln!("· {} n={} …", chain.name(), n);
+            let report = setup.sensitivity(chain, ScenarioKind::Crash);
+            println!(
+                "{:<10} {:>6} {:>6} {:>14} {:>14}",
+                chain.name(),
+                n,
+                chain.tolerated_faults(n),
+                report.sensitivity.to_string(),
+                report
+                    .baseline
+                    .p50_latency
+                    .map(|p| format!("{p:.3}s"))
+                    .unwrap_or_else(|| "—".into()),
+            );
+            artefact.push(serde_json::json!({
+                "chain": chain.name(),
+                "n": n,
+                "f": chain.tolerated_faults(n),
+                "score": report.sensitivity.score(),
+            }));
+        }
+    }
+    opts.write_json("ext_scale_sweep.json", &artefact);
+}

@@ -1,0 +1,50 @@
+//! Extension: the single-slow-node experiment.
+//!
+//! §4 of the paper argues that leader-based chains suffer from one slow
+//! node ("Redbelly is not affected by the slow responsive node that
+//! affects Solana because no individual slow node can significantly slow
+//! down the DBFT consensus protocol"). The paper only *crashes* nodes;
+//! this extension slows one non-client validator down (300 ms extra on
+//! every message it sends, between the usual fault and recovery marks)
+//! and scores all five chains.
+
+use stabl::{report_from_runs, Chain, FaultPlan, ScenarioKind};
+use stabl_bench::{sensitivity_table, BenchOpts};
+use stabl_sim::SimDuration;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let setup = &opts.setup;
+    eprintln!("slow-node extension ({})", setup.horizon);
+    let extra = SimDuration::from_millis(300);
+    let mut reports = Vec::new();
+    for &chain in &Chain::ALL {
+        eprintln!("· {} …", chain.name());
+        let baseline = setup.run(chain, ScenarioKind::Baseline);
+        let mut config = setup.run_config(chain, ScenarioKind::Baseline);
+        config.faults = FaultPlan::Slowdown {
+            nodes: setup.victims(1),
+            extra,
+            at: setup.fault_at,
+            until: setup.recover_at,
+        };
+        let altered = chain.run(&config);
+        // Reuse the crash kind for reporting (the label is printed
+        // separately).
+        reports.push(report_from_runs(chain, ScenarioKind::Crash, &baseline, &altered));
+    }
+    println!(
+        "\n{}",
+        sensitivity_table("Extension — one node slowed by 300 ms (133 s → 266 s)", &reports)
+    );
+    let rows: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "chain": r.chain.name(),
+                "score": r.sensitivity.score(),
+            })
+        })
+        .collect();
+    opts.write_json("ext_slow_node.json", &rows);
+}

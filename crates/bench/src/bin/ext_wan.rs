@@ -1,0 +1,62 @@
+//! Extension: geo-distributed (WAN) deployment.
+//!
+//! The paper's testbed is a single cluster (5–10 ms links) and it argues
+//! (§8, citing its Redbelly evaluation) that small-scale results carry
+//! over. This extension re-runs the baseline and crash scenarios with
+//! WAN-like links (40–120 ms one way) and compares latency profiles and
+//! crash sensitivities across the two latency regimes.
+
+use stabl::{Chain, PaperSetup, ScenarioKind};
+use stabl_bench::BenchOpts;
+use stabl_sim::{LatencyModel, LatencyTopology};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "chain", "LAN p50", "WAN p50", "geo p50", "LAN crash", "WAN crash", "geo crash"
+    );
+    let mut artefact = Vec::new();
+    for &chain in &Chain::ALL {
+        eprintln!("· {} …", chain.name());
+        let lan = opts.setup.clone();
+        let wan = PaperSetup { latency: LatencyModel::wan(), ..opts.setup.clone() };
+        let lan_report = lan.sensitivity(chain, ScenarioKind::Crash);
+        let wan_report = wan.sensitivity(chain, ScenarioKind::Crash);
+        // Five regions, nodes spread round-robin: LAN inside a region,
+        // WAN across regions.
+        let geo_report = {
+            let setup = opts.setup.clone();
+            let mut base_cfg = setup.run_config(chain, ScenarioKind::Baseline);
+            base_cfg.topology = Some(LatencyTopology::geo(5, setup.n));
+            let mut alt_cfg = setup.run_config(chain, ScenarioKind::Crash);
+            alt_cfg.topology = Some(LatencyTopology::geo(5, setup.n));
+            let baseline = chain.run(&base_cfg);
+            let altered = chain.run(&alt_cfg);
+            stabl::report_from_runs(chain, ScenarioKind::Crash, &baseline, &altered)
+        };
+        let p50 = |s: &stabl::report::RunSummary| {
+            s.p50_latency.map(|p| format!("{p:.3}s")).unwrap_or_else(|| "—".into())
+        };
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            chain.name(),
+            p50(&lan_report.baseline),
+            p50(&wan_report.baseline),
+            p50(&geo_report.baseline),
+            lan_report.sensitivity.to_string(),
+            wan_report.sensitivity.to_string(),
+            geo_report.sensitivity.to_string(),
+        );
+        artefact.push(serde_json::json!({
+            "chain": chain.name(),
+            "lan_p50": lan_report.baseline.p50_latency,
+            "wan_p50": wan_report.baseline.p50_latency,
+            "geo_p50": geo_report.baseline.p50_latency,
+            "lan_crash": lan_report.sensitivity.score(),
+            "wan_crash": wan_report.sensitivity.score(),
+            "geo_crash": geo_report.sensitivity.score(),
+        }));
+    }
+    opts.write_json("ext_wan.json", &artefact);
+}

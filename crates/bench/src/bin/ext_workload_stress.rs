@@ -1,0 +1,52 @@
+//! Extension: fluctuating workloads.
+//!
+//! The paper's §8 names request bursts and fluctuating workloads as an
+//! explicit limitation of its constant-rate methodology. This extension
+//! subjects every chain to (i) periodic 4× bursts and (ii) a linear ramp
+//! from 200 to 400 TPS, without any fault, and reports the sensitivity
+//! relative to the constant-rate baseline — i.e. how gracefully each
+//! chain absorbs load variation.
+
+use stabl::{report_from_runs, Chain, ScenarioKind, WorkloadShape};
+use stabl_bench::{sensitivity_table, BenchOpts};
+use stabl_sim::SimDuration;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let setup = &opts.setup;
+    eprintln!("workload-stress extension ({})", setup.horizon);
+    let shapes = [
+        (
+            "bursts (4x for 5 s every 60 s)",
+            WorkloadShape::Burst {
+                period: SimDuration::from_secs(60),
+                burst_len: SimDuration::from_secs(5),
+                factor: 4,
+            },
+        ),
+        ("ramp (200 → 400 TPS)", WorkloadShape::Ramp { end_tps_per_client: 80 }),
+    ];
+    let mut artefact = Vec::new();
+    for (label, shape) in shapes {
+        let mut reports = Vec::new();
+        for &chain in &Chain::ALL {
+            eprintln!("· {} {} …", chain.name(), label);
+            let baseline = setup.run(chain, ScenarioKind::Baseline);
+            let mut config = setup.run_config(chain, ScenarioKind::Baseline);
+            config.workload.shape = shape;
+            let altered = chain.run(&config);
+            reports.push(report_from_runs(chain, ScenarioKind::Baseline, &baseline, &altered));
+        }
+        println!("\n{}", sensitivity_table(&format!("Extension — {label}"), &reports));
+        for r in &reports {
+            artefact.push(serde_json::json!({
+                "shape": label,
+                "chain": r.chain.name(),
+                "score": r.sensitivity.score(),
+                "unresolved": r.altered.unresolved,
+                "lost_liveness": r.altered.lost_liveness,
+            }));
+        }
+    }
+    opts.write_json("ext_workload_stress.json", &artefact);
+}

@@ -1,0 +1,62 @@
+//! Fig. 1 — the sensitivity of Aptos to failures, shown as the two
+//! latency eCDFs (baseline vs transient failures) whose area difference
+//! is the score.
+
+use serde::Serialize;
+use stabl::{Chain, ScenarioKind};
+use stabl_bench::BenchOpts;
+
+#[derive(Serialize)]
+struct EcdfSeries {
+    label: String,
+    points: Vec<(f64, f64)>,
+    area: f64,
+}
+
+fn decimate(points: Vec<(f64, f64)>, max_points: usize) -> Vec<(f64, f64)> {
+    if points.len() <= max_points {
+        return points;
+    }
+    let stride = points.len().div_ceil(max_points);
+    let mut out: Vec<(f64, f64)> = points.iter().step_by(stride).copied().collect();
+    if let Some(last) = points.last() {
+        if out.last() != Some(last) {
+            out.push(*last);
+        }
+    }
+    out
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    eprintln!("Fig. 1: Aptos baseline vs transient failures ({})", opts.setup.horizon);
+    let baseline = opts.setup.run(Chain::Aptos, ScenarioKind::Baseline);
+    let altered = opts.setup.run(Chain::Aptos, ScenarioKind::Transient);
+
+    let b = baseline.ecdf().expect("baseline committed transactions");
+    let series = |label: &str, e: &stabl::metrics::Ecdf| EcdfSeries {
+        label: label.to_owned(),
+        points: decimate(e.steps().collect(), 500),
+        area: e.area(),
+    };
+    let mut out = vec![series("baseline", &b)];
+    match altered.ecdf() {
+        Ok(a) => {
+            let sensitivity = stabl::metrics::Sensitivity::from_ecdfs(&b, &a);
+            println!("Aptos sensitivity to transient failures: {sensitivity}");
+            out.push(series("altered (transient failures)", &a));
+        }
+        Err(_) => println!("Aptos sensitivity to transient failures: ∞ (nothing committed)"),
+    }
+    for s in &out {
+        println!(
+            "{:<30} area={:.3}  p50={:.3}s  max={:.3}s  n={}",
+            s.label,
+            s.area,
+            s.points[s.points.len() / 2].0,
+            s.points.last().map(|p| p.0).unwrap_or(0.0),
+            s.points.len(),
+        );
+    }
+    opts.write_json("fig1_aptos_ecdf.json", &out);
+}

@@ -1,0 +1,48 @@
+//! Fig. 3 — sensitivity of the five blockchains to (a) `f = t` crashes,
+//! (b) `f = t + 1` transient failures, (c) a partition of `f = t + 1`
+//! nodes and (d) the secure client. Bars marked "improved" correspond to
+//! the paper's striped bars (the altered environment outperformed the
+//! baseline); `∞` marks liveness violations.
+
+use stabl::report::{ScenarioReport, SensitivityRecord};
+use stabl::ScenarioKind;
+use stabl_bench::{run_campaign, sensitivity_table, BenchOpts};
+
+#[derive(serde::Serialize)]
+struct Fig3Row {
+    chain: String,
+    scenario: String,
+    sensitivity: SensitivityRecord,
+    baseline: stabl::report::RunSummary,
+    altered: stabl::report::RunSummary,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    eprintln!("Fig. 3: full sensitivity campaign ({})", opts.setup.horizon);
+    let reports = run_campaign(&opts.setup);
+
+    for (part, kind, title) in [
+        ('a', ScenarioKind::Crash, "Fig. 3a — f = t crashes"),
+        ('b', ScenarioKind::Transient, "Fig. 3b — f = t+1 transient failures"),
+        ('c', ScenarioKind::Partition, "Fig. 3c — partition of f = t+1 nodes"),
+        ('d', ScenarioKind::SecureClient, "Fig. 3d — secure client (t+1 = 4 nodes)"),
+    ] {
+        let part_reports: Vec<ScenarioReport> =
+            reports.iter().filter(|r| r.kind == kind).cloned().collect();
+        println!("\n{}", sensitivity_table(title, &part_reports));
+        let _ = part;
+    }
+
+    let rows: Vec<Fig3Row> = reports
+        .iter()
+        .map(|r| Fig3Row {
+            chain: r.chain.name().to_owned(),
+            scenario: r.kind.name().to_owned(),
+            sensitivity: r.sensitivity.into(),
+            baseline: r.baseline,
+            altered: r.altered,
+        })
+        .collect();
+    opts.write_json("fig3_sensitivity.json", &rows);
+}

@@ -1,0 +1,31 @@
+//! Fig. 6 — throughput of the five blockchains over time in the
+//! baseline and under the "Partition" alteration (1-second bins).
+
+use stabl::{Chain, ScenarioKind};
+use stabl_bench::{throughput_csv, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    eprintln!("Fig. 6: throughput over time, scenario = Partition ({})", opts.setup.horizon);
+    for &chain in &Chain::ALL {
+        eprintln!("· {} …", chain.name());
+        let baseline = opts.setup.run(chain, ScenarioKind::Baseline);
+        let altered = opts.setup.run(chain, ScenarioKind::Partition);
+        let csv = throughput_csv(&baseline, &altered);
+        opts.write_text(&format!("fig6_throughput_partition.{}.csv", chain.name().to_lowercase()), &csv);
+        let base_tp = baseline.throughput();
+        let alt_tp = altered.throughput();
+        let fault_s = (opts.setup.fault_at.as_micros() / 1_000_000) as usize;
+        let recover_s = (opts.setup.recover_at.as_micros() / 1_000_000) as usize;
+        let end_s = (opts.setup.horizon.as_micros() / 1_000_000) as usize;
+        println!(
+            "{:<10} baseline {:>6.1} tps | altered: pre {:>6.1}  during {:>6.1}  after {:>6.1} tps | peak after {:>5}",
+            chain.name(),
+            base_tp.mean_over(5, end_s - 5),
+            alt_tp.mean_over(5, fault_s),
+            alt_tp.mean_over(fault_s, recover_s.min(end_s - 1)),
+            alt_tp.mean_over(recover_s.min(end_s - 1), end_s),
+            alt_tp.peak_over(recover_s.min(end_s - 1), end_s),
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 7 — the radar synthesis: every chain's sensitivity to crashes,
+//! transient failures, partitions and the secure client, on one chart.
+
+use stabl_bench::{radar_rows, run_campaign, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    eprintln!("Fig. 7: radar synthesis ({})", opts.setup.horizon);
+    let reports = run_campaign(&opts.setup);
+    let rows = radar_rows(&reports);
+
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>14} {:>16}",
+        "chain", "crash", "transient", "partition", "secure-client"
+    );
+    let fmt = |r: &stabl::report::SensitivityRecord| match r.score {
+        None => "∞".to_owned(),
+        Some(s) if r.improved => format!("{s:.3}↓"),
+        Some(s) => format!("{s:.3}"),
+    };
+    for row in &rows {
+        println!(
+            "{:<10} {:>14} {:>14} {:>14} {:>16}",
+            row.chain,
+            fmt(&row.crash),
+            fmt(&row.transient),
+            fmt(&row.partition),
+            fmt(&row.secure_client),
+        );
+    }
+    println!("\n(↓ marks scenarios where the alteration improved responsiveness; ∞ = liveness lost)");
+    opts.write_json("fig7_radar.json", &rows);
+}

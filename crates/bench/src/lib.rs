@@ -1,0 +1,191 @@
+//! # stabl-bench — the figure-regeneration harness
+//!
+//! One binary per figure of the paper:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig1_aptos_ecdf` | Fig. 1 — Aptos latency eCDFs, baseline vs failures |
+//! | `fig3_sensitivity` | Fig. 3a–d — sensitivity scores of the 5 chains per fault type |
+//! | `fig4_throughput_crash` | Fig. 4 — throughput over time under `f = t` crashes |
+//! | `fig5_throughput_transient` | Fig. 5 — throughput over time under transient failures |
+//! | `fig6_throughput_partition` | Fig. 6 — throughput over time under a partition |
+//! | `fig7_radar` | Fig. 7 — the radar synthesis of all sensitivities |
+//!
+//! Every binary accepts:
+//!
+//! * `--quick <secs>` — scale the 400 s campaign down (useful: 100–150);
+//! * `--seed <u64>` — change the master seed;
+//! * `--out <dir>` — where JSON/CSV artefacts go (default `results/`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use stabl::report::{RadarRow, ScenarioReport, SensitivityRecord};
+use stabl::{Chain, PaperSetup, RunResult, ScenarioKind};
+
+/// Command-line options shared by all figure binaries.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// The experimental campaign parameters.
+    pub setup: PaperSetup,
+    /// Output directory for artefacts.
+    pub out_dir: PathBuf,
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> BenchOpts {
+        let mut setup = PaperSetup::default();
+        let mut out_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        let mut quick: Option<u64> = None;
+        let mut seed: Option<u64> = None;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    let secs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--quick takes seconds");
+                    quick = Some(secs);
+                }
+                "--seed" => {
+                    seed = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--seed takes a u64"),
+                    );
+                }
+                "--out" => {
+                    out_dir = PathBuf::from(args.next().expect("--out takes a directory"));
+                }
+                other => panic!("unknown argument {other}; known: --quick --seed --out"),
+            }
+        }
+        if let Some(secs) = quick {
+            setup = PaperSetup::quick(secs, seed.unwrap_or(setup.seed));
+        } else if let Some(seed) = seed {
+            setup.seed = seed;
+        }
+        BenchOpts { setup, out_dir }
+    }
+
+    /// Writes a serialisable artefact as pretty JSON under the output
+    /// directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (benchmark binaries fail loudly).
+    pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+        fs::create_dir_all(&self.out_dir).expect("create output directory");
+        let path = self.out_dir.join(name);
+        let json = serde_json::to_string_pretty(value).expect("serialise artefact");
+        fs::write(&path, json).expect("write artefact");
+        eprintln!("wrote {}", path.display());
+    }
+
+    /// Writes raw text (CSV) under the output directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure.
+    pub fn write_text(&self, name: &str, contents: &str) {
+        fs::create_dir_all(&self.out_dir).expect("create output directory");
+        let path: &Path = &self.out_dir.join(name);
+        fs::write(path, contents).expect("write artefact");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Runs baseline + one altered scenario for every chain and returns the
+/// reports in chain order.
+pub fn run_part(setup: &PaperSetup, kind: ScenarioKind) -> Vec<ScenarioReport> {
+    Chain::ALL
+        .iter()
+        .map(|&chain| {
+            eprintln!("· {} {} …", chain.name(), kind.name());
+            setup.sensitivity(chain, kind)
+        })
+        .collect()
+}
+
+/// Runs the complete campaign: every chain × every altered scenario,
+/// reusing each chain's baseline run.
+pub fn run_campaign(setup: &PaperSetup) -> Vec<ScenarioReport> {
+    let mut reports = Vec::new();
+    for &chain in &Chain::ALL {
+        eprintln!("· {} baseline …", chain.name());
+        let baseline = setup.run(chain, ScenarioKind::Baseline);
+        // The secure-client experiment ran on doubled-vCPU machines, so
+        // it is compared against a doubled-vCPU baseline.
+        let baseline_8vcpu = setup.run_baseline(chain, ScenarioKind::SecureClient);
+        for kind in ScenarioKind::ALTERED {
+            eprintln!("· {} {} …", chain.name(), kind.name());
+            let altered = setup.run(chain, kind);
+            let reference = if kind == ScenarioKind::SecureClient {
+                &baseline_8vcpu
+            } else {
+                &baseline
+            };
+            reports.push(stabl::report_from_runs(chain, kind, reference, &altered));
+        }
+    }
+    reports
+}
+
+/// Folds campaign reports into Fig. 7's radar rows.
+pub fn radar_rows(reports: &[ScenarioReport]) -> Vec<RadarRow> {
+    Chain::ALL
+        .iter()
+        .map(|&chain| {
+            let pick = |kind: ScenarioKind| -> SensitivityRecord {
+                reports
+                    .iter()
+                    .find(|r| r.chain == chain && r.kind == kind)
+                    .map(|r| r.sensitivity.into())
+                    .unwrap_or(SensitivityRecord { score: None, improved: false })
+            };
+            RadarRow {
+                chain: chain.name().to_owned(),
+                crash: pick(ScenarioKind::Crash),
+                transient: pick(ScenarioKind::Transient),
+                partition: pick(ScenarioKind::Partition),
+                secure_client: pick(ScenarioKind::SecureClient),
+            }
+        })
+        .collect()
+}
+
+/// Renders two throughput series as a CSV: `second,baseline,altered`.
+pub fn throughput_csv(baseline: &RunResult, altered: &RunResult) -> String {
+    let b = baseline.throughput();
+    let a = altered.throughput();
+    let mut out = String::from("second,baseline_tps,altered_tps\n");
+    for (i, (bb, aa)) in b.bins().iter().zip(a.bins().iter()).enumerate() {
+        out.push_str(&format!("{i},{bb},{aa}\n"));
+    }
+    out
+}
+
+/// Formats a sensitivity table (one part of Fig. 3) with ASCII bars.
+pub fn sensitivity_table(title: &str, reports: &[ScenarioReport]) -> String {
+    let mut out = format!("{title}\n{}\n", "─".repeat(title.chars().count()));
+    let max = reports
+        .iter()
+        .filter_map(|r| r.sensitivity.score())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for report in reports {
+        let record: SensitivityRecord = report.sensitivity.into();
+        out.push_str(&format!(
+            "{:<10} {}\n",
+            report.chain.name(),
+            stabl::report::ascii_bar(record, max, 40)
+        ));
+    }
+    out
+}

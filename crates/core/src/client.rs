@@ -1,0 +1,161 @@
+//! Client connection strategies.
+//!
+//! Blockchain SDKs typically connect an application to a *single* node
+//! and trust it — which silently reduces the tolerated Byzantine nodes
+//! to zero (§3). Stabl's *secure client* instead submits every
+//! transaction to `t_B + 1` nodes and reports it committed only once all
+//! of them responded, deduplication being left to the chain.
+
+use stabl_sim::NodeId;
+
+/// How clients attach to the blockchain network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum ClientMode {
+    /// Each client trusts one node (the common SDK default).
+    #[default]
+    Single,
+    /// Each client submits to — and awaits commits from — `replication`
+    /// distinct nodes (the paper uses 4 = max `t_B + 1` for n = 10).
+    Secure {
+        /// Nodes per client.
+        replication: usize,
+    },
+    /// credence.js-style client: submit to `replication` nodes but
+    /// accept as soon as `quorum` of them observed the commit. With
+    /// `quorum = t + 1` this tolerates up to `replication − quorum`
+    /// *withholding* Byzantine nodes without stalling — the specialised
+    /// client library the paper's future work asks to evaluate (§9).
+    Credence {
+        /// Nodes per client.
+        replication: usize,
+        /// Matching observations required to accept.
+        quorum: usize,
+    },
+}
+
+impl ClientMode {
+    /// The standard secure client of the paper's §7.
+    pub fn paper_secure() -> ClientMode {
+        ClientMode::Secure { replication: 4 }
+    }
+
+    /// A credence.js-style client for `t` Byzantine nodes with one spare
+    /// replica: connects to `t + 2` nodes and accepts at `t + 1`
+    /// matching observations.
+    pub fn credence(t: usize) -> ClientMode {
+        ClientMode::Credence { replication: t + 2, quorum: t + 1 }
+    }
+
+    /// How many nodes one client uses.
+    pub fn replication(&self) -> usize {
+        match self {
+            ClientMode::Single => 1,
+            ClientMode::Secure { replication } => *replication,
+            ClientMode::Credence { replication, .. } => *replication,
+        }
+    }
+
+    /// How many of those nodes must observe a commit before the client
+    /// accepts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a credence mode whose quorum is zero or exceeds its
+    /// replication.
+    pub fn required_quorum(&self) -> usize {
+        match self {
+            ClientMode::Single => 1,
+            ClientMode::Secure { replication } => *replication,
+            ClientMode::Credence { replication, quorum } => {
+                assert!(
+                    *quorum >= 1 && quorum <= replication,
+                    "credence quorum {quorum} out of range for replication {replication}"
+                );
+                *quorum
+            }
+        }
+    }
+
+    /// The nodes client `client` submits to, out of the `front_nodes`
+    /// client-facing validators (ids `0..front_nodes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `front_nodes` is zero or smaller than the replication
+    /// factor.
+    pub fn nodes_for(&self, client: usize, front_nodes: usize) -> Vec<NodeId> {
+        assert!(front_nodes > 0, "need at least one client-facing node");
+        let replication = self.replication();
+        assert!(
+            replication <= front_nodes,
+            "replication {replication} exceeds the {front_nodes} client-facing nodes"
+        );
+        (0..replication)
+            .map(|j| NodeId::new(((client + j) % front_nodes) as u32))
+            .collect()
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pins_one_node() {
+        let mode = ClientMode::Single;
+        assert_eq!(mode.nodes_for(0, 5), vec![NodeId::new(0)]);
+        assert_eq!(mode.nodes_for(3, 5), vec![NodeId::new(3)]);
+        assert_eq!(mode.nodes_for(7, 5), vec![NodeId::new(2)], "wraps");
+        assert_eq!(mode.replication(), 1);
+    }
+
+    #[test]
+    fn secure_spreads_over_replicas() {
+        let mode = ClientMode::paper_secure();
+        assert_eq!(
+            mode.nodes_for(0, 5),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+        assert_eq!(
+            mode.nodes_for(4, 5),
+            vec![NodeId::new(4), NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn secure_balances_load() {
+        // With 5 clients over 5 front nodes at replication 4, every node
+        // serves exactly 4 clients.
+        let mode = ClientMode::paper_secure();
+        let mut load = [0u32; 5];
+        for client in 0..5 {
+            for node in mode.nodes_for(client, 5) {
+                load[node.index()] += 1;
+            }
+        }
+        assert_eq!(load, [4, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn oversized_replication_rejected() {
+        let _ = ClientMode::Secure { replication: 6 }.nodes_for(0, 5);
+    }
+
+    #[test]
+    fn credence_quorums() {
+        let mode = ClientMode::credence(3);
+        assert_eq!(mode.replication(), 5);
+        assert_eq!(mode.required_quorum(), 4);
+        assert_eq!(ClientMode::Single.required_quorum(), 1);
+        assert_eq!(ClientMode::paper_secure().required_quorum(), 4, "wait-all");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn credence_quorum_validated() {
+        let _ = ClientMode::Credence { replication: 3, quorum: 4 }.required_quorum();
+    }
+}

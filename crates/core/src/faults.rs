@@ -1,0 +1,230 @@
+//! Fault plans: what Stabl's observer processes inject and when.
+//!
+//! Terminology follows the paper's Table 1:
+//!
+//! * **Crash** — a node is halted and never restarted during the
+//!   experiment (the observer kills the blockchain process).
+//! * **Transient failure** — a node is halted and later restarted with
+//!   the same identity.
+//! * **Partition** — a communication failure between subsets of nodes
+//!   (the observer installs netfilter drop rules, later removed).
+//!
+//! `f` denotes the number of failures injected; `t_B` the maximum number
+//! of failures blockchain `B` claims to tolerate; `n` the network size.
+
+use stabl_sim::{NodeId, PartitionRule, Protocol, SimDuration, SimTime, Simulation};
+
+/// A declarative failure-injection plan for one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum FaultPlan {
+    /// The baseline: no failures.
+    #[default]
+    None,
+    /// Crash `nodes` permanently at `at`.
+    Crash {
+        /// The victims.
+        nodes: Vec<NodeId>,
+        /// Injection time.
+        at: SimTime,
+    },
+    /// Halt `nodes` at `at` and restart them at `recover_at`.
+    Transient {
+        /// The victims.
+        nodes: Vec<NodeId>,
+        /// Injection time.
+        at: SimTime,
+        /// Restart time.
+        recover_at: SimTime,
+    },
+    /// Disconnect `nodes` from the rest of the network between `at` and
+    /// `heal_at`.
+    Partition {
+        /// The isolated group.
+        nodes: Vec<NodeId>,
+        /// Partition start.
+        at: SimTime,
+        /// Partition end.
+        heal_at: SimTime,
+    },
+    /// Slow `nodes` down between `at` and `until`: every message they
+    /// send gains `extra` delay. A slow-but-correct node — the paper's
+    /// §4 discussion of how a single slow node affects leader-based
+    /// chains but not leaderless DBFT.
+    Slowdown {
+        /// The slowed nodes.
+        nodes: Vec<NodeId>,
+        /// Extra outbound delay while slowed.
+        extra: SimDuration,
+        /// Slowdown start.
+        at: SimTime,
+        /// Slowdown end.
+        until: SimTime,
+    },
+}
+
+impl FaultPlan {
+    /// The nodes this plan touches.
+    pub fn victims(&self) -> &[NodeId] {
+        match self {
+            FaultPlan::None => &[],
+            FaultPlan::Crash { nodes, .. }
+            | FaultPlan::Transient { nodes, .. }
+            | FaultPlan::Partition { nodes, .. }
+            | FaultPlan::Slowdown { nodes, .. } => nodes,
+        }
+    }
+
+    /// Schedules the plan's events on a simulation (the role of Stabl's
+    /// observer processes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transient/partition plan recovers before it starts,
+    /// or if a victim id is outside the network.
+    pub fn schedule<P: Protocol>(&self, sim: &mut Simulation<P>) {
+        let n = sim.n();
+        for node in self.victims() {
+            assert!(node.index() < n, "victim {node} outside the {n}-node network");
+        }
+        match self {
+            FaultPlan::None => {}
+            FaultPlan::Crash { nodes, at } => {
+                for node in nodes {
+                    sim.schedule_crash(*at, *node);
+                }
+            }
+            FaultPlan::Transient { nodes, at, recover_at } => {
+                assert!(at <= recover_at, "recovery precedes the failure");
+                for node in nodes {
+                    sim.schedule_crash(*at, *node);
+                    sim.schedule_restart(*recover_at, *node);
+                }
+            }
+            FaultPlan::Partition { nodes, at, heal_at } => {
+                assert!(at <= heal_at, "heal precedes the partition");
+                let rule = PartitionRule::isolate(nodes.iter().copied(), n);
+                sim.schedule_partition(*at, *heal_at, rule);
+            }
+            FaultPlan::Slowdown { nodes, extra, at, until } => {
+                assert!(at <= until, "slowdown ends before it starts");
+                for node in nodes {
+                    sim.schedule_slowdown(*at, *until, *node, *extra);
+                }
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabl_sim::{Ctx, NodeStatus};
+
+    /// Minimal protocol for exercising fault scheduling.
+    struct Idle;
+    impl Protocol for Idle {
+        type Msg = ();
+        type Request = ();
+        type Commit = ();
+        type Timer = ();
+        type Config = ();
+        fn new(_: NodeId, _: usize, _: &(), _: &mut Ctx<'_, Self>) -> Self {
+            Idle
+        }
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, Self>) {}
+        fn on_timer(&mut self, _: (), _: &mut Ctx<'_, Self>) {}
+        fn on_request(&mut self, _: (), _: &mut Ctx<'_, Self>) {}
+        fn on_restart(&mut self, _: &mut Ctx<'_, Self>) {}
+    }
+
+    fn nodes(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn crash_plan_halts_permanently() {
+        let mut sim = Simulation::<Idle>::new(4, 1, ());
+        FaultPlan::Crash { nodes: nodes(&[2, 3]), at: SimTime::from_secs(1) }.schedule(&mut sim);
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.status(NodeId::new(2)), NodeStatus::Crashed);
+        assert_eq!(sim.status(NodeId::new(3)), NodeStatus::Crashed);
+        assert_eq!(sim.status(NodeId::new(0)), NodeStatus::Running);
+    }
+
+    #[test]
+    fn transient_plan_restarts() {
+        let mut sim = Simulation::<Idle>::new(3, 1, ());
+        FaultPlan::Transient {
+            nodes: nodes(&[1]),
+            at: SimTime::from_secs(1),
+            recover_at: SimTime::from_secs(2),
+        }
+        .schedule(&mut sim);
+        sim.run_until(SimTime::from_millis(1500));
+        assert_eq!(sim.status(NodeId::new(1)), NodeStatus::Crashed);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.status(NodeId::new(1)), NodeStatus::Running);
+    }
+
+    #[test]
+    fn partition_plan_installs_and_heals() {
+        let mut sim = Simulation::<Idle>::new(4, 1, ());
+        FaultPlan::Partition {
+            nodes: nodes(&[0]),
+            at: SimTime::from_secs(1),
+            heal_at: SimTime::from_secs(2),
+        }
+        .schedule(&mut sim);
+        sim.run_until(SimTime::from_millis(1500));
+        assert_eq!(sim.network().active_rules(), 1);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.network().active_rules(), 0);
+    }
+
+    #[test]
+    fn slowdown_plan_installs_and_expires() {
+        let mut sim = Simulation::<Idle>::new(3, 1, ());
+        FaultPlan::Slowdown {
+            nodes: nodes(&[1]),
+            extra: SimDuration::from_millis(200),
+            at: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+        }
+        .schedule(&mut sim);
+        sim.run_until(SimTime::from_millis(1500));
+        assert_eq!(
+            sim.network().slowdown(NodeId::new(1)),
+            SimDuration::from_millis(200)
+        );
+        sim.run_until(SimTime::from_secs(3));
+        assert!(sim.network().slowdown(NodeId::new(1)).is_zero());
+    }
+
+    #[test]
+    fn victims_accessor() {
+        assert!(FaultPlan::None.victims().is_empty());
+        let plan = FaultPlan::Crash { nodes: nodes(&[1]), at: SimTime::ZERO };
+        assert_eq!(plan.victims(), &[NodeId::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery precedes")]
+    fn inverted_transient_rejected() {
+        let mut sim = Simulation::<Idle>::new(2, 1, ());
+        FaultPlan::Transient {
+            nodes: nodes(&[1]),
+            at: SimTime::from_secs(2),
+            recover_at: SimTime::from_secs(1),
+        }
+        .schedule(&mut sim);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_victim_rejected() {
+        let mut sim = Simulation::<Idle>::new(2, 1, ());
+        FaultPlan::Crash { nodes: nodes(&[5]), at: SimTime::ZERO }.schedule(&mut sim);
+    }
+}

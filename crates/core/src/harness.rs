@@ -1,0 +1,326 @@
+//! The experiment harness: deploys a simulated network, drives the
+//! workload through clients, injects the fault plan and collects the
+//! client-observed latency distribution.
+
+use std::collections::HashMap;
+
+use stabl_sim::{
+    DetRng, LatencyModel, LatencyTopology, NodeId, PanicRecord, Protocol, SimBuilder,
+    SimDuration, SimStats, SimTime,
+};
+use stabl_types::{Transaction, TxId};
+
+use crate::metrics::{Ecdf, EcdfError, ThroughputSeries};
+use crate::{ClientMode, FaultPlan, WorkloadSpec};
+
+/// Full description of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of validator nodes (the paper: 10).
+    pub n: usize,
+    /// Master seed; same seed ⇒ bit-identical run.
+    pub seed: u64,
+    /// Link latency model (the uniform fallback).
+    pub latency: LatencyModel,
+    /// Optional region-based latency topology; when set, per-pair models
+    /// replace the uniform latency (geo-distributed deployments).
+    pub topology: Option<LatencyTopology>,
+    /// Simulated run length (the paper: 400 s).
+    pub horizon: SimTime,
+    /// The client workload.
+    pub workload: WorkloadSpec,
+    /// Client connection strategy.
+    pub client_mode: ClientMode,
+    /// Failures to inject.
+    pub faults: FaultPlan,
+    /// Byzantine RPC nodes: they process the chain correctly but
+    /// *withhold* commit confirmations from their clients (the attack
+    /// the secure client defends against, §3/§7).
+    pub byzantine_rpc: Vec<NodeId>,
+    /// Liveness rule: the run lost liveness if transactions are left
+    /// unresolved and nothing committed in this final window.
+    pub stall_grace: SimDuration,
+}
+
+impl RunConfig {
+    /// A small sane default for examples and tests: 10 nodes, 30 s, the
+    /// standard 200 TPS workload, no faults.
+    pub fn quick(seed: u64) -> RunConfig {
+        let horizon = SimTime::from_secs(30);
+        RunConfig {
+            n: 10,
+            seed,
+            latency: LatencyModel::lan(),
+            topology: None,
+            horizon,
+            workload: WorkloadSpec::paper_standard(SimTime::from_secs(25)),
+            client_mode: ClientMode::Single,
+            faults: FaultPlan::None,
+            byzantine_rpc: Vec::new(),
+            stall_grace: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Client-observed latencies of committed transactions, seconds.
+    pub latencies: Vec<f64>,
+    /// Client-observed commit instants (same order as `latencies`).
+    pub commit_times: Vec<SimTime>,
+    /// Transactions submitted.
+    pub submitted: usize,
+    /// Transactions never (fully) committed by the end of the run.
+    pub unresolved: usize,
+    /// `true` if the chain stopped committing (liveness violation ⇒
+    /// infinite sensitivity).
+    pub lost_liveness: bool,
+    /// Fatal node failures during the run.
+    pub panics: Vec<PanicRecord>,
+    /// Kernel traffic counters.
+    pub stats: SimStats,
+    /// The run horizon (for throughput binning).
+    pub horizon: SimTime,
+}
+
+impl RunResult {
+    /// The latency eCDF of the run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if nothing committed.
+    pub fn ecdf(&self) -> Result<Ecdf, EcdfError> {
+        Ecdf::new(self.latencies.iter().copied())
+    }
+
+    /// Commits per second over the run.
+    pub fn throughput(&self) -> ThroughputSeries {
+        ThroughputSeries::from_commit_times(self.commit_times.iter().copied(), self.horizon)
+    }
+
+    /// Fraction of submitted transactions that committed.
+    pub fn commit_ratio(&self) -> f64 {
+        if self.submitted == 0 {
+            return 1.0;
+        }
+        (self.submitted - self.unresolved) as f64 / self.submitted as f64
+    }
+}
+
+/// Runs one experiment over protocol `P`.
+///
+/// Clients submit per [`ClientMode`]; a transaction counts as committed
+/// when **every** node its client is connected to reported the commit
+/// (for the single mode, exactly the node that received it). The
+/// returned latencies are the client-observed commit delays.
+///
+/// # Panics
+///
+/// Panics if the workload references more client-facing nodes than the
+/// network has.
+pub fn run_protocol<P>(config: &RunConfig, protocol_config: P::Config) -> RunResult
+where
+    P: Protocol<Request = Transaction, Commit = TxId>,
+{
+    let front_nodes = config.workload.clients.min(config.n);
+    let mut builder = SimBuilder::new(config.n, config.seed);
+    builder.latency(config.latency);
+    if let Some(topology) = config.topology.clone() {
+        builder.topology(topology);
+    }
+    let mut sim = builder.build::<P>(protocol_config);
+    config.faults.schedule(&mut sim);
+
+    // Clients reach their nodes over the same network fabric: each
+    // submission pays an independent client-link delay.
+    let mut client_rng = DetRng::new(config.seed ^ 0xC11E_17DE_1A75_0000);
+    let submissions = config.workload.generate();
+    for submission in &submissions {
+        for node in config.client_mode.nodes_for(submission.client, front_nodes) {
+            let delay = config.latency.sample(&mut client_rng);
+            sim.schedule_request(submission.at + delay, node, submission.transaction);
+        }
+    }
+    sim.run_until(config.horizon);
+
+    // First commit instant per (node, transaction).
+    let mut first_commit: HashMap<(u32, TxId), SimTime> = HashMap::new();
+    let mut last_commit = SimTime::ZERO;
+    for record in sim.commits() {
+        first_commit
+            .entry((record.node.as_u32(), record.commit))
+            .or_insert(record.time);
+        last_commit = last_commit.max(record.time);
+    }
+
+    let mut latencies = Vec::with_capacity(submissions.len());
+    let mut commit_times = Vec::with_capacity(submissions.len());
+    let mut unresolved = 0usize;
+    let quorum = config.client_mode.required_quorum();
+    for submission in &submissions {
+        let nodes = config.client_mode.nodes_for(submission.client, front_nodes);
+        let id = submission.transaction.id();
+        // Observations the client can actually collect: Byzantine RPC
+        // nodes withhold theirs.
+        let mut observed: Vec<SimTime> = nodes
+            .iter()
+            .filter(|node| !config.byzantine_rpc.contains(node))
+            .filter_map(|node| first_commit.get(&(node.as_u32(), id)).copied())
+            .collect();
+        observed.sort_unstable();
+        if observed.len() >= quorum {
+            let resolved_at = observed[quorum - 1];
+            latencies.push((resolved_at - submission.at).as_secs_f64());
+            commit_times.push(resolved_at);
+        } else {
+            unresolved += 1;
+        }
+    }
+
+    let lost_liveness = unresolved > 0
+        && last_commit + config.stall_grace < config.horizon;
+
+    RunResult {
+        latencies,
+        commit_times,
+        submitted: submissions.len(),
+        unresolved,
+        lost_liveness,
+        panics: sim.panics().to_vec(),
+        stats: sim.stats(),
+        horizon: config.horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabl_sim::{Ctx, NodeId};
+
+    /// A toy chain that commits every request everywhere after one
+    /// broadcast hop — enough to validate the harness bookkeeping.
+    struct Instant;
+
+    impl Protocol for Instant {
+        type Msg = Transaction;
+        type Request = Transaction;
+        type Commit = TxId;
+        type Timer = ();
+        type Config = ();
+
+        fn new(_: NodeId, _: usize, _: &(), _: &mut Ctx<'_, Self>) -> Self {
+            Instant
+        }
+        fn on_message(&mut self, _: NodeId, tx: Transaction, ctx: &mut Ctx<'_, Self>) {
+            ctx.commit(tx.id());
+        }
+        fn on_timer(&mut self, _: (), _: &mut Ctx<'_, Self>) {}
+        fn on_request(&mut self, tx: Transaction, ctx: &mut Ctx<'_, Self>) {
+            ctx.broadcast(tx);
+            ctx.commit(tx.id());
+        }
+        fn on_restart(&mut self, _: &mut Ctx<'_, Self>) {}
+    }
+
+    #[test]
+    fn single_mode_resolves_at_receiving_node() {
+        let config = RunConfig::quick(1);
+        let result = run_protocol::<Instant>(&config, ());
+        assert_eq!(result.unresolved, 0);
+        assert!(!result.lost_liveness);
+        assert_eq!(result.latencies.len(), result.submitted);
+        // Commits happen one client-link delay after submission.
+        assert!(result.latencies.iter().all(|l| *l <= 0.010));
+        assert!(result.latencies.iter().all(|l| *l >= 0.005), "client link delay applies");
+        assert_eq!(result.commit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn secure_mode_waits_for_all_replicas() {
+        let mut config = RunConfig::quick(2);
+        config.client_mode = ClientMode::paper_secure();
+        let result = run_protocol::<Instant>(&config, ());
+        assert_eq!(result.unresolved, 0);
+        // The slowest of 4 independent client links dominates: the mean
+        // latency exceeds the single-mode mean (max of 4 uniform draws).
+        let single = run_protocol::<Instant>(&RunConfig::quick(2), ());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&result.latencies) > mean(&single.latencies) + 0.0005,
+            "secure mean {} vs single mean {}",
+            mean(&result.latencies),
+            mean(&single.latencies)
+        );
+    }
+
+    #[test]
+    fn byzantine_rpc_starves_single_and_wait_all_clients() {
+        // A withholding node breaks the client pinned to it…
+        let mut config = RunConfig::quick(6);
+        config.byzantine_rpc = vec![NodeId::new(0)];
+        let single = run_protocol::<Instant>(&config, ());
+        assert!(single.unresolved > 0, "client 0 never hears back");
+        // …and the paper's wait-for-all secure client makes it worse:
+        // every client whose replica set contains the liar stalls.
+        config.client_mode = ClientMode::paper_secure();
+        let wait_all = run_protocol::<Instant>(&config, ());
+        assert!(
+            wait_all.unresolved > single.unresolved,
+            "wait-all: {} vs single: {}",
+            wait_all.unresolved,
+            single.unresolved
+        );
+        // The credence client accepts at t+1 matching observations and
+        // rides through the withholder.
+        config.client_mode = ClientMode::credence(3);
+        let credence = run_protocol::<Instant>(&config, ());
+        assert_eq!(credence.unresolved, 0, "quorum reads tolerate the liar");
+    }
+
+    #[test]
+    fn credence_resolves_at_the_quorum_th_observation() {
+        let mut config = RunConfig::quick(7);
+        config.client_mode = ClientMode::Credence { replication: 4, quorum: 2 };
+        let quorum2 = run_protocol::<Instant>(&config, ());
+        config.client_mode = ClientMode::Secure { replication: 4 };
+        let wait_all = run_protocol::<Instant>(&config, ());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&quorum2.latencies) < mean(&wait_all.latencies),
+            "accepting at the 2nd observation beats waiting for the 4th"
+        );
+    }
+
+    #[test]
+    fn crashing_every_node_is_a_liveness_violation() {
+        let mut config = RunConfig::quick(3);
+        config.faults = FaultPlan::Crash {
+            nodes: NodeId::all(10).collect(),
+            at: SimTime::from_secs(10),
+        };
+        let result = run_protocol::<Instant>(&config, ());
+        assert!(result.unresolved > 0);
+        assert!(result.lost_liveness);
+        assert!(result.commit_ratio() < 1.0);
+    }
+
+    #[test]
+    fn throughput_series_counts_commits() {
+        let config = RunConfig::quick(4);
+        let result = run_protocol::<Instant>(&config, ());
+        let series = result.throughput();
+        let total: u64 = series.bins().iter().map(|b| *b as u64).sum();
+        assert_eq!(total as usize, result.latencies.len());
+        assert!((series.mean_over(2, 20) - 200.0).abs() < 10.0, "≈200 TPS offered");
+    }
+
+    #[test]
+    fn deterministic() {
+        let config = RunConfig::quick(5);
+        let a = run_protocol::<Instant>(&config, ());
+        let b = run_protocol::<Instant>(&config, ());
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,47 @@
+//! # stabl — sensitivity testing and analysis for blockchains
+//!
+//! A Rust reproduction of **"STABL: The Sensitivity of Blockchains to
+//! Failures"** (Gramoli, Guerraoui, Lebedev, Voron — Middleware 2025).
+//!
+//! Stabl measures the *sensitivity* of a blockchain to an adversarial
+//! environment: the absolute difference between the areas under the
+//! empirical CDFs of transaction latencies in a baseline and in an
+//! altered run ([`metrics::Sensitivity`]). Four alterations are studied
+//! on five simulated chains (Algorand, Aptos, Avalanche, Redbelly,
+//! Solana): permanent crashes, transient node failures, network
+//! partitions and a redundant "secure client" coping with Byzantine
+//! nodes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stabl::{Chain, PaperSetup, ScenarioKind};
+//!
+//! // A scaled-down (60 s) version of the paper's crash experiment.
+//! let setup = PaperSetup::quick(60, 42);
+//! let report = setup.sensitivity(Chain::Redbelly, ScenarioKind::Crash);
+//! println!("{report}");
+//! assert!(!report.sensitivity.is_infinite());
+//! ```
+//!
+//! The full campaign (400 s runs, all chains × all scenarios) is driven
+//! by the binaries in `stabl-bench`, one per figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chains;
+mod client;
+mod faults;
+mod harness;
+pub mod metrics;
+pub mod report;
+mod scenario;
+mod workload;
+
+pub use chains::Chain;
+pub use client::ClientMode;
+pub use faults::FaultPlan;
+pub use harness::{run_protocol, RunConfig, RunResult};
+pub use scenario::{report_from_runs, PaperSetup, ScenarioKind};
+pub use workload::{Submission, WorkloadShape, WorkloadSpec};

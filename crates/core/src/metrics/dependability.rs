@@ -1,0 +1,169 @@
+//! The classic dependability metrics the sensitivity score competes
+//! with, and recovery accounting.
+//!
+//! Prior work (the paper cites BFT-Bench [44]) evaluates fault tolerance
+//! with three metrics: *latency* and *throughput* quantify the amplitude
+//! of an impact and suit permanent failures; *downtime* quantifies its
+//! duration and suits transient ones. §3 argues the sensitivity score
+//! subsumes both amplitude and duration; implementing the classics makes
+//! that comparison runnable (`metrics_comparison` in `stabl-bench`).
+
+use stabl_sim::SimTime;
+
+use crate::metrics::ThroughputSeries;
+
+/// Seconds with throughput below `threshold_tps` inside the window
+/// `[from_sec, to_sec)` — the classic *downtime* metric.
+///
+/// # Panics
+///
+/// Panics if the window is empty or out of range.
+pub fn downtime_seconds(
+    series: &ThroughputSeries,
+    threshold_tps: u32,
+    from_sec: usize,
+    to_sec: usize,
+) -> usize {
+    assert!(from_sec < to_sec && to_sec <= series.bins().len(), "bad window");
+    series.bins()[from_sec..to_sec]
+        .iter()
+        .filter(|tps| **tps < threshold_tps)
+        .count()
+}
+
+/// Relative mean-throughput drop of the altered run versus the baseline
+/// over `[from_sec, to_sec)`: `1 − altered/baseline`, clamped at zero —
+/// the classic *throughput* metric (positive = the alteration hurt).
+///
+/// # Panics
+///
+/// Panics if the window is empty or out of range for either series.
+pub fn throughput_drop(
+    baseline: &ThroughputSeries,
+    altered: &ThroughputSeries,
+    from_sec: usize,
+    to_sec: usize,
+) -> f64 {
+    let base = baseline.mean_over(from_sec, to_sec);
+    let alt = altered.mean_over(from_sec, to_sec);
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - alt / base).max(0.0)
+}
+
+/// Recovery accounting of one altered run around a fault window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Seconds of (near-)zero throughput during the fault window.
+    pub outage_seconds: usize,
+    /// Seconds between the recovery mark and the first second back at
+    /// (or above) the offered rate; `None` if throughput never returned.
+    pub recovery_seconds: Option<usize>,
+    /// The highest one-second throughput after the recovery mark (the
+    /// catch-up burst).
+    pub catchup_peak_tps: u32,
+}
+
+impl RecoveryReport {
+    /// Measures a run whose faults were injected at `fault_at` and
+    /// recovered at `recover_at`, against an offered rate of
+    /// `offered_tps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fault_at < recover_at < horizon` of the series.
+    pub fn measure(
+        series: &ThroughputSeries,
+        fault_at: SimTime,
+        recover_at: SimTime,
+        offered_tps: u32,
+    ) -> RecoveryReport {
+        let fault_s = (fault_at.as_micros() / 1_000_000) as usize;
+        let recover_s = (recover_at.as_micros() / 1_000_000) as usize;
+        let end = series.bins().len();
+        assert!(fault_s < recover_s && recover_s < end, "marks outside the series");
+        // "Near zero": below 5% of the offered rate.
+        let floor = (offered_tps / 20).max(1);
+        let outage_seconds = series
+            .bins()[fault_s..recover_s]
+            .iter()
+            .filter(|tps| **tps < floor)
+            .count();
+        let recovery_seconds = series
+            .first_at_least(recover_s, offered_tps)
+            .map(|s| s - recover_s);
+        RecoveryReport {
+            outage_seconds,
+            recovery_seconds,
+            catchup_peak_tps: series.peak_over(recover_s, end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(bins: &[u32]) -> ThroughputSeries {
+        // Build via commit times: bin i gets bins[i] commits.
+        let mut times = Vec::new();
+        for (i, count) in bins.iter().enumerate() {
+            for _ in 0..*count {
+                times.push(SimTime::from_millis(i as u64 * 1000 + 500));
+            }
+        }
+        ThroughputSeries::from_commit_times(times, SimTime::from_secs(bins.len() as u64))
+    }
+
+    #[test]
+    fn downtime_counts_quiet_seconds() {
+        let s = series(&[200, 200, 0, 0, 5, 200]);
+        assert_eq!(downtime_seconds(&s, 10, 0, 6), 3);
+        assert_eq!(downtime_seconds(&s, 10, 0, 2), 0);
+    }
+
+    #[test]
+    fn throughput_drop_is_relative_and_clamped() {
+        let base = series(&[200, 200, 200, 200]);
+        let half = series(&[100, 100, 100, 100]);
+        assert!((throughput_drop(&base, &half, 0, 4) - 0.5).abs() < 1e-9);
+        // An improvement clamps to zero rather than going negative.
+        assert_eq!(throughput_drop(&half, &base, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn recovery_report_reads_the_timeline() {
+        // Fault at 2 s, recovery at 5 s, catch-up burst then steady.
+        let s = series(&[200, 200, 0, 0, 0, 0, 900, 200, 200, 200]);
+        let report = RecoveryReport::measure(
+            &s,
+            SimTime::from_secs(2),
+            SimTime::from_secs(5),
+            200,
+        );
+        assert_eq!(report.outage_seconds, 3);
+        assert_eq!(report.recovery_seconds, Some(1), "back at 200 TPS at second 6");
+        assert_eq!(report.catchup_peak_tps, 900);
+    }
+
+    #[test]
+    fn recovery_never_happening_is_none() {
+        let s = series(&[200, 200, 0, 0, 0, 0, 0, 0]);
+        let report = RecoveryReport::measure(
+            &s,
+            SimTime::from_secs(2),
+            SimTime::from_secs(5),
+            200,
+        );
+        assert_eq!(report.recovery_seconds, None);
+        assert_eq!(report.catchup_peak_tps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "marks outside")]
+    fn bad_marks_rejected() {
+        let s = series(&[200, 200]);
+        let _ = RecoveryReport::measure(&s, SimTime::from_secs(1), SimTime::from_secs(5), 200);
+    }
+}

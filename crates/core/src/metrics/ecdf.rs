@@ -1,0 +1,397 @@
+//! Empirical CDFs, super-cumulatives and the sensitivity score.
+//!
+//! The paper (§3) defines the *sensitivity* of a blockchain to a failure
+//! type as the difference between the areas under the empirical CDFs of
+//! transaction latencies measured in a baseline and in an altered
+//! environment — the pink region of its Fig. 1. Over the curves' common
+//! domain this area equals the difference of the mean latencies, which
+//! is what makes the score outlier-resilient and parameter-free (the
+//! properties §3 claims); [`Sensitivity::from_ecdfs`] implements this
+//! reading, and the literal super-cumulative `Ŝ(x) = Σ_{i≤x} F̂(i)` is
+//! available as [`Ecdf::supercumulative`] (see DESIGN.md §3a for why the
+//! two readings differ). A blockchain that stops committing transactions
+//! after the failure event has an **infinite** sensitivity (a liveness
+//! violation).
+
+use std::fmt;
+
+/// An empirical cumulative distribution function over latency samples
+/// (seconds).
+///
+/// # Examples
+///
+/// ```
+/// use stabl::metrics::Ecdf;
+///
+/// let ecdf = Ecdf::new(vec![1.0, 2.0, 3.0]).expect("valid samples");
+/// assert_eq!(ecdf.value_at(2.0), 2.0 / 3.0);
+/// assert_eq!(ecdf.max(), 3.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+/// Error constructing an [`Ecdf`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EcdfError {
+    /// No samples were provided.
+    Empty,
+    /// A sample was NaN, infinite or negative.
+    InvalidSample,
+}
+
+impl fmt::Display for EcdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcdfError::Empty => write!(f, "no latency samples"),
+            EcdfError::InvalidSample => write!(f, "latency sample was NaN, infinite or negative"),
+        }
+    }
+}
+
+impl std::error::Error for EcdfError {}
+
+impl Ecdf {
+    /// Builds an eCDF from latency samples in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty, NaN, infinite or negative input.
+    pub fn new<I>(samples: I) -> Result<Ecdf, EcdfError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        if sorted.is_empty() {
+            return Err(EcdfError::Empty);
+        }
+        if sorted.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err(EcdfError::InvalidSample);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the eCDF holds no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)`: the fraction of samples ≤ `x`.
+    pub fn value_at(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|s| *s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// The largest sample (the paper's `b`).
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// The exact area under the eCDF from 0 to its maximum:
+    /// `∫₀ᵇ F̂(t) dt = b − mean`. This is the continuous limit of the
+    /// paper's super-cumulative `Ŝ(b)`.
+    pub fn area(&self) -> f64 {
+        self.max() - self.mean()
+    }
+
+    /// The discretised super-cumulative of the paper,
+    /// `Ŝ(b) = Σ_{i·step ≤ b} F̂(i·step) · step`, with grid `step`
+    /// seconds. Converges to [`Ecdf::area`] as `step → 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn supercumulative(&self, step: f64) -> f64 {
+        assert!(step > 0.0, "grid step must be positive");
+        let b = self.max();
+        let mut sum = 0.0;
+        let mut i = 0u64;
+        loop {
+            let x = i as f64 * step;
+            if x > b {
+                break;
+            }
+            sum += self.value_at(x) * step;
+            i += 1;
+        }
+        sum
+    }
+
+    /// Iterates over `(x, F̂(x))` steps (for plotting).
+    pub fn steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let m = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, x)| (*x, (i + 1) as f64 / m))
+    }
+}
+
+/// A sensitivity score: finite, or infinite when the altered environment
+/// lost liveness (stopped committing transactions).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Sensitivity {
+    /// The absolute area between the eCDFs, with `improved = true` when
+    /// the altered environment *outperformed* the baseline (the paper's
+    /// striped bars).
+    Finite {
+        /// `|μ₂ − μ₁|`: the area between the curves over their common
+        /// domain.
+        score: f64,
+        /// `μ₂ < μ₁`: the alteration improved responsiveness.
+        improved: bool,
+    },
+    /// The altered environment stopped committing: liveness violation.
+    Infinite,
+}
+
+impl Sensitivity {
+    /// Computes the score from baseline and altered latency eCDFs: the
+    /// area between the two curves over their common domain
+    /// `[0, max(b₁, b₂)]` (each curve held at 1 beyond its own maximum) —
+    /// the pink region of the paper's Fig. 1. Algebraically this equals
+    /// the difference of the mean latencies, which is what makes the
+    /// score robust to isolated outliers and parameter-free.
+    pub fn from_ecdfs(baseline: &Ecdf, altered: &Ecdf) -> Sensitivity {
+        let score = altered.mean() - baseline.mean();
+        Sensitivity::Finite { score: score.abs(), improved: score < 0.0 }
+    }
+
+    /// The finite score, if any.
+    pub fn score(&self) -> Option<f64> {
+        match self {
+            Sensitivity::Finite { score, .. } => Some(*score),
+            Sensitivity::Infinite => None,
+        }
+    }
+
+    /// `true` for the infinite (liveness-violation) case.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Sensitivity::Infinite)
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sensitivity::Finite { score, improved: false } => write!(f, "{score:.3}"),
+            Sensitivity::Finite { score, improved: true } => write!(f, "{score:.3} (improved)"),
+            Sensitivity::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn samples() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.0f64..500.0, 1..200)
+    }
+
+    proptest! {
+        /// F̂ is a monotone step function from 0 to 1.
+        #[test]
+        fn ecdf_is_monotone_and_normalised(data in samples()) {
+            let e = Ecdf::new(data).expect("valid");
+            let mut previous = 0.0;
+            for x in [0.0, 0.1, 1.0, 10.0, 100.0, 250.0, 500.0, 1000.0] {
+                let v = e.value_at(x);
+                prop_assert!((0.0..=1.0).contains(&v));
+                prop_assert!(v >= previous, "F must not decrease");
+                previous = v;
+            }
+            prop_assert_eq!(e.value_at(e.max()), 1.0);
+        }
+
+        /// The grid super-cumulative converges to the exact area.
+        #[test]
+        fn supercumulative_converges(data in samples()) {
+            let e = Ecdf::new(data).expect("valid");
+            let fine = e.supercumulative(0.01);
+            prop_assert!((fine - e.area()).abs() < 0.2, "fine {} vs {}", fine, e.area());
+        }
+
+        /// The score is symmetric in magnitude, zero on identical
+        /// inputs, and shifts linearly with a latency offset.
+        #[test]
+        fn sensitivity_properties(data in samples(), shift in 0.0f64..50.0) {
+            let base = Ecdf::new(data.clone()).expect("valid");
+            let shifted =
+                Ecdf::new(data.iter().map(|x| x + shift)).expect("valid");
+            let ab = Sensitivity::from_ecdfs(&base, &shifted);
+            let ba = Sensitivity::from_ecdfs(&shifted, &base);
+            let score = ab.score().expect("finite");
+            prop_assert!((score - shift).abs() < 1e-6, "score {} vs shift {}", score, shift);
+            prop_assert_eq!(ba.score(), ab.score());
+            if shift > 0.0 {
+                let ab_degraded = matches!(ab, Sensitivity::Finite { improved: false, .. });
+                let ba_improved = matches!(ba, Sensitivity::Finite { improved: true, .. });
+                prop_assert!(ab_degraded, "shifting up must degrade");
+                prop_assert!(ba_improved, "shifting down must improve");
+            }
+            let same = Sensitivity::from_ecdfs(&base, &base.clone());
+            prop_assert_eq!(same.score(), Some(0.0));
+        }
+
+        /// Quantiles are ordered and within the sample range.
+        #[test]
+        fn quantiles_ordered(data in samples()) {
+            let e = Ecdf::new(data).expect("valid");
+            let q: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0]
+                .iter()
+                .map(|q| e.quantile(*q))
+                .collect();
+            prop_assert!(q.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(q[0] >= e.min() && q[5] <= e.max());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf(samples: &[f64]) -> Ecdf {
+        Ecdf::new(samples.iter().copied()).expect("valid")
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Ecdf::new(Vec::new()), Err(EcdfError::Empty));
+        assert_eq!(Ecdf::new(vec![1.0, f64::NAN]), Err(EcdfError::InvalidSample));
+        assert_eq!(Ecdf::new(vec![-1.0]), Err(EcdfError::InvalidSample));
+        assert_eq!(Ecdf::new(vec![f64::INFINITY]), Err(EcdfError::InvalidSample));
+    }
+
+    #[test]
+    fn value_at_is_step_function() {
+        let e = ecdf(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.value_at(0.5), 0.0);
+        assert_eq!(e.value_at(1.0), 0.25);
+        assert_eq!(e.value_at(2.0), 0.75);
+        assert_eq!(e.value_at(3.9), 0.75);
+        assert_eq!(e.value_at(4.0), 1.0);
+        assert_eq!(e.value_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn area_is_max_minus_mean() {
+        let e = ecdf(&[1.0, 2.0, 3.0]);
+        assert!((e.area() - (3.0 - 2.0)).abs() < 1e-12);
+        // A degenerate distribution has zero area.
+        assert_eq!(ecdf(&[5.0, 5.0]).area(), 0.0);
+    }
+
+    #[test]
+    fn supercumulative_converges_to_area() {
+        let e = ecdf(&[0.3, 1.7, 2.2, 4.9, 0.8]);
+        let exact = e.area();
+        let coarse = e.supercumulative(0.5);
+        let fine = e.supercumulative(0.001);
+        assert!((fine - exact).abs() < 0.01, "fine {fine} vs exact {exact}");
+        assert!((coarse - exact).abs() < 0.5);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = ecdf(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn sensitivity_direction() {
+        let base = ecdf(&[1.0, 1.0, 1.0, 5.0]); // mean 2
+        let worse = ecdf(&[3.0, 3.0, 3.0, 9.0]); // mean 4.5
+        let s = Sensitivity::from_ecdfs(&base, &worse);
+        assert_eq!(s, Sensitivity::Finite { score: 2.5, improved: false });
+        let better = ecdf(&[0.5, 0.5, 0.5, 2.5]); // mean 1.0
+        let s = Sensitivity::from_ecdfs(&base, &better);
+        assert_eq!(s, Sensitivity::Finite { score: 1.0, improved: true });
+    }
+
+    #[test]
+    fn sensitivity_is_outlier_resilient() {
+        // One huge outlier among many samples barely moves the score
+        // (the paper's robustness property).
+        let base: Vec<f64> = (0..1000).map(|i| 1.0 + (i % 10) as f64 / 100.0).collect();
+        let mut spiky = base.clone();
+        spiky[0] = 200.0;
+        let s = Sensitivity::from_ecdfs(
+            &ecdf(&base),
+            &Ecdf::new(spiky).expect("valid"),
+        );
+        assert!(s.score().expect("finite") < 0.25, "outlier dominated: {s}");
+    }
+
+    #[test]
+    fn sensitivity_is_symmetric_in_magnitude() {
+        let a = ecdf(&[1.0, 2.0, 4.0]);
+        let b = ecdf(&[2.0, 3.0, 7.0]);
+        let ab = Sensitivity::from_ecdfs(&a, &b).score().expect("finite");
+        let ba = Sensitivity::from_ecdfs(&b, &a).score().expect("finite");
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_score_zero() {
+        let a = ecdf(&[0.4, 1.2, 2.0]);
+        let s = Sensitivity::from_ecdfs(&a, &a.clone());
+        assert_eq!(s.score(), Some(0.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Sensitivity::Finite { score: 1.5, improved: false }.to_string(),
+            "1.500"
+        );
+        assert_eq!(
+            Sensitivity::Finite { score: 0.25, improved: true }.to_string(),
+            "0.250 (improved)"
+        );
+        assert_eq!(Sensitivity::Infinite.to_string(), "∞");
+        assert!(Sensitivity::Infinite.is_infinite());
+    }
+
+    #[test]
+    fn steps_are_monotone() {
+        let e = ecdf(&[3.0, 1.0, 2.0]);
+        let steps: Vec<(f64, f64)> = e.steps().collect();
+        assert_eq!(steps.len(), 3);
+        assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(steps.last().expect("non-empty").1, 1.0);
+    }
+}

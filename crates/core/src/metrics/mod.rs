@@ -1,0 +1,10 @@
+//! Measurement machinery: eCDFs, super-cumulatives, the sensitivity
+//! score and throughput series.
+
+mod dependability;
+mod ecdf;
+mod throughput;
+
+pub use dependability::{downtime_seconds, throughput_drop, RecoveryReport};
+pub use ecdf::{Ecdf, EcdfError, Sensitivity};
+pub use throughput::ThroughputSeries;

@@ -1,0 +1,126 @@
+//! Throughput-over-time series (the paper's Figs. 4–6).
+
+use stabl_sim::SimTime;
+
+/// Committed transactions per fixed-width time bin.
+///
+/// # Examples
+///
+/// ```
+/// use stabl::metrics::ThroughputSeries;
+/// use stabl_sim::SimTime;
+///
+/// let commits = [SimTime::from_millis(100), SimTime::from_millis(1900)];
+/// let series = ThroughputSeries::from_commit_times(
+///     commits.iter().copied(),
+///     SimTime::from_secs(3),
+/// );
+/// assert_eq!(series.bins(), &[1, 1, 0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThroughputSeries {
+    bins: Vec<u32>,
+}
+
+impl ThroughputSeries {
+    /// Bins commit instants into one-second buckets up to `horizon`.
+    pub fn from_commit_times<I>(commits: I, horizon: SimTime) -> ThroughputSeries
+    where
+        I: IntoIterator<Item = SimTime>,
+    {
+        let seconds = (horizon.as_micros() / 1_000_000) as usize;
+        let mut bins = vec![0u32; seconds.max(1)];
+        for t in commits {
+            let bin = (t.as_micros() / 1_000_000) as usize;
+            if bin < bins.len() {
+                bins[bin] += 1;
+            }
+        }
+        ThroughputSeries { bins }
+    }
+
+    /// The per-second transaction counts.
+    pub fn bins(&self) -> &[u32] {
+        &self.bins
+    }
+
+    /// Mean throughput over a window of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of range or empty.
+    pub fn mean_over(&self, from_sec: usize, to_sec: usize) -> f64 {
+        assert!(from_sec < to_sec && to_sec <= self.bins.len(), "bad window");
+        let sum: u64 = self.bins[from_sec..to_sec].iter().map(|b| *b as u64).sum();
+        sum as f64 / (to_sec - from_sec) as f64
+    }
+
+    /// The peak one-second throughput in a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of range or empty.
+    pub fn peak_over(&self, from_sec: usize, to_sec: usize) -> u32 {
+        assert!(from_sec < to_sec && to_sec <= self.bins.len(), "bad window");
+        self.bins[from_sec..to_sec].iter().copied().max().unwrap_or(0)
+    }
+
+    /// First second at or after `from_sec` with throughput ≥ `level`, if
+    /// any — used to measure recovery times.
+    pub fn first_at_least(&self, from_sec: usize, level: u32) -> Option<usize> {
+        (from_sec..self.bins.len()).find(|&s| self.bins[s] >= level)
+    }
+
+    /// Seconds with zero commits inside a window.
+    pub fn zero_seconds(&self, from_sec: usize, to_sec: usize) -> usize {
+        self.bins[from_sec..to_sec.min(self.bins.len())]
+            .iter()
+            .filter(|b| **b == 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs_tenths: u64) -> SimTime {
+        SimTime::from_millis(secs_tenths * 100)
+    }
+
+    #[test]
+    fn binning() {
+        let series = ThroughputSeries::from_commit_times(
+            vec![t(1), t(5), t(11), t(12), t(25)],
+            SimTime::from_secs(3),
+        );
+        assert_eq!(series.bins(), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn commits_beyond_horizon_ignored() {
+        let series =
+            ThroughputSeries::from_commit_times(vec![t(45)], SimTime::from_secs(3));
+        assert_eq!(series.bins(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn window_statistics() {
+        let series = ThroughputSeries::from_commit_times(
+            vec![t(1), t(5), t(11), t(12), t(25)],
+            SimTime::from_secs(4),
+        );
+        assert_eq!(series.mean_over(0, 2), 2.0);
+        assert_eq!(series.peak_over(0, 3), 2);
+        assert_eq!(series.zero_seconds(0, 4), 1);
+        assert_eq!(series.first_at_least(1, 2), Some(1));
+        assert_eq!(series.first_at_least(3, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad window")]
+    fn bad_window_panics() {
+        let series = ThroughputSeries::from_commit_times(vec![t(1)], SimTime::from_secs(2));
+        let _ = series.mean_over(1, 5);
+    }
+}

@@ -1,0 +1,60 @@
+//! Integration tests of the `stabl` command-line binary.
+
+use std::process::Command;
+
+fn stabl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stabl"))
+}
+
+#[test]
+fn list_prints_chains_and_thresholds() {
+    let output = stabl().arg("list").output().expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    for chain in ["Algorand", "Aptos", "Avalanche", "Redbelly", "Solana"] {
+        assert!(stdout.contains(chain), "missing {chain} in:\n{stdout}");
+    }
+    assert!(stdout.contains("scenarios:"));
+}
+
+#[test]
+fn run_executes_a_quick_scenario() {
+    let output = stabl()
+        .args(["run", "redbelly", "crash", "--secs", "40", "--seed", "7"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Redbelly"), "{stdout}");
+    assert!(stdout.contains("sensitivity"), "{stdout}");
+}
+
+#[test]
+fn run_is_deterministic_per_seed() {
+    let run = || {
+        let output = stabl()
+            .args(["run", "solana", "crash", "--secs", "40", "--seed", "3"])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success());
+        String::from_utf8(output.stdout).expect("utf8")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn unknown_arguments_fail_with_usage() {
+    let cases: &[&[&str]] = &[
+        &["frobnicate"],
+        &["run", "bitcoin", "crash"],
+        &["run", "redbelly", "meteor"],
+        &["run", "redbelly", "crash", "--nodes", "3"],
+        &[],
+    ];
+    for args in cases {
+        let output = stabl().args(*args).output().expect("binary runs");
+        assert!(!output.status.success(), "args {args:?} should fail");
+        let stderr = String::from_utf8(output.stderr).expect("utf8");
+        assert!(stderr.contains("USAGE"), "args {args:?}: {stderr}");
+    }
+}

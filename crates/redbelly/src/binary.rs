@@ -1,0 +1,422 @@
+//! DBFT-style binary consensus with a weak coordinator.
+//!
+//! Redbelly's DBFT (Crain et al., NCA '18) reduces superblock agreement to
+//! one binary consensus instance per proposer slot: "is proposer *j*'s
+//! batch included at this height?". The binary protocol here keeps DBFT's
+//! crash-fault behaviour observable by Stabl:
+//!
+//! * it is **leaderless** — every round is an all-to-all echo exchange, so
+//!   no single slow or crashed node delays a decision (paper §4:
+//!   "Redbelly eradicates the leader impact");
+//! * a **weak coordinator** (rotating per round) only breaks ties; a
+//!   crashed coordinator cannot block convergence;
+//! * progress requires `n − t` echoes, so the instance stalls — without
+//!   misbehaving — whenever more than `t` nodes are down, and resumes as
+//!   soon as they echo again.
+//!
+//! The implementation is a pure state machine: the node feeds received
+//! echoes in and materialises the returned actions as messages.
+
+use std::collections::BTreeMap;
+
+use stabl_sim::NodeId;
+
+/// An action requested by the instance; the owning node sends the
+/// corresponding message to all peers (and feeds it back to itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryAction {
+    /// Broadcast an echo of `value` for `round`.
+    Echo {
+        /// The round the echo belongs to.
+        round: u64,
+        /// The echoed estimate.
+        value: bool,
+    },
+    /// Broadcast that the instance decided `value`.
+    Decide(bool),
+}
+
+/// One binary consensus instance (height, slot).
+#[derive(Clone, Debug)]
+pub struct BinaryInstance {
+    n: usize,
+    quorum: usize,
+    started: bool,
+    est: bool,
+    round: u64,
+    /// Echoes per round; first echo per node wins.
+    echoes: BTreeMap<u64, BTreeMap<NodeId, bool>>,
+    decided: Option<bool>,
+}
+
+impl BinaryInstance {
+    /// Creates an idle instance for an `n`-node network tolerating `t`
+    /// crash faults (progress quorum `n − t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` (required for majority adoption to be
+    /// safe; see [`BinaryInstance`]).
+    pub fn new(n: usize, t: usize) -> BinaryInstance {
+        assert!(n > 3 * t, "binary consensus requires n > 3t");
+        BinaryInstance {
+            n,
+            quorum: n - t,
+            started: false,
+            est: false,
+            round: 0,
+            echoes: BTreeMap::new(),
+            decided: None,
+        }
+    }
+
+    /// The decided value, if any.
+    pub fn decision(&self) -> Option<bool> {
+        self.decided
+    }
+
+    /// `true` once [`BinaryInstance::start`] ran.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// The current round (for retransmission).
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// The current estimate (valid once started; for retransmission).
+    pub fn current_est(&self) -> bool {
+        self.est
+    }
+
+    /// The echo `node` recorded for `round`, if any — used to help
+    /// laggards: a peer still in an earlier round can be sent our echo
+    /// for that round again.
+    pub fn recorded_echo(&self, node: NodeId, round: u64) -> Option<bool> {
+        self.echoes.get(&round).and_then(|m| m.get(&node).copied())
+    }
+
+    /// Starts the instance with estimate `est` on behalf of `me`.
+    /// Idempotent: restarting an already-started instance is a no-op.
+    pub fn start(&mut self, me: NodeId, est: bool) -> Vec<BinaryAction> {
+        if self.started || self.decided.is_some() {
+            return Vec::new();
+        }
+        self.started = true;
+        self.est = est;
+        let mut actions = vec![BinaryAction::Echo { round: 0, value: est }];
+        self.record(me, 0, est);
+        actions.extend(self.try_progress(me));
+        actions
+    }
+
+    /// Handles an echo from `from` (own echoes are recorded internally by
+    /// `start`/round advances and must not be fed back).
+    pub fn on_echo(&mut self, me: NodeId, from: NodeId, round: u64, value: bool) -> Vec<BinaryAction> {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        self.record(from, round, value);
+        if self.started {
+            self.try_progress(me)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handles a peer's decision (crash-fault trusted fast path).
+    pub fn on_decide(&mut self, value: bool) -> Vec<BinaryAction> {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        self.decided = Some(value);
+        vec![BinaryAction::Decide(value)]
+    }
+
+    /// The weak coordinator of `round`: rotates so a crashed node only
+    /// ever weakens one round's tie-break.
+    fn coordinator(&self, round: u64) -> NodeId {
+        NodeId::new((round % self.n as u64) as u32)
+    }
+
+    fn record(&mut self, from: NodeId, round: u64, value: bool) {
+        self.echoes.entry(round).or_default().entry(from).or_insert(value);
+    }
+
+    fn try_progress(&mut self, me: NodeId) -> Vec<BinaryAction> {
+        let mut actions = Vec::new();
+        loop {
+            if self.decided.is_some() {
+                break;
+            }
+            let Some(round_echoes) = self.echoes.get(&self.round) else { break };
+            if round_echoes.len() < self.quorum {
+                break;
+            }
+            let ones = round_echoes.values().filter(|v| **v).count();
+            let zeros = round_echoes.len() - ones;
+            if ones >= self.quorum {
+                self.decided = Some(true);
+                actions.push(BinaryAction::Decide(true));
+                break;
+            }
+            if zeros >= self.quorum {
+                self.decided = Some(false);
+                actions.push(BinaryAction::Decide(false));
+                break;
+            }
+            // Mixed: adopt the local majority. This is safe for crash
+            // faults with n > 3t: if any node decided v this round it saw
+            // n − t echoes of v, so at most t echoes of ¬v exist anywhere
+            // and every quorum has a strict v majority (n − 2t > t). The
+            // weak coordinator only breaks exact ties, which cannot occur
+            // concurrently with a decision.
+            self.est = if ones > zeros {
+                true
+            } else if zeros > ones {
+                false
+            } else {
+                let coord = self.coordinator(self.round);
+                round_echoes.get(&coord).copied().unwrap_or(true)
+            };
+            self.round += 1;
+            self.record(me, self.round, self.est);
+            actions.push(BinaryAction::Echo { round: self.round, value: self.est });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Drives a full network with a *randomised* delivery order and
+    /// returns the decisions — agreement must hold for every order.
+    fn run_shuffled(
+        n: usize,
+        t: usize,
+        ests: &[bool],
+        alive: &[bool],
+        order_seed: u64,
+    ) -> Vec<Option<bool>> {
+        use stabl_sim::DetRng;
+        let mut rng = DetRng::new(order_seed);
+        let mut instances: Vec<BinaryInstance> =
+            (0..n).map(|_| BinaryInstance::new(n, t)).collect();
+        let mut queue: Vec<(usize, BinaryAction)> = Vec::new();
+        for i in 0..n {
+            if alive[i] {
+                for a in instances[i].start(NodeId::new(i as u32), ests[i]) {
+                    queue.push((i, a));
+                }
+            }
+        }
+        let mut steps = 0;
+        while !queue.is_empty() {
+            steps += 1;
+            assert!(steps < 200_000, "runaway instance");
+            let pick = rng.next_below(queue.len() as u64) as usize;
+            let (from, action) = queue.swap_remove(pick);
+            for to in 0..n {
+                if to == from || !alive[to] {
+                    continue;
+                }
+                let new_actions = match action {
+                    BinaryAction::Echo { round, value } => instances[to].on_echo(
+                        NodeId::new(to as u32),
+                        NodeId::new(from as u32),
+                        round,
+                        value,
+                    ),
+                    BinaryAction::Decide(v) => instances[to].on_decide(v),
+                };
+                for a in new_actions {
+                    queue.push((to, a));
+                }
+            }
+        }
+        instances.iter().map(|i| i.decision()).collect()
+    }
+
+    proptest! {
+        /// Agreement and termination hold for every estimate pattern,
+        /// every ≤t crash subset and every delivery order.
+        #[test]
+        fn agreement_under_any_delivery_order(
+            pattern in 0u32..128,
+            crashed in proptest::option::of(0usize..7),
+            order_seed in 0u64..1_000_000,
+        ) {
+            let n = 7;
+            let t = 2;
+            let ests: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+            let alive: Vec<bool> = (0..n).map(|i| Some(i) != crashed).collect();
+            let decisions = run_shuffled(n, t, &ests, &alive, order_seed);
+            let alive_decisions: Vec<bool> = decisions
+                .iter()
+                .zip(&alive)
+                .filter(|(_, a)| **a)
+                .map(|(d, _)| d.expect("alive nodes must decide"))
+                .collect();
+            prop_assert!(!alive_decisions.is_empty());
+            let first = alive_decisions[0];
+            prop_assert!(
+                alive_decisions.iter().all(|d| *d == first),
+                "disagreement: {:?}", decisions
+            );
+            // Validity: a unanimous estimate decides that estimate.
+            let alive_ests: Vec<bool> = ests
+                .iter()
+                .zip(&alive)
+                .filter(|(_, a)| **a)
+                .map(|(e, _)| *e)
+                .collect();
+            if alive_ests.iter().all(|e| *e) {
+                prop_assert!(first, "unanimous 1 must decide 1");
+            }
+            if alive_ests.iter().all(|e| !*e) && crashed.is_none() {
+                prop_assert!(!first, "unanimous 0 must decide 0");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Drives a full network of instances to completion by flooding all
+    /// actions; returns the decisions.
+    fn run_network(n: usize, t: usize, ests: &[bool], alive: &[bool]) -> Vec<Option<bool>> {
+        let mut instances: Vec<BinaryInstance> =
+            (0..n).map(|_| BinaryInstance::new(n, t)).collect();
+        let mut queue: Vec<(usize, BinaryAction)> = Vec::new();
+        for i in 0..n {
+            if alive[i] {
+                for a in instances[i].start(node(i as u32), ests[i]) {
+                    queue.push((i, a));
+                }
+            }
+        }
+        let mut steps = 0;
+        while let Some((from, action)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 100_000, "runaway instance");
+            for to in 0..n {
+                if to == from || !alive[to] {
+                    continue;
+                }
+                let new_actions = match action {
+                    BinaryAction::Echo { round, value } => {
+                        instances[to].on_echo(node(to as u32), node(from as u32), round, value)
+                    }
+                    BinaryAction::Decide(v) => instances[to].on_decide(v),
+                };
+                for a in new_actions {
+                    queue.push((to, a));
+                }
+            }
+        }
+        instances.iter().map(|i| i.decision()).collect()
+    }
+
+    #[test]
+    fn unanimous_one_decides_one() {
+        let decisions = run_network(4, 1, &[true; 4], &[true; 4]);
+        assert!(decisions.iter().all(|d| *d == Some(true)));
+    }
+
+    #[test]
+    fn unanimous_zero_decides_zero() {
+        let decisions = run_network(4, 1, &[false; 4], &[true; 4]);
+        assert!(decisions.iter().all(|d| *d == Some(false)));
+    }
+
+    #[test]
+    fn mixed_estimates_agree() {
+        for pattern in 0u32..16 {
+            let ests: Vec<bool> = (0..4).map(|i| pattern & (1 << i) != 0).collect();
+            let decisions = run_network(4, 1, &ests, &[true; 4]);
+            let first = decisions[0].expect("decided");
+            assert!(
+                decisions.iter().all(|d| *d == Some(first)),
+                "disagreement for pattern {pattern:04b}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tolerates_t_crashes() {
+        // Node 3 never participates; the other three (quorum = 3) decide.
+        let decisions = run_network(4, 1, &[true, true, false, true], &[true, true, true, false]);
+        let first = decisions[0].expect("decided despite crash");
+        assert_eq!(decisions[1], Some(first));
+        assert_eq!(decisions[2], Some(first));
+        assert_eq!(decisions[3], None, "crashed node decides nothing");
+    }
+
+    #[test]
+    fn stalls_below_quorum() {
+        // Two of four alive: quorum 3 unreachable, nobody decides.
+        let decisions = run_network(4, 1, &[true; 4], &[true, true, false, false]);
+        assert_eq!(decisions[0], None);
+        assert_eq!(decisions[1], None);
+    }
+
+    #[test]
+    fn ten_node_mixed_with_three_crashes() {
+        let ests: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let alive: Vec<bool> = (0..10).map(|i| i < 7).collect();
+        let decisions = run_network(10, 3, &ests, &alive);
+        let first = decisions[0].expect("decided");
+        for d in decisions.iter().take(7) {
+            assert_eq!(*d, Some(first));
+        }
+    }
+
+    #[test]
+    fn late_echoes_after_decide_ignored() {
+        let mut inst = BinaryInstance::new(4, 1);
+        inst.start(node(0), true);
+        inst.on_echo(node(0), node(1), 0, true);
+        let actions = inst.on_echo(node(0), node(2), 0, true);
+        assert!(actions.contains(&BinaryAction::Decide(true)));
+        assert!(inst.on_echo(node(0), node(3), 0, false).is_empty());
+        assert_eq!(inst.decision(), Some(true));
+    }
+
+    #[test]
+    fn start_is_idempotent() {
+        let mut inst = BinaryInstance::new(4, 1);
+        let first = inst.start(node(0), true);
+        assert!(!first.is_empty());
+        assert!(inst.start(node(0), false).is_empty());
+        assert!(inst.current_est());
+    }
+
+    #[test]
+    fn echoes_before_start_are_buffered() {
+        let mut inst = BinaryInstance::new(4, 1);
+        assert!(inst.on_echo(node(0), node(1), 0, true).is_empty());
+        assert!(inst.on_echo(node(0), node(2), 0, true).is_empty());
+        // Starting with the quorum already buffered decides immediately.
+        let actions = inst.start(node(0), true);
+        assert!(actions.contains(&BinaryAction::Decide(true)));
+    }
+
+    #[test]
+    fn duplicate_echo_not_double_counted() {
+        let mut inst = BinaryInstance::new(4, 1);
+        inst.start(node(0), true);
+        inst.on_echo(node(0), node(1), 0, true);
+        inst.on_echo(node(0), node(1), 0, true);
+        assert_eq!(inst.decision(), None, "two distinct echoes are not a quorum of three");
+    }
+}

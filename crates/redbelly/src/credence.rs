@@ -1,0 +1,129 @@
+//! A `credence.js`-style secure read helper.
+//!
+//! Redbelly ships a client library (credence.js) that only accepts a
+//! read result once `t + 1` replicas returned byte-identical responses —
+//! with at most `t` Byzantine nodes, at least one of those replicas is
+//! honest, so the value is correct. The paper benchmarks its own
+//! generic secure client instead for cross-chain fairness (§7) but
+//! recommends this library; the helper here is the equivalent
+//! aggregation logic over the simulation's hashes.
+
+use std::collections::HashMap;
+
+use stabl_sim::NodeId;
+use stabl_types::Hash32;
+
+/// Aggregates per-replica read responses until some value reaches the
+/// `t + 1` quorum.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_redbelly::CredenceRead;
+/// use stabl_sim::NodeId;
+/// use stabl_types::Hash32;
+///
+/// let mut read = CredenceRead::new(1); // tolerate t = 1 Byzantine node
+/// let honest = Hash32::digest(b"balance=42");
+/// assert_eq!(read.record(NodeId::new(0), honest), None);
+/// // A lying node cannot forge a quorum…
+/// assert_eq!(read.record(NodeId::new(1), Hash32::digest(b"balance=999")), None);
+/// // …but a second honest response completes t + 1 = 2.
+/// assert_eq!(read.record(NodeId::new(2), honest), Some(honest));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CredenceRead {
+    t: usize,
+    responses: HashMap<NodeId, Hash32>,
+    decided: Option<Hash32>,
+}
+
+impl CredenceRead {
+    /// Creates an aggregator tolerating `t` Byzantine responders.
+    pub fn new(t: usize) -> CredenceRead {
+        CredenceRead { t, responses: HashMap::new(), decided: None }
+    }
+
+    /// Responses required for acceptance (`t + 1`).
+    pub fn quorum(&self) -> usize {
+        self.t + 1
+    }
+
+    /// Records one replica's response digest; returns the accepted value
+    /// once `t + 1` replicas agreed. A replica's first answer is
+    /// binding (equivocation is ignored, as over an authenticated
+    /// channel).
+    pub fn record(&mut self, from: NodeId, digest: Hash32) -> Option<Hash32> {
+        if self.decided.is_some() {
+            return self.decided;
+        }
+        self.responses.entry(from).or_insert(digest);
+        let agreeing = self
+            .responses
+            .values()
+            .filter(|d| **d == digest)
+            .count();
+        if agreeing >= self.quorum() {
+            self.decided = Some(digest);
+        }
+        self.decided
+    }
+
+    /// The accepted value, if a quorum formed.
+    pub fn decided(&self) -> Option<Hash32> {
+        self.decided
+    }
+
+    /// Replicas heard from so far.
+    pub fn responses(&self) -> usize {
+        self.responses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(tag: &[u8]) -> Hash32 {
+        Hash32::digest(tag)
+    }
+
+    #[test]
+    fn quorum_of_identical_responses_accepts() {
+        let mut read = CredenceRead::new(3);
+        for i in 0..3u32 {
+            assert_eq!(read.record(NodeId::new(i), h(b"v")), None);
+        }
+        assert_eq!(read.record(NodeId::new(3), h(b"v")), Some(h(b"v")));
+        assert_eq!(read.decided(), Some(h(b"v")));
+    }
+
+    #[test]
+    fn minority_of_liars_cannot_win() {
+        let mut read = CredenceRead::new(2);
+        // Two Byzantine responses (= t) agree on a forgery: not enough.
+        read.record(NodeId::new(0), h(b"forged"));
+        read.record(NodeId::new(1), h(b"forged"));
+        assert_eq!(read.decided(), None);
+        // Three honest responses settle it.
+        read.record(NodeId::new(2), h(b"true"));
+        read.record(NodeId::new(3), h(b"true"));
+        assert_eq!(read.record(NodeId::new(4), h(b"true")), Some(h(b"true")));
+    }
+
+    #[test]
+    fn first_answer_per_replica_is_binding() {
+        let mut read = CredenceRead::new(1);
+        read.record(NodeId::new(0), h(b"a"));
+        // The same node "changing its mind" does not double-count.
+        assert_eq!(read.record(NodeId::new(0), h(b"a")), None);
+        assert_eq!(read.responses(), 1);
+    }
+
+    #[test]
+    fn decision_is_stable() {
+        let mut read = CredenceRead::new(0); // t = 0: first answer wins
+        assert_eq!(read.record(NodeId::new(0), h(b"v")), Some(h(b"v")));
+        assert_eq!(read.record(NodeId::new(1), h(b"other")), Some(h(b"v")));
+    }
+}

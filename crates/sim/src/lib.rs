@@ -1,0 +1,430 @@
+//! # stabl-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate of the Stabl reproduction: a single-threaded,
+//! fully deterministic discrete-event simulator on which the five blockchain
+//! protocols (`stabl-algorand`, `stabl-aptos`, `stabl-avalanche`,
+//! `stabl-redbelly`, `stabl-solana`) run as [`Protocol`] state machines.
+//!
+//! It replaces the paper's physical testbed (a Proxmox cluster with
+//! netfilter-based fault injection): nodes are processes with a
+//! crash/restart lifecycle, the network delivers messages with configurable
+//! latency and honours netfilter-like [`PartitionRule`]s, and every source
+//! of randomness flows from one seed so a run is reproducible bit-for-bit.
+//!
+//! ## Example
+//!
+//! ```
+//! use stabl_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime, Simulation};
+//!
+//! /// A node that echoes every request to all peers and commits on receipt.
+//! struct Echo;
+//!
+//! impl Protocol for Echo {
+//!     type Msg = u64;
+//!     type Request = u64;
+//!     type Commit = u64;
+//!     type Timer = ();
+//!     type Config = ();
+//!
+//!     fn new(_: NodeId, _: usize, _: &(), _: &mut Ctx<'_, Self>) -> Self { Echo }
+//!     fn on_message(&mut self, _: NodeId, m: u64, ctx: &mut Ctx<'_, Self>) { ctx.commit(m); }
+//!     fn on_timer(&mut self, _: (), _: &mut Ctx<'_, Self>) {}
+//!     fn on_request(&mut self, r: u64, ctx: &mut Ctx<'_, Self>) { ctx.broadcast(r); }
+//!     fn on_restart(&mut self, _: &mut Ctx<'_, Self>) {}
+//! }
+//!
+//! let mut sim = Simulation::<Echo>::new(3, 42, ());
+//! sim.schedule_request(SimTime::from_secs(1), NodeId::new(0), 7);
+//! sim.run_until(SimTime::from_secs(2));
+//! assert_eq!(sim.commits().len(), 2); // both peers committed the echo
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conn;
+mod net;
+mod protocol;
+mod resource;
+mod rng;
+mod sim;
+mod stats;
+mod time;
+
+pub use conn::{ConnAction, ConnConfig, ConnectionManager};
+pub use net::{LatencyModel, LatencyTopology, Network, NodeId, PartitionId, PartitionRule};
+pub use protocol::{Ctx, Protocol, TimerId};
+pub use resource::CpuMeter;
+pub use rng::DetRng;
+pub use sim::{millis, secs, NodeStatus, SimBuilder, Simulation};
+pub use stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
+pub use time::{SimDuration, SimTime};
+
+#[cfg(test)]
+mod kernel_prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Trivial protocol committing every received broadcast.
+    struct Echoes;
+    impl Protocol for Echoes {
+        type Msg = u64;
+        type Request = u64;
+        type Commit = u64;
+        type Timer = ();
+        type Config = ();
+        fn new(_: NodeId, _: usize, _: &(), _: &mut Ctx<'_, Self>) -> Self {
+            Echoes
+        }
+        fn on_message(&mut self, _: NodeId, m: u64, ctx: &mut Ctx<'_, Self>) {
+            ctx.commit(m);
+        }
+        fn on_timer(&mut self, _: (), _: &mut Ctx<'_, Self>) {}
+        fn on_request(&mut self, r: u64, ctx: &mut Ctx<'_, Self>) {
+            ctx.broadcast(r);
+        }
+        fn on_restart(&mut self, _: &mut Ctx<'_, Self>) {}
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Request { at_ms: u64, node: u32, value: u64 },
+        Crash { at_ms: u64, node: u32 },
+        Restart { at_ms: u64, node: u32 },
+        Partition { at_ms: u64, len_ms: u64, node: u32 },
+    }
+
+    fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..5_000, 0..n, proptest::num::u64::ANY)
+                .prop_map(|(at_ms, node, value)| Op::Request { at_ms, node, value }),
+            (0u64..5_000, 0..n).prop_map(|(at_ms, node)| Op::Crash { at_ms, node }),
+            (0u64..5_000, 0..n).prop_map(|(at_ms, node)| Op::Restart { at_ms, node }),
+            (0u64..5_000, 1u64..2_000, 0..n)
+                .prop_map(|(at_ms, len_ms, node)| Op::Partition { at_ms, len_ms, node }),
+        ]
+    }
+
+    fn apply(sim: &mut Simulation<Echoes>, ops: &[Op], n: usize) {
+        for op in ops {
+            match *op {
+                Op::Request { at_ms, node, value } => {
+                    sim.schedule_request(SimTime::from_millis(at_ms), NodeId::new(node), value);
+                }
+                Op::Crash { at_ms, node } => {
+                    sim.schedule_crash(SimTime::from_millis(at_ms), NodeId::new(node));
+                }
+                Op::Restart { at_ms, node } => {
+                    sim.schedule_restart(SimTime::from_millis(at_ms), NodeId::new(node));
+                }
+                Op::Partition { at_ms, len_ms, node } => {
+                    sim.schedule_partition(
+                        SimTime::from_millis(at_ms),
+                        SimTime::from_millis(at_ms + len_ms),
+                        PartitionRule::isolate([NodeId::new(node)], n),
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary schedules keep the kernel's accounting balanced and
+        /// identical schedules replay identically.
+        #[test]
+        fn kernel_invariants_under_arbitrary_schedules(
+            ops in proptest::collection::vec(op_strategy(4), 0..40),
+            seed in 0u64..1_000,
+        ) {
+            let run = |ops: &[Op]| {
+                let mut sim = Simulation::<Echoes>::new(4, seed, ());
+                apply(&mut sim, ops, 4);
+                sim.run_until(SimTime::from_secs(10));
+                let stats = sim.stats();
+                // Accounting: every sent message is delivered or dropped.
+                prop_assert_eq!(
+                    stats.messages_sent,
+                    stats.messages_delivered
+                        + stats.messages_dropped_dead
+                        + stats.messages_dropped_partition
+                );
+                // Commits only ever come from deliveries.
+                prop_assert!(sim.commits().len() as u64 <= stats.messages_delivered);
+                // Clock finishes at the horizon and the queue drained to it.
+                prop_assert_eq!(sim.now(), SimTime::from_secs(10));
+                Ok(sim
+                    .commits()
+                    .iter()
+                    .map(|c| (c.time.as_micros(), c.node.as_u32(), c.commit))
+                    .collect::<Vec<_>>())
+            };
+            let a = run(&ops)?;
+            let b = run(&ops)?;
+            prop_assert_eq!(a, b, "identical schedules must replay identically");
+        }
+    }
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+
+    /// A ping protocol exercising timers, broadcast, crash/restart and
+    /// partitions: every node pings all peers each 100 ms and commits the
+    /// sequence number of every ping it receives.
+    #[derive(Debug)]
+    struct Pinger {
+        seq: u64,
+        received: u64,
+        restarted: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    enum PingMsg {
+        Ping(u64),
+    }
+
+    impl Protocol for Pinger {
+        type Msg = PingMsg;
+        type Request = u64;
+        type Commit = (u32, u64);
+        type Timer = ();
+        type Config = ();
+
+        fn new(_: NodeId, _: usize, _: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+            ctx.set_timer(SimDuration::from_millis(100), ());
+            Pinger { seq: 0, received: 0, restarted: false }
+        }
+
+        fn on_message(&mut self, from: NodeId, PingMsg::Ping(s): PingMsg, ctx: &mut Ctx<'_, Self>) {
+            self.received += 1;
+            ctx.commit((from.as_u32(), s));
+        }
+
+        fn on_timer(&mut self, _: (), ctx: &mut Ctx<'_, Self>) {
+            self.seq += 1;
+            ctx.broadcast(PingMsg::Ping(self.seq));
+            ctx.set_timer(SimDuration::from_millis(100), ());
+        }
+
+        fn on_request(&mut self, seq: u64, ctx: &mut Ctx<'_, Self>) {
+            ctx.broadcast(PingMsg::Ping(seq));
+        }
+
+        fn on_restart(&mut self, ctx: &mut Ctx<'_, Self>) {
+            self.restarted = true;
+            ctx.set_timer(SimDuration::from_millis(100), ());
+        }
+    }
+
+    fn pinger_sim(n: usize, seed: u64) -> Simulation<Pinger> {
+        Simulation::new(n, seed, ())
+    }
+
+    #[test]
+    fn timers_drive_periodic_broadcast() {
+        let mut sim = pinger_sim(3, 1);
+        sim.run_until(SimTime::from_secs(1));
+        // Each node fires ~10 times, each ping reaches 2 peers.
+        let commits = sim.commits().len() as u64;
+        assert!((50..=70).contains(&commits), "commits = {commits}");
+        assert!(sim.stats().timers_fired >= 30);
+    }
+
+    #[test]
+    fn crash_stops_timers_and_receiving() {
+        let mut sim = pinger_sim(3, 2);
+        sim.schedule_crash(SimTime::from_millis(350), NodeId::new(2));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.status(NodeId::new(2)), NodeStatus::Crashed);
+        // No commits from node2 after the crash.
+        let late = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(2) && c.time > SimTime::from_millis(360))
+            .count();
+        assert_eq!(late, 0);
+        assert!(sim.stats().messages_dropped_dead > 0);
+        assert!(sim.stats().timers_stale > 0, "crashed node's timer is stale");
+    }
+
+    #[test]
+    fn restart_invokes_on_restart_and_resumes() {
+        let mut sim = pinger_sim(3, 3);
+        sim.schedule_crash(SimTime::from_millis(300), NodeId::new(1));
+        sim.schedule_restart(SimTime::from_millis(600), NodeId::new(1));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.status(NodeId::new(1)), NodeStatus::Running);
+        assert!(sim.node(NodeId::new(1)).restarted);
+        // It pings again after the restart.
+        let late = sim
+            .commits()
+            .iter()
+            .filter(|c| c.commit.0 == 1 && c.time > SimTime::from_millis(700))
+            .count();
+        assert!(late > 0, "restarted node resumed pinging");
+    }
+
+    #[test]
+    fn restart_of_running_node_is_noop() {
+        let mut sim = pinger_sim(2, 4);
+        sim.schedule_restart(SimTime::from_millis(100), NodeId::new(0));
+        sim.run_until(SimTime::from_millis(200));
+        assert!(!sim.node(NodeId::new(0)).restarted);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut sim = pinger_sim(4, 5);
+        sim.schedule_partition(
+            SimTime::from_millis(200),
+            SimTime::from_millis(700),
+            PartitionRule::isolate([NodeId::new(3)], 4),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        // During the partition node3 receives nothing.
+        let during = sim
+            .commits()
+            .iter()
+            .filter(|c| {
+                c.node == NodeId::new(3)
+                    && c.time > SimTime::from_millis(220)
+                    && c.time < SimTime::from_millis(700)
+            })
+            .count();
+        assert_eq!(during, 0);
+        // After healing it receives pings again.
+        let after = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(3) && c.time > SimTime::from_millis(720))
+            .count();
+        assert!(after > 0);
+        assert!(sim.network().partition_drops() > 0);
+        assert_eq!(sim.network().active_rules(), 0, "rule removed after heal");
+    }
+
+    #[test]
+    fn requests_to_dead_nodes_are_dropped() {
+        let mut sim = pinger_sim(2, 6);
+        sim.schedule_crash(SimTime::from_millis(10), NodeId::new(0));
+        sim.schedule_request(SimTime::from_millis(20), NodeId::new(0), 99);
+        sim.schedule_request(SimTime::from_millis(20), NodeId::new(1), 100);
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(sim.stats().requests_dropped, 1);
+        assert_eq!(sim.stats().requests_delivered, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let mut sim = pinger_sim(5, seed);
+            sim.schedule_crash(SimTime::from_millis(300), NodeId::new(4));
+            sim.schedule_restart(SimTime::from_millis(700), NodeId::new(4));
+            sim.run_until(SimTime::from_secs(2));
+            sim.commits()
+                .iter()
+                .map(|c| (c.time.as_micros(), c.node.as_u32(), c.commit))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds give different schedules");
+    }
+
+    #[test]
+    fn fifo_links_preserve_per_link_order() {
+        // With FIFO links, commits of one sender's pings at one receiver
+        // must be in sequence order.
+        let mut sim = pinger_sim(2, 7);
+        sim.run_until(SimTime::from_secs(3));
+        let seqs: Vec<u64> = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(0) && c.commit.0 == 1)
+            .map(|c| c.commit.1)
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+        assert!(!seqs.is_empty());
+    }
+
+    #[test]
+    fn slowdown_delays_a_nodes_messages() {
+        let lagged = |slow: bool| {
+            let mut sim = pinger_sim(2, 12);
+            if slow {
+                sim.schedule_slowdown(
+                    SimTime::from_millis(0),
+                    SimTime::from_secs(5),
+                    NodeId::new(1),
+                    SimDuration::from_millis(300),
+                );
+            }
+            sim.run_until(SimTime::from_secs(2));
+            // First ping from node1 observed at node0.
+            sim.commits()
+                .iter()
+                .find(|c| c.node == NodeId::new(0) && c.commit.0 == 1)
+                .map(|c| c.time)
+                .expect("ping observed")
+        };
+        let fast = lagged(false);
+        let slow = lagged(true);
+        assert!(
+            slow >= fast + SimDuration::from_millis(290),
+            "slowdown must delay outbound messages: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn slowdown_expires() {
+        let mut sim = pinger_sim(2, 13);
+        sim.schedule_slowdown(
+            SimTime::from_millis(0),
+            SimTime::from_millis(500),
+            NodeId::new(1),
+            SimDuration::from_millis(400),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        // After expiry, node1's pings arrive with plain link latency
+        // again: inter-arrival gaps return to the 100 ms timer period.
+        let times: Vec<SimTime> = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(0) && c.commit.0 == 1)
+            .map(|c| c.time)
+            .collect();
+        let late_gaps: Vec<u64> = times
+            .windows(2)
+            .filter(|w| w[0] > SimTime::from_secs(1))
+            .map(|w| (w[1] - w[0]).as_millis())
+            .collect();
+        assert!(!late_gaps.is_empty());
+        assert!(
+            late_gaps.iter().all(|g| (80..=120).contains(g)),
+            "gaps after expiry: {late_gaps:?}"
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = pinger_sim(1, 8); // single node: broadcasts go nowhere
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn events_never_fire_before_schedule_time() {
+        let mut sim = pinger_sim(3, 9);
+        sim.run_until(SimTime::from_millis(150));
+        let early = sim
+            .commits()
+            .iter()
+            .filter(|c| c.time < SimTime::from_millis(100))
+            .count();
+        assert_eq!(early, 0, "first pings need one timer period plus latency");
+    }
+}

@@ -1,0 +1,521 @@
+//! The simulated network: node identities, link latency and partitions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{DetRng, SimDuration};
+
+/// Identifies a validator node in a simulation.
+///
+/// Node ids are dense indices `0..n`, which lets protocol implementations
+/// index per-node tables directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node, usable to index per-node tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Iterates over all node ids of an `n`-node network.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n as u32).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+/// Link latency model: a base one-way delay plus uniform jitter.
+///
+/// The paper deploys its 15 VMs inside one Proxmox cluster, so a single
+/// homogeneous model is faithful; geo-distributed profiles can be modelled
+/// with a larger base and jitter.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_sim::{LatencyModel, SimDuration};
+///
+/// let lan = LatencyModel::new(SimDuration::from_millis(5), SimDuration::from_millis(5));
+/// assert_eq!(lan.min_delay(), SimDuration::from_millis(5));
+/// assert_eq!(lan.max_delay(), SimDuration::from_millis(10));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    base: SimDuration,
+    jitter: SimDuration,
+}
+
+impl LatencyModel {
+    /// Creates a model with one-way delay uniform in `[base, base + jitter]`.
+    pub const fn new(base: SimDuration, jitter: SimDuration) -> Self {
+        LatencyModel { base, jitter }
+    }
+
+    /// A LAN-like profile (5–10 ms one way), matching the paper's cluster.
+    pub const fn lan() -> Self {
+        LatencyModel::new(SimDuration::from_millis(5), SimDuration::from_millis(5))
+    }
+
+    /// A WAN-like profile (40–120 ms one way) for geo-distributed studies.
+    pub const fn wan() -> Self {
+        LatencyModel::new(SimDuration::from_millis(40), SimDuration::from_millis(80))
+    }
+
+    /// The smallest possible one-way delay.
+    pub fn min_delay(&self) -> SimDuration {
+        self.base
+    }
+
+    /// The largest possible one-way delay.
+    pub fn max_delay(&self) -> SimDuration {
+        self.base + self.jitter
+    }
+
+    /// Samples a one-way delay.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        if self.jitter.is_zero() {
+            self.base
+        } else {
+            self.base + rng.duration_between(SimDuration::ZERO, self.jitter)
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::lan()
+    }
+}
+
+/// A region-based latency topology: every node lives in a region and
+/// the one-way delay between two nodes is drawn from the latency model
+/// of their region pair.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_sim::{LatencyModel, LatencyTopology, NodeId, SimDuration};
+///
+/// // Two regions: a LAN locally, an ocean in between.
+/// let local = LatencyModel::lan();
+/// let ocean = LatencyModel::new(SimDuration::from_millis(70), SimDuration::from_millis(30));
+/// let topology = LatencyTopology::new(
+///     vec![vec![local, ocean], vec![ocean, local]],
+///     vec![0, 0, 1, 1],
+/// );
+/// assert_eq!(topology.model_for(NodeId::new(0), NodeId::new(1)), local);
+/// assert_eq!(topology.model_for(NodeId::new(0), NodeId::new(3)), ocean);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyTopology {
+    matrix: Vec<Vec<LatencyModel>>,
+    assignment: Vec<usize>,
+}
+
+impl LatencyTopology {
+    /// Creates a topology from a square region-pair latency `matrix` and
+    /// a node→region `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or not square, or if an assignment
+    /// references a missing region.
+    pub fn new(matrix: Vec<Vec<LatencyModel>>, assignment: Vec<usize>) -> LatencyTopology {
+        let regions = matrix.len();
+        assert!(regions > 0, "topology needs at least one region");
+        assert!(
+            matrix.iter().all(|row| row.len() == regions),
+            "latency matrix must be square"
+        );
+        assert!(
+            assignment.iter().all(|r| *r < regions),
+            "assignment references a missing region"
+        );
+        LatencyTopology { matrix, assignment }
+    }
+
+    /// A canned geo-distributed profile: `regions` regions with LAN
+    /// latency inside a region and WAN latency between regions, nodes
+    /// assigned round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is zero.
+    pub fn geo(regions: usize, n: usize) -> LatencyTopology {
+        assert!(regions > 0, "topology needs at least one region");
+        let wan = LatencyModel::wan();
+        let lan = LatencyModel::lan();
+        let matrix = (0..regions)
+            .map(|a| (0..regions).map(|b| if a == b { lan } else { wan }).collect())
+            .collect();
+        let assignment = (0..n).map(|i| i % regions).collect();
+        LatencyTopology::new(matrix, assignment)
+    }
+
+    /// The region of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no assignment.
+    pub fn region_of(&self, node: NodeId) -> usize {
+        self.assignment[node.index()]
+    }
+
+    /// The latency model governing packets from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node has no assignment.
+    pub fn model_for(&self, from: NodeId, to: NodeId) -> LatencyModel {
+        self.matrix[self.region_of(from)][self.region_of(to)]
+    }
+
+    /// Samples a one-way delay for a packet from `from` to `to`.
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> SimDuration {
+        self.model_for(from, to).sample(rng)
+    }
+}
+
+/// Handle to an installed partition rule, used to remove it again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(u64);
+
+/// A netfilter-like rule that drops every packet between two node sets.
+///
+/// This mirrors how Stabl's observers program the Linux `netfilter` /
+/// traffic-control interface on each machine: packets whose source is in
+/// one group and destination in the other are silently dropped, in both
+/// directions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionRule {
+    group_a: BTreeSet<NodeId>,
+    group_b: BTreeSet<NodeId>,
+}
+
+impl PartitionRule {
+    /// Creates a rule severing `group_a` from `group_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups overlap (a node cannot be severed from
+    /// itself).
+    pub fn new<A, B>(group_a: A, group_b: B) -> Self
+    where
+        A: IntoIterator<Item = NodeId>,
+        B: IntoIterator<Item = NodeId>,
+    {
+        let group_a: BTreeSet<NodeId> = group_a.into_iter().collect();
+        let group_b: BTreeSet<NodeId> = group_b.into_iter().collect();
+        assert!(
+            group_a.is_disjoint(&group_b),
+            "partition groups must be disjoint"
+        );
+        PartitionRule { group_a, group_b }
+    }
+
+    /// Creates the paper's canonical rule: isolate `isolated` from every
+    /// other node in an `n`-node network.
+    pub fn isolate<I>(isolated: I, n: usize) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let group_a: BTreeSet<NodeId> = isolated.into_iter().collect();
+        let group_b: BTreeSet<NodeId> = NodeId::all(n)
+            .filter(|id| !group_a.contains(id))
+            .collect();
+        PartitionRule { group_a, group_b }
+    }
+
+    /// `true` if a packet from `from` to `to` matches this rule (and is
+    /// therefore dropped).
+    pub fn blocks(&self, from: NodeId, to: NodeId) -> bool {
+        (self.group_a.contains(&from) && self.group_b.contains(&to))
+            || (self.group_b.contains(&from) && self.group_a.contains(&to))
+    }
+}
+
+/// The network fabric of a simulation: latency plus active partitions
+/// and per-node slowdowns.
+#[derive(Clone, Debug)]
+pub struct Network {
+    latency: LatencyModel,
+    topology: Option<LatencyTopology>,
+    rules: Vec<(PartitionId, PartitionRule)>,
+    next_rule: u64,
+    dropped_by_partition: u64,
+    /// Extra delay added to every message a node sends (a slow but
+    /// correct node: overloaded CPU, congested uplink).
+    slowdowns: std::collections::HashMap<NodeId, SimDuration>,
+}
+
+impl Network {
+    /// Creates a fabric with the given latency model and no partitions.
+    pub fn new(latency: LatencyModel) -> Self {
+        Network {
+            latency,
+            topology: None,
+            rules: Vec::new(),
+            next_rule: 0,
+            dropped_by_partition: 0,
+            slowdowns: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The latency model in force (the uniform fallback when a
+    /// topology is installed).
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Installs a region-based latency topology; per-pair models replace
+    /// the uniform latency for every subsequent packet.
+    pub fn set_topology(&mut self, topology: LatencyTopology) {
+        self.topology = Some(topology);
+    }
+
+    /// The installed topology, if any.
+    pub fn topology(&self) -> Option<&LatencyTopology> {
+        self.topology.as_ref()
+    }
+
+    /// Installs a drop rule; returns its handle.
+    pub fn install(&mut self, rule: PartitionRule) -> PartitionId {
+        let id = PartitionId(self.next_rule);
+        self.next_rule += 1;
+        self.rules.push((id, rule));
+        id
+    }
+
+    /// Removes a rule; `true` if it was present.
+    pub fn remove(&mut self, id: PartitionId) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|(rid, _)| *rid != id);
+        self.rules.len() != before
+    }
+
+    /// `true` if any active rule drops packets from `from` to `to`.
+    pub fn blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.rules.iter().any(|(_, r)| r.blocks(from, to))
+    }
+
+    /// Records a partition drop (kernel book-keeping).
+    pub(crate) fn note_partition_drop(&mut self) {
+        self.dropped_by_partition += 1;
+    }
+
+    /// Number of packets dropped by partition rules so far.
+    pub fn partition_drops(&self) -> u64 {
+        self.dropped_by_partition
+    }
+
+    /// Number of active rules.
+    pub fn active_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Samples a one-way delay for a packet from `from` to `to`.
+    pub fn sample_delay(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> SimDuration {
+        match &self.topology {
+            Some(topology) => topology.sample(from, to, rng),
+            None => {
+                let _ = (from, to);
+                self.latency.sample(rng)
+            }
+        }
+    }
+
+    /// Slows `node` down: every message it sends is delayed by `extra`
+    /// on top of the link latency. `SimDuration::ZERO` removes the
+    /// slowdown.
+    pub fn set_slowdown(&mut self, node: NodeId, extra: SimDuration) {
+        if extra.is_zero() {
+            self.slowdowns.remove(&node);
+        } else {
+            self.slowdowns.insert(node, extra);
+        }
+    }
+
+    /// The extra outbound delay of `node` (zero if not slowed).
+    pub fn slowdown(&self, node: NodeId) -> SimDuration {
+        self.slowdowns.get(&node).copied().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new(LatencyModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.as_u32(), 7);
+        assert_eq!(id.to_string(), "node7");
+        assert_eq!(NodeId::all(3).count(), 3);
+    }
+
+    #[test]
+    fn latency_sample_within_bounds() {
+        let model = LatencyModel::new(SimDuration::from_millis(10), SimDuration::from_millis(20));
+        let mut rng = DetRng::new(1);
+        for _ in 0..500 {
+            let d = model.sample(&mut rng);
+            assert!(d >= model.min_delay() && d <= model.max_delay());
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let model = LatencyModel::new(SimDuration::from_millis(10), SimDuration::ZERO);
+        let mut rng = DetRng::new(2);
+        assert_eq!(model.sample(&mut rng), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn partition_rule_blocks_both_directions() {
+        let rule = PartitionRule::new(ids(&[0, 1]), ids(&[2, 3]));
+        assert!(rule.blocks(NodeId::new(0), NodeId::new(2)));
+        assert!(rule.blocks(NodeId::new(3), NodeId::new(1)));
+        assert!(!rule.blocks(NodeId::new(0), NodeId::new(1)));
+        assert!(!rule.blocks(NodeId::new(2), NodeId::new(3)));
+    }
+
+    #[test]
+    fn isolate_builds_complement() {
+        let rule = PartitionRule::isolate(ids(&[4]), 6);
+        assert!(rule.blocks(NodeId::new(4), NodeId::new(0)));
+        assert!(rule.blocks(NodeId::new(5), NodeId::new(4)));
+        assert!(!rule.blocks(NodeId::new(0), NodeId::new(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_groups_rejected() {
+        let _ = PartitionRule::new(ids(&[0, 1]), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn topology_routes_by_region() {
+        let lan = LatencyModel::lan();
+        let wan = LatencyModel::wan();
+        let topology = LatencyTopology::new(
+            vec![vec![lan, wan], vec![wan, lan]],
+            vec![0, 1, 0, 1],
+        );
+        assert_eq!(topology.region_of(NodeId::new(2)), 0);
+        assert_eq!(topology.model_for(NodeId::new(0), NodeId::new(2)), lan);
+        assert_eq!(topology.model_for(NodeId::new(0), NodeId::new(1)), wan);
+        let mut rng = DetRng::new(5);
+        for _ in 0..100 {
+            let d = topology.sample(NodeId::new(0), NodeId::new(1), &mut rng);
+            assert!(d >= wan.min_delay() && d <= wan.max_delay());
+        }
+    }
+
+    #[test]
+    fn geo_profile_assigns_round_robin() {
+        let topology = LatencyTopology::geo(3, 7);
+        assert_eq!(topology.region_of(NodeId::new(0)), 0);
+        assert_eq!(topology.region_of(NodeId::new(4)), 1);
+        assert_eq!(topology.region_of(NodeId::new(6)), 0);
+        assert_eq!(
+            topology.model_for(NodeId::new(0), NodeId::new(3)),
+            LatencyModel::lan(),
+            "same region"
+        );
+        assert_eq!(
+            topology.model_for(NodeId::new(0), NodeId::new(1)),
+            LatencyModel::wan(),
+            "cross region"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_matrix_rejected() {
+        let lan = LatencyModel::lan();
+        let _ = LatencyTopology::new(vec![vec![lan, lan], vec![lan]], vec![0]);
+    }
+
+    #[test]
+    fn network_with_topology_samples_per_pair() {
+        let mut net = Network::default();
+        net.set_topology(LatencyTopology::geo(2, 4));
+        assert!(net.topology().is_some());
+        let mut rng = DetRng::new(9);
+        let near = net.sample_delay(NodeId::new(0), NodeId::new(2), &mut rng);
+        assert!(near <= LatencyModel::lan().max_delay());
+        let far = net.sample_delay(NodeId::new(0), NodeId::new(1), &mut rng);
+        assert!(far >= LatencyModel::wan().min_delay());
+    }
+
+    #[test]
+    fn slowdowns_set_and_clear() {
+        let mut net = Network::default();
+        let node = NodeId::new(3);
+        assert!(net.slowdown(node).is_zero());
+        net.set_slowdown(node, SimDuration::from_millis(250));
+        assert_eq!(net.slowdown(node), SimDuration::from_millis(250));
+        net.set_slowdown(node, SimDuration::ZERO);
+        assert!(net.slowdown(node).is_zero());
+    }
+
+    #[test]
+    fn network_install_and_remove() {
+        let mut net = Network::default();
+        let a = NodeId::new(0);
+        let b = NodeId::new(5);
+        assert!(!net.blocked(a, b));
+        let id = net.install(PartitionRule::isolate([b], 10));
+        assert!(net.blocked(a, b));
+        assert!(net.blocked(b, a));
+        assert_eq!(net.active_rules(), 1);
+        assert!(net.remove(id));
+        assert!(!net.blocked(a, b));
+        assert!(!net.remove(id), "double remove reports absence");
+    }
+
+    #[test]
+    fn overlapping_rules_union() {
+        let mut net = Network::default();
+        let r1 = net.install(PartitionRule::isolate([NodeId::new(1)], 4));
+        let _r2 = net.install(PartitionRule::isolate([NodeId::new(2)], 4));
+        assert!(net.blocked(NodeId::new(1), NodeId::new(0)));
+        assert!(net.blocked(NodeId::new(2), NodeId::new(0)));
+        net.remove(r1);
+        assert!(!net.blocked(NodeId::new(1), NodeId::new(0)));
+        assert!(net.blocked(NodeId::new(2), NodeId::new(0)));
+    }
+}

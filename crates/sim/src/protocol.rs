@@ -1,0 +1,167 @@
+//! The protocol trait implemented by every simulated blockchain node, and
+//! the [`Ctx`] handle through which a node interacts with the world.
+
+use std::fmt::Debug;
+
+use crate::{DetRng, NodeId, SimDuration, SimTime};
+
+/// Handle to a pending timer, usable to cancel it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A deterministic state machine driven by the simulation kernel.
+///
+/// One instance runs per validator node. All interaction with the outside
+/// world — sending messages, arming timers, committing transactions —
+/// happens through the [`Ctx`] passed to each callback; effects are applied
+/// by the kernel after the callback returns, which keeps re-entrancy
+/// impossible and executions deterministic.
+///
+/// # Crash/restart semantics
+///
+/// When the harness crashes a node, the kernel stops delivering messages
+/// and timers to it but keeps the instance. When the node is restarted,
+/// [`Protocol::on_restart`] runs: the implementation must discard its
+/// *volatile* state (mempool contents, in-flight votes, open timers — all
+/// timers are force-cancelled by the kernel) while keeping its *durable*
+/// state (the committed chain), mirroring a real validator rebooting from
+/// disk.
+pub trait Protocol: Sized {
+    /// Wire message exchanged between nodes.
+    type Msg: Clone + Debug;
+    /// Client request submitted to a node (a transaction).
+    type Request: Clone + Debug;
+    /// Commit notification payload (typically a transaction id).
+    type Commit: Clone + Debug;
+    /// Timer token distinguishing the purposes of timers.
+    type Timer: Clone + Debug;
+    /// Static per-run configuration shared by all nodes.
+    type Config: Clone;
+
+    /// Constructs the node `id` of an `n`-node network and performs
+    /// start-up work (arming the first timers, etc.).
+    fn new(id: NodeId, n: usize, config: &Self::Config, ctx: &mut Ctx<'_, Self>) -> Self;
+
+    /// Handles a message delivered from `from`.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self>);
+
+    /// Handles an armed timer firing.
+    fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Ctx<'_, Self>);
+
+    /// Handles a client submitting a request directly to this node.
+    fn on_request(&mut self, request: Self::Request, ctx: &mut Ctx<'_, Self>);
+
+    /// Reinitialises the node after a restart (see the trait docs).
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Self>);
+}
+
+/// An effect requested by a protocol callback, applied by the kernel after
+/// the callback returns.
+#[derive(Debug)]
+pub(crate) enum Effect<P: Protocol> {
+    Send { to: NodeId, msg: P::Msg },
+    SetTimer { id: TimerId, delay: SimDuration, token: P::Timer },
+    CancelTimer(TimerId),
+    Commit(P::Commit),
+    Panic(String),
+    Log(String),
+}
+
+/// The execution context passed to every [`Protocol`] callback.
+///
+/// Provides the current simulated time, the node's deterministic RNG and
+/// buffered effect emission (sends, timers, commits).
+#[derive(Debug)]
+pub struct Ctx<'a, P: Protocol> {
+    pub(crate) node: NodeId,
+    pub(crate) n: usize,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut DetRng,
+    pub(crate) effects: &'a mut Vec<Effect<P>>,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) tracing: bool,
+}
+
+impl<'a, P: Protocol> Ctx<'a, P> {
+    /// The id of the node executing this callback.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The number of validator nodes in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Sending to self delivers through the network
+    /// like any other message.
+    pub fn send(&mut self, to: NodeId, msg: P::Msg) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Sends `msg` to every other node.
+    pub fn broadcast(&mut self, msg: P::Msg) {
+        let me = self.node;
+        for to in NodeId::all(self.n) {
+            if to != me {
+                self.effects.push(Effect::Send { to, msg: msg.clone() });
+            }
+        }
+    }
+
+    /// Sends `msg` to each node in `targets`.
+    pub fn multicast<I>(&mut self, targets: I, msg: P::Msg)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        for to in targets {
+            self.effects.push(Effect::Send { to, msg: msg.clone() });
+        }
+    }
+
+    /// Arms a timer that fires after `delay` with `token`; returns a
+    /// handle usable with [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: P::Timer) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer { id, delay, token });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+
+    /// Reports that this node has committed (finalised and executed)
+    /// `commit`; recorded with the current time in the run's commit log.
+    pub fn commit(&mut self, commit: P::Commit) {
+        self.effects.push(Effect::Commit(commit));
+    }
+
+    /// Reports a fatal, unrecoverable node failure (the analogue of a
+    /// Rust/Go `panic` in a real validator, like Solana's EAH abort).
+    /// The node halts permanently and cannot be restarted.
+    pub fn panic_node(&mut self, reason: impl Into<String>) {
+        self.effects.push(Effect::Panic(reason.into()));
+    }
+
+    /// Records a diagnostic line in the simulation trace (only retained
+    /// when tracing is enabled on the simulation).
+    pub fn log(&mut self, line: impl AsRef<str>) {
+        if self.tracing {
+            self.effects.push(Effect::Log(line.as_ref().to_owned()));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Node-local resource accounting.
+//!
+//! [`CpuMeter`] models the exponentially-decaying CPU usage tracker that
+//! AvalancheGo's `cpuResourceTracker.Usage` exposes to its inbound message
+//! throttler: work charges usage instantaneously, and usage decays towards
+//! zero with a configurable half-life.
+
+use crate::{SimDuration, SimTime};
+
+/// An exponentially-decaying usage meter.
+///
+/// `usage` is expressed in "cores": charging 1.0 core-second over one
+/// second of simulated time sustains a usage near 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_sim::{CpuMeter, SimDuration, SimTime};
+///
+/// let mut meter = CpuMeter::new(SimDuration::from_secs(5));
+/// meter.charge(SimTime::from_secs(0), 2.0);
+/// let now = meter.usage(SimTime::from_secs(5));
+/// assert!(now < 2.0 && now > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuMeter {
+    half_life: SimDuration,
+    usage: f64,
+    last: SimTime,
+}
+
+impl CpuMeter {
+    /// Creates a meter whose accumulated usage halves every `half_life`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life` is zero.
+    pub fn new(half_life: SimDuration) -> Self {
+        assert!(!half_life.is_zero(), "half-life must be positive");
+        CpuMeter {
+            half_life,
+            usage: 0.0,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Adds `cost` (core-seconds) of work at time `now`.
+    pub fn charge(&mut self, now: SimTime, cost: f64) {
+        self.decay_to(now);
+        self.usage += cost.max(0.0);
+    }
+
+    /// Current decayed usage at time `now`.
+    pub fn usage(&mut self, now: SimTime) -> f64 {
+        self.decay_to(now);
+        self.usage
+    }
+
+    /// Current decayed usage at `now` without updating the meter
+    /// (read-only diagnostics).
+    pub fn usage_peek(&self, now: SimTime) -> f64 {
+        if now <= self.last {
+            return self.usage;
+        }
+        let dt = (now - self.last).as_secs_f64();
+        self.usage * 0.5f64.powf(dt / self.half_life.as_secs_f64())
+    }
+
+    /// Resets the meter to zero (e.g. on node restart).
+    pub fn reset(&mut self, now: SimTime) {
+        self.usage = 0.0;
+        self.last = now;
+    }
+
+    fn decay_to(&mut self, now: SimTime) {
+        if now <= self.last {
+            return;
+        }
+        let dt = (now - self.last).as_secs_f64();
+        let hl = self.half_life.as_secs_f64();
+        self.usage *= 0.5f64.powf(dt / hl);
+        self.last = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decays_by_half_each_half_life() {
+        let mut m = CpuMeter::new(SimDuration::from_secs(2));
+        m.charge(SimTime::ZERO, 8.0);
+        assert!((m.usage(SimTime::from_secs(2)) - 4.0).abs() < 1e-9);
+        assert!((m.usage(SimTime::from_secs(4)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = CpuMeter::new(SimDuration::from_secs(10));
+        m.charge(SimTime::ZERO, 1.0);
+        m.charge(SimTime::ZERO, 1.0);
+        assert!((m.usage(SimTime::ZERO) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_cost_ignored() {
+        let mut m = CpuMeter::new(SimDuration::from_secs(1));
+        m.charge(SimTime::ZERO, -5.0);
+        assert_eq!(m.usage(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn time_going_backwards_is_harmless() {
+        let mut m = CpuMeter::new(SimDuration::from_secs(1));
+        m.charge(SimTime::from_secs(10), 1.0);
+        // Query at an earlier time: no decay, no panic.
+        assert!((m.usage(SimTime::from_secs(5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_usage() {
+        let mut m = CpuMeter::new(SimDuration::from_secs(1));
+        m.charge(SimTime::ZERO, 3.0);
+        m.reset(SimTime::from_secs(1));
+        assert_eq!(m.usage(SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn zero_half_life_rejected() {
+        let _ = CpuMeter::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,286 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The kernel owns its PRNG instead of depending on the `rand` crate
+//! because value stability across platforms and crate versions is a core
+//! deliverable: a seed must reproduce a run bit-for-bit forever. The
+//! implementation is the well-known xoshiro256\*\* generator seeded through
+//! SplitMix64, the combination recommended by the xoshiro authors.
+
+use crate::SimDuration;
+
+/// SplitMix64 step, used to expand a single `u64` seed into a full
+/// xoshiro256\*\* state and to derive independent per-node streams.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256\*\* pseudo-random number generator.
+///
+/// Every node and subsystem in a simulation owns an independent stream
+/// derived from the master seed, so adding draws in one component never
+/// perturbs another.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_sim::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Derives an independent stream labelled by `label`.
+    ///
+    /// Streams with different labels derived from the same generator are
+    /// statistically independent; the parent generator is not advanced.
+    pub fn derive(&self, label: u64) -> DetRng {
+        let mut sm = self.s[0] ^ self.s[2] ^ label.wrapping_mul(0xA076_1D64_78BD_642F);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+            // Rejected: retry with fresh bits to stay unbiased.
+        }
+    }
+
+    /// A uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range: [{lo}, {hi}]");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniformly random duration in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.range_inclusive(lo.as_micros(), hi.as_micros()))
+    }
+
+    /// Chooses `count` distinct indices out of `0..population` (a uniform
+    /// sample without replacement, Floyd's algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > population`.
+    pub fn sample_indices(&mut self, population: usize, count: usize) -> Vec<usize> {
+        assert!(count <= population, "cannot sample {count} of {population}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(count);
+        for j in population - count..population {
+            let t = self.next_below(j as u64 + 1) as usize;
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "cannot pick from an empty slice");
+        &slice[self.next_below(slice.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_is_stable_and_independent() {
+        let root = DetRng::new(99);
+        let mut c1 = root.derive(1);
+        let mut c1_again = root.derive(1);
+        let mut c2 = root.derive(2);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = DetRng::new(3);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut rng = DetRng::new(4);
+        let seen: HashSet<u64> = (0..200).map(|_| rng.next_below(4)).collect();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = DetRng::new(5);
+        let seen: HashSet<u64> = (0..500).map(|_| rng.range_inclusive(10, 12)).collect();
+        assert!(seen.contains(&10) && seen.contains(&12));
+        assert_eq!(rng.range_inclusive(7, 7), 7);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = DetRng::new(6);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(8);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = DetRng::new(9);
+        for _ in 0..50 {
+            let sample = rng.sample_indices(10, 4);
+            assert_eq!(sample.len(), 4);
+            let set: HashSet<usize> = sample.iter().copied().collect();
+            assert_eq!(set.len(), 4);
+            assert!(sample.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_population() {
+        let mut rng = DetRng::new(10);
+        let sample = rng.sample_indices(5, 5);
+        let set: HashSet<usize> = sample.into_iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(11);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rough_uniformity_of_f64() {
+        let mut rng = DetRng::new(12);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean drifted: {mean}");
+    }
+}

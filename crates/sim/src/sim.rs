@@ -1,0 +1,541 @@
+//! The discrete-event simulation kernel.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::protocol::Effect;
+use crate::{
+    Ctx, DetRng, LatencyModel, Network, NodeId, PartitionId, PartitionRule, Protocol,
+    SimDuration, SimTime, TimerId,
+};
+use crate::stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
+
+/// Liveness state of a simulated node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeStatus {
+    /// Processing messages and timers normally.
+    Running,
+    /// Halted by the harness; can be restarted.
+    Crashed,
+    /// Aborted fatally by its own logic; cannot be restarted.
+    Panicked,
+}
+
+/// Builder for a [`Simulation`] ([C-BUILDER]).
+///
+/// # Examples
+///
+/// ```no_run
+/// use stabl_sim::{LatencyModel, SimBuilder};
+/// # use stabl_sim::Protocol;
+/// # fn demo<P: Protocol>(config: P::Config) {
+/// let sim = SimBuilder::new(10, 42)
+///     .latency(LatencyModel::lan())
+///     .tracing(true)
+///     .build::<P>(config);
+/// # }
+/// ```
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Clone, Debug)]
+pub struct SimBuilder {
+    n: usize,
+    seed: u64,
+    latency: LatencyModel,
+    topology: Option<crate::LatencyTopology>,
+    fifo_links: bool,
+    tracing: bool,
+}
+
+impl SimBuilder {
+    /// Starts configuring a simulation of `n` nodes from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a simulation needs at least one node");
+        SimBuilder {
+            n,
+            seed,
+            latency: LatencyModel::default(),
+            topology: None,
+            fifo_links: true,
+            tracing: false,
+        }
+    }
+
+    /// Sets the link latency model (default: [`LatencyModel::lan`]).
+    pub fn latency(&mut self, latency: LatencyModel) -> &mut Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Installs a region-based latency topology (overrides the uniform
+    /// latency model per node pair).
+    pub fn topology(&mut self, topology: crate::LatencyTopology) -> &mut Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Enables or disables per-link FIFO delivery (default: enabled,
+    /// modelling TCP connections; disable for UDP-like reordering).
+    pub fn fifo_links(&mut self, fifo: bool) -> &mut Self {
+        self.fifo_links = fifo;
+        self
+    }
+
+    /// Enables retention of [`Ctx::log`] lines (default: off).
+    pub fn tracing(&mut self, tracing: bool) -> &mut Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Builds the simulation, constructing all `n` protocol instances.
+    pub fn build<P: Protocol>(&self, config: P::Config) -> Simulation<P> {
+        Simulation::with_builder(self.clone(), config)
+    }
+}
+
+struct NodeSlot<P> {
+    proto: P,
+    status: NodeStatus,
+    /// Incremented on every crash, restart and panic; pending timers
+    /// carry the epoch they were armed in and are dropped if it is stale.
+    epoch: u64,
+    rng: DetRng,
+}
+
+enum EventKind<P: Protocol> {
+    Deliver { from: NodeId, to: NodeId, msg: P::Msg },
+    Timer { node: NodeId, id: TimerId, epoch: u64, token: P::Timer },
+    Request { node: NodeId, request: P::Request },
+    Crash(NodeId),
+    Restart(NodeId),
+    PartitionStart { handle: u64, rule: PartitionRule },
+    PartitionEnd { handle: u64 },
+    SetSlowdown { node: NodeId, extra: SimDuration },
+}
+
+struct Scheduled<P: Protocol> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+impl<P: Protocol> PartialEq for Scheduled<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P: Protocol> Eq for Scheduled<P> {}
+impl<P: Protocol> PartialOrd for Scheduled<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Protocol> Ord for Scheduled<P> {
+    /// Reversed so the `BinaryHeap` pops the earliest event; ties broken
+    /// by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation of `n` nodes running
+/// protocol `P`.
+///
+/// The harness schedules external events (client requests, crashes,
+/// restarts, partitions) and then advances time with
+/// [`Simulation::run_until`]; afterwards the commit log, panic log and
+/// traffic counters describe the run.
+pub struct Simulation<P: Protocol> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<P>>,
+    nodes: Vec<NodeSlot<P>>,
+    net: Network,
+    net_rng: DetRng,
+    next_timer: u64,
+    cancelled_timers: HashSet<u64>,
+    partition_handles: HashMap<u64, PartitionId>,
+    next_partition_handle: u64,
+    fifo_links: bool,
+    link_clock: HashMap<(u32, u32), SimTime>,
+    commits: Vec<CommitRecord<P::Commit>>,
+    panics: Vec<PanicRecord>,
+    trace: Vec<TraceLine>,
+    tracing: bool,
+    stats: SimStats,
+    config: P::Config,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates a simulation with default latency and FIFO links; see
+    /// [`SimBuilder`] for more control.
+    pub fn new(n: usize, seed: u64, config: P::Config) -> Self {
+        SimBuilder::new(n, seed).build(config)
+    }
+
+    fn with_builder(b: SimBuilder, config: P::Config) -> Self {
+        let master = DetRng::new(b.seed);
+        let mut sim = Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::with_capacity(b.n),
+            net: {
+                let mut net = Network::new(b.latency);
+                if let Some(topology) = b.topology.clone() {
+                    net.set_topology(topology);
+                }
+                net
+            },
+            net_rng: master.derive(u64::MAX),
+            next_timer: 0,
+            cancelled_timers: HashSet::new(),
+            partition_handles: HashMap::new(),
+            next_partition_handle: 0,
+            fifo_links: b.fifo_links,
+            link_clock: HashMap::new(),
+            commits: Vec::new(),
+            panics: Vec::new(),
+            trace: Vec::new(),
+            tracing: b.tracing,
+            stats: SimStats::default(),
+            config,
+        };
+        for id in NodeId::all(b.n) {
+            let mut rng = master.derive(id.as_u32() as u64);
+            let mut effects = Vec::new();
+            let mut ctx = Ctx {
+                node: id,
+                n: b.n,
+                now: SimTime::ZERO,
+                rng: &mut rng,
+                effects: &mut effects,
+                next_timer: &mut sim.next_timer,
+                tracing: sim.tracing,
+            };
+            let proto = P::new(id, b.n, &sim.config, &mut ctx);
+            sim.nodes.push(NodeSlot {
+                proto,
+                status: NodeStatus::Running,
+                epoch: 0,
+                rng,
+            });
+            sim.apply_effects(id, effects);
+        }
+        sim
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The liveness status of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn status(&self, node: NodeId) -> NodeStatus {
+        self.nodes[node.index()].status
+    }
+
+    /// Immutable access to a node's protocol state (for post-run
+    /// inspection and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: NodeId) -> &P {
+        &self.nodes[node.index()].proto
+    }
+
+    /// The commit log accumulated so far.
+    pub fn commits(&self) -> &[CommitRecord<P::Commit>] {
+        &self.commits
+    }
+
+    /// Drains the commit log, leaving it empty (useful to stream results
+    /// out of long runs).
+    pub fn take_commits(&mut self) -> Vec<CommitRecord<P::Commit>> {
+        std::mem::take(&mut self.commits)
+    }
+
+    /// Fatal node failures recorded so far.
+    pub fn panics(&self) -> &[PanicRecord] {
+        &self.panics
+    }
+
+    /// Diagnostic lines recorded while tracing was enabled.
+    pub fn trace(&self) -> &[TraceLine] {
+        &self.trace
+    }
+
+    /// Aggregate traffic counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The network fabric (latency model, partition drop counters).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Schedules a client request for delivery to `node` at `at`.
+    ///
+    /// Requests reaching a crashed or panicked node are counted in
+    /// [`SimStats::requests_dropped`] and lost, exactly like a connection
+    /// refused by a dead server.
+    pub fn schedule_request(&mut self, at: SimTime, node: NodeId, request: P::Request) {
+        self.push(at, EventKind::Request { node, request });
+    }
+
+    /// Schedules a permanent or transient crash of `node` at `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a restart of a previously crashed `node` at `at`.
+    /// Restarting a running or panicked node is a recorded no-op.
+    pub fn schedule_restart(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Restart(node));
+    }
+
+    /// Schedules a slowdown of `node` between `start` and `end`: every
+    /// message the node sends gains `extra` delay (a slow-but-correct
+    /// node — the single-slow-node case the paper's §4 discusses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn schedule_slowdown(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        node: NodeId,
+        extra: SimDuration,
+    ) {
+        assert!(start <= end, "slowdown must end after it starts");
+        self.push(start, EventKind::SetSlowdown { node, extra });
+        self.push(end, EventKind::SetSlowdown { node, extra: SimDuration::ZERO });
+    }
+
+    /// Schedules a partition installed at `start` and healed at `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn schedule_partition(&mut self, start: SimTime, end: SimTime, rule: PartitionRule) {
+        assert!(start <= end, "partition must end after it starts");
+        let handle = self.next_partition_handle;
+        self.next_partition_handle += 1;
+        self.push(start, EventKind::PartitionStart { handle, rule });
+        self.push(end, EventKind::PartitionEnd { handle });
+    }
+
+    /// Runs the simulation until no event at or before `horizon` remains;
+    /// the clock finishes at `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.time > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.stats.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+        self.now = horizon;
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<P>) {
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, kind });
+    }
+
+    fn dispatch(&mut self, kind: EventKind<P>) {
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.net.blocked(from, to) {
+                    self.net.note_partition_drop();
+                    self.stats.messages_dropped_partition += 1;
+                    return;
+                }
+                if self.nodes[to.index()].status != NodeStatus::Running {
+                    self.stats.messages_dropped_dead += 1;
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                let effects = self.with_ctx(to, |proto, ctx| proto.on_message(from, msg, ctx));
+                self.apply_effects(to, effects);
+            }
+            EventKind::Timer { node, id, epoch, token } => {
+                let slot = &self.nodes[node.index()];
+                if slot.status != NodeStatus::Running
+                    || slot.epoch != epoch
+                    || self.cancelled_timers.remove(&id.0)
+                {
+                    self.stats.timers_stale += 1;
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                let effects = self.with_ctx(node, |proto, ctx| proto.on_timer(token, ctx));
+                self.apply_effects(node, effects);
+            }
+            EventKind::Request { node, request } => {
+                if self.nodes[node.index()].status != NodeStatus::Running {
+                    self.stats.requests_dropped += 1;
+                    return;
+                }
+                self.stats.requests_delivered += 1;
+                let effects = self.with_ctx(node, |proto, ctx| proto.on_request(request, ctx));
+                self.apply_effects(node, effects);
+            }
+            EventKind::Crash(node) => {
+                let slot = &mut self.nodes[node.index()];
+                if slot.status == NodeStatus::Running {
+                    slot.status = NodeStatus::Crashed;
+                    slot.epoch += 1;
+                }
+            }
+            EventKind::Restart(node) => {
+                if self.nodes[node.index()].status == NodeStatus::Crashed {
+                    self.nodes[node.index()].status = NodeStatus::Running;
+                    self.nodes[node.index()].epoch += 1;
+                    let effects = self.with_ctx(node, |proto, ctx| proto.on_restart(ctx));
+                    self.apply_effects(node, effects);
+                }
+            }
+            EventKind::PartitionStart { handle, rule } => {
+                let id = self.net.install(rule);
+                self.partition_handles.insert(handle, id);
+            }
+            EventKind::PartitionEnd { handle } => {
+                if let Some(id) = self.partition_handles.remove(&handle) {
+                    self.net.remove(id);
+                }
+            }
+            EventKind::SetSlowdown { node, extra } => {
+                self.net.set_slowdown(node, extra);
+            }
+        }
+    }
+
+    fn with_ctx<F>(&mut self, node: NodeId, f: F) -> Vec<Effect<P>>
+    where
+        F: FnOnce(&mut P, &mut Ctx<'_, P>),
+    {
+        let n = self.nodes.len();
+        let mut effects = Vec::new();
+        let slot = &mut self.nodes[node.index()];
+        let mut ctx = Ctx {
+            node,
+            n,
+            now: self.now,
+            rng: &mut slot.rng,
+            effects: &mut effects,
+            next_timer: &mut self.next_timer,
+            tracing: self.tracing,
+        };
+        f(&mut slot.proto, &mut ctx);
+        effects
+    }
+
+    fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect<P>>) {
+        let epoch = self.nodes[from.index()].epoch;
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.stats.messages_sent += 1;
+                    if self.net.blocked(from, to) {
+                        self.net.note_partition_drop();
+                        self.stats.messages_dropped_partition += 1;
+                        continue;
+                    }
+                    let delay =
+                        self.net.sample_delay(from, to, &mut self.net_rng) + self.net.slowdown(from);
+                    let mut deliver_at = self.now + delay;
+                    if self.fifo_links {
+                        let key = (from.as_u32(), to.as_u32());
+                        let last = self.link_clock.entry(key).or_insert(SimTime::ZERO);
+                        deliver_at = deliver_at.max(*last);
+                        *last = deliver_at;
+                    }
+                    self.push(deliver_at, EventKind::Deliver { from, to, msg });
+                }
+                Effect::SetTimer { id, delay, token } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer { node: from, id, epoch, token });
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled_timers.insert(id.0);
+                }
+                Effect::Commit(commit) => {
+                    self.commits.push(CommitRecord {
+                        time: self.now,
+                        node: from,
+                        commit,
+                    });
+                }
+                Effect::Panic(reason) => {
+                    let slot = &mut self.nodes[from.index()];
+                    if slot.status == NodeStatus::Running {
+                        slot.status = NodeStatus::Panicked;
+                        slot.epoch += 1;
+                    }
+                    self.panics.push(PanicRecord {
+                        time: self.now,
+                        node: from,
+                        reason,
+                    });
+                }
+                Effect::Log(line) => {
+                    if self.tracing {
+                        self.trace.push(TraceLine {
+                            time: self.now,
+                            node: from,
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("commits", &self.commits.len())
+            .field("panics", &self.panics.len())
+            .finish()
+    }
+}
+
+/// Convenience: a duration of `secs` seconds (shorthand used throughout
+/// the test suites).
+pub fn secs(secs: u64) -> SimDuration {
+    SimDuration::from_secs(secs)
+}
+
+/// Convenience: a duration of `millis` milliseconds.
+pub fn millis(millis: u64) -> SimDuration {
+    SimDuration::from_millis(millis)
+}

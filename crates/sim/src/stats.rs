@@ -1,0 +1,66 @@
+//! Run-level observations collected by the kernel: commit log, panics and
+//! traffic counters.
+
+use crate::{NodeId, SimTime};
+
+/// One commit notification: node `node` committed `commit` at `time`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord<C> {
+    /// When the commit happened on the simulated clock.
+    pub time: SimTime,
+    /// The node that reported the commit.
+    pub node: NodeId,
+    /// The protocol-defined commit payload (typically a transaction id).
+    pub commit: C,
+}
+
+/// A fatal node failure reported through [`Ctx::panic_node`].
+///
+/// [`Ctx::panic_node`]: crate::Ctx::panic_node
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicRecord {
+    /// When the node aborted.
+    pub time: SimTime,
+    /// The node that aborted.
+    pub node: NodeId,
+    /// The panic message.
+    pub reason: String,
+}
+
+/// A line logged by a node through [`Ctx::log`] while tracing is enabled.
+///
+/// [`Ctx::log`]: crate::Ctx::log
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceLine {
+    /// When the line was logged.
+    pub time: SimTime,
+    /// The node that logged it.
+    pub node: NodeId,
+    /// The logged text.
+    pub line: String,
+}
+
+/// Aggregate traffic and scheduling counters for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the network by protocols.
+    pub messages_sent: u64,
+    /// Messages delivered to a running node.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination (or source) was crashed
+    /// or panicked.
+    pub messages_dropped_dead: u64,
+    /// Messages dropped by partition rules.
+    pub messages_dropped_partition: u64,
+    /// Timers that fired and were dispatched.
+    pub timers_fired: u64,
+    /// Timers skipped because they were cancelled or invalidated by a
+    /// crash/restart.
+    pub timers_stale: u64,
+    /// Client requests delivered to a running node.
+    pub requests_delivered: u64,
+    /// Client requests dropped because the target node was down.
+    pub requests_dropped: u64,
+    /// Total events processed by the kernel.
+    pub events_processed: u64,
+}

@@ -1,0 +1,251 @@
+//! Slot/epoch accounting and the stake-weighted leader schedule.
+//!
+//! Solana divides time into fixed-duration *slots*, each assigned to one
+//! leader, grouped into *epochs*. With `--enable-warmup-epochs` (the
+//! default of the deployment scripts the paper used), epoch 0 has 32
+//! slots and each following epoch doubles until the normal length (8192)
+//! is reached — the paper traces the Epoch-Accounts-Hash panic to a
+//! transient failure landing in one of these short warmup epochs (§5).
+//!
+//! The leader schedule is a deterministic pseudo-random function of the
+//! epoch (computed two epochs in advance on the real chain); with the
+//! testbed's uniform stake every validator is equally likely per slot.
+
+use stabl_sim::NodeId;
+use stabl_types::Sha256;
+
+/// Slot/epoch arithmetic for a (possibly warmup-enabled) schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochSchedule {
+    first_epoch_slots: u64,
+    max_epoch_slots: u64,
+}
+
+impl EpochSchedule {
+    /// The warmup schedule used by Solana's development deployments:
+    /// 32-slot epoch 0, doubling to 8192.
+    pub fn warmup() -> EpochSchedule {
+        EpochSchedule { first_epoch_slots: 32, max_epoch_slots: 8192 }
+    }
+
+    /// A constant-length schedule (no warmup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn constant(slots: u64) -> EpochSchedule {
+        assert!(slots > 0, "epochs need at least one slot");
+        EpochSchedule { first_epoch_slots: slots, max_epoch_slots: slots }
+    }
+
+    /// Number of slots in `epoch`.
+    pub fn slots_in_epoch(&self, epoch: u64) -> u64 {
+        let doubled = u32::try_from(epoch)
+            .ok()
+            .and_then(|shift| self.first_epoch_slots.checked_shl(shift))
+            .unwrap_or(u64::MAX);
+        doubled.min(self.max_epoch_slots)
+    }
+
+    /// First slot of `epoch`.
+    pub fn first_slot(&self, epoch: u64) -> u64 {
+        let mut slot = 0;
+        for e in 0..epoch {
+            slot += self.slots_in_epoch(e);
+        }
+        slot
+    }
+
+    /// The epoch containing `slot`.
+    pub fn epoch_of(&self, slot: u64) -> u64 {
+        let mut epoch = 0;
+        let mut start = 0;
+        loop {
+            let len = self.slots_in_epoch(epoch);
+            if slot < start + len {
+                return epoch;
+            }
+            start += len;
+            epoch += 1;
+        }
+    }
+
+    /// The slot at which the Epoch-Accounts-Hash calculation of `epoch`
+    /// must *start* (one quarter in).
+    pub fn eah_start_slot(&self, epoch: u64) -> u64 {
+        self.first_slot(epoch) + self.slots_in_epoch(epoch) / 4
+    }
+
+    /// The slot at which the EAH must be integrated into the bank hash
+    /// (three quarters in) — the `wait_get_epoch_accounts_hash` point.
+    pub fn eah_stop_slot(&self, epoch: u64) -> u64 {
+        self.first_slot(epoch) + self.slots_in_epoch(epoch) * 3 / 4
+    }
+}
+
+/// The leader of `slot` in an `n`-validator network (uniform stake).
+pub fn leader_for(seed: u64, schedule: &EpochSchedule, slot: u64, n: usize) -> NodeId {
+    leader_for_weighted(seed, schedule, slot, &vec![1; n])
+}
+
+/// The leader of `slot` with stake-proportional selection: validator `i`
+/// leads with probability `stakes[i] / Σ stakes`.
+///
+/// # Panics
+///
+/// Panics if `stakes` is empty or sums to zero.
+pub fn leader_for_weighted(
+    seed: u64,
+    schedule: &EpochSchedule,
+    slot: u64,
+    stakes: &[u64],
+) -> NodeId {
+    let total: u64 = stakes.iter().sum();
+    assert!(total > 0, "total stake must be positive");
+    let epoch = schedule.epoch_of(slot);
+    let mut hasher = Sha256::new();
+    hasher.update(b"solana-leader-schedule-v1");
+    hasher.update(&seed.to_be_bytes());
+    hasher.update(&epoch.to_be_bytes());
+    hasher.update(&slot.to_be_bytes());
+    let mut draw = hasher.finalize().prefix_u64() % total;
+    for (i, stake) in stakes.iter().enumerate() {
+        if draw < *stake {
+            return NodeId::new(i as u32);
+        }
+        draw -= stake;
+    }
+    unreachable!("draw is below the total stake")
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `epoch_of` inverts the epoch boundaries for arbitrary slots.
+        #[test]
+        fn epoch_of_is_consistent(slot in 0u64..2_000_000) {
+            let s = EpochSchedule::warmup();
+            let epoch = s.epoch_of(slot);
+            prop_assert!(s.first_slot(epoch) <= slot);
+            prop_assert!(slot < s.first_slot(epoch) + s.slots_in_epoch(epoch));
+        }
+
+        /// EAH windows are strictly inside their epoch for any schedule.
+        #[test]
+        fn eah_windows_inside_epoch(first in 4u64..512, epoch in 0u64..12) {
+            let s = EpochSchedule { first_epoch_slots: first, max_epoch_slots: 8192.max(first) };
+            prop_assert!(s.eah_start_slot(epoch) >= s.first_slot(epoch));
+            prop_assert!(s.eah_start_slot(epoch) < s.eah_stop_slot(epoch));
+            prop_assert!(s.eah_stop_slot(epoch) < s.first_slot(epoch + 1));
+        }
+
+        /// The weighted schedule only ever picks staked validators.
+        #[test]
+        fn weighted_leader_has_stake(
+            slot in 0u64..100_000,
+            stakes in proptest::collection::vec(0u64..8, 1..12),
+        ) {
+            prop_assume!(stakes.iter().sum::<u64>() > 0);
+            let s = EpochSchedule::warmup();
+            let leader = leader_for_weighted(3, &s, slot, &stakes);
+            prop_assert!(stakes[leader.index()] > 0, "zero-stake node led");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_doubles_to_cap() {
+        let s = EpochSchedule::warmup();
+        assert_eq!(s.slots_in_epoch(0), 32);
+        assert_eq!(s.slots_in_epoch(1), 64);
+        assert_eq!(s.slots_in_epoch(4), 512);
+        assert_eq!(s.slots_in_epoch(8), 8192);
+        assert_eq!(s.slots_in_epoch(20), 8192, "cap holds");
+    }
+
+    #[test]
+    fn first_slot_accumulates() {
+        let s = EpochSchedule::warmup();
+        assert_eq!(s.first_slot(0), 0);
+        assert_eq!(s.first_slot(1), 32);
+        assert_eq!(s.first_slot(2), 96);
+        assert_eq!(s.first_slot(3), 224);
+        assert_eq!(s.first_slot(4), 480);
+    }
+
+    #[test]
+    fn epoch_of_inverts_first_slot() {
+        let s = EpochSchedule::warmup();
+        for epoch in 0..10 {
+            let start = s.first_slot(epoch);
+            assert_eq!(s.epoch_of(start), epoch);
+            assert_eq!(s.epoch_of(start + s.slots_in_epoch(epoch) - 1), epoch);
+        }
+    }
+
+    #[test]
+    fn eah_windows_sit_inside_the_epoch() {
+        let s = EpochSchedule::warmup();
+        for epoch in 0..8 {
+            let start = s.eah_start_slot(epoch);
+            let stop = s.eah_stop_slot(epoch);
+            assert!(start >= s.first_slot(epoch));
+            assert!(start < stop);
+            assert!(stop < s.first_slot(epoch + 1));
+        }
+    }
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let s = EpochSchedule::constant(100);
+        assert_eq!(s.slots_in_epoch(0), 100);
+        assert_eq!(s.slots_in_epoch(7), 100);
+        assert_eq!(s.first_slot(3), 300);
+        assert_eq!(s.epoch_of(299), 2);
+    }
+
+    #[test]
+    fn weighted_schedule_tracks_stake() {
+        let s = EpochSchedule::warmup();
+        // One whale with 50% of the stake among 5 validators.
+        let stakes = [4u64, 1, 1, 1, 1];
+        let mut counts = [0u32; 5];
+        for slot in 0..8000 {
+            counts[leader_for_weighted(7, &s, slot, &stakes).index()] += 1;
+        }
+        let whale_share = counts[0] as f64 / 8000.0;
+        assert!((whale_share - 0.5).abs() < 0.03, "whale led {whale_share}");
+        for c in &counts[1..] {
+            let share = *c as f64 / 8000.0;
+            assert!((share - 0.125).abs() < 0.02, "minnow led {share}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total stake")]
+    fn zero_stake_rejected() {
+        let _ = leader_for_weighted(7, &EpochSchedule::warmup(), 0, &[0, 0]);
+    }
+
+    #[test]
+    fn leader_schedule_is_deterministic_and_balanced() {
+        let s = EpochSchedule::warmup();
+        let mut counts = [0u32; 10];
+        for slot in 0..5000 {
+            let a = leader_for(7, &s, slot, 10);
+            let b = leader_for(7, &s, slot, 10);
+            assert_eq!(a, b);
+            counts[a.index()] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!((400..600).contains(c), "node {i} got {c} slots of 5000");
+        }
+    }
+}

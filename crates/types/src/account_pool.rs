@@ -1,0 +1,407 @@
+//! A nonce-aware transaction pool.
+//!
+//! Production mempools (Aptos mempool, go-ethereum/coreth's `legacypool`)
+//! track per-account sequence numbers: only *ready* transactions — whose
+//! nonce chain is contiguous from the last committed nonce — are eligible
+//! for a block proposal, while out-of-order arrivals park until the gap
+//! fills. Proposals *copy* ready transactions; entries leave the pool
+//! only when an account's committed nonce advances, so a failed proposal
+//! needs no restore step.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::{AccountId, Transaction, TxId};
+
+/// A bounded, nonce-ordered transaction pool with per-account readiness
+/// tracking.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_types::{AccountId, AccountPool, Transaction};
+///
+/// let mut pool = AccountPool::new(100);
+/// let acct = AccountId::new(0);
+/// let tx1 = Transaction::transfer(acct, 1, AccountId::new(9), 5);
+/// pool.insert(tx1);
+/// // Nonce 0 is missing, so nothing is ready yet.
+/// assert!(pool.take_ready(10).is_empty());
+/// let tx0 = Transaction::transfer(acct, 0, AccountId::new(9), 5);
+/// pool.insert(tx0);
+/// assert_eq!(pool.take_ready(10).len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AccountPool {
+    by_account: BTreeMap<AccountId, BTreeMap<u64, Transaction>>,
+    ids: HashSet<TxId>,
+    committed_next: HashMap<AccountId, u64>,
+    len: usize,
+    capacity: usize,
+    rejected_stale: u64,
+    rejected_full: u64,
+}
+
+impl AccountPool {
+    /// Creates a pool holding at most `capacity` pending transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> AccountPool {
+        assert!(capacity > 0, "pool capacity must be positive");
+        AccountPool {
+            capacity,
+            ..AccountPool::default()
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if `tx`'s nonce is below the account's committed nonce —
+    /// i.e. it (or a conflicting transaction) already committed.
+    pub fn is_stale(&self, tx: &Transaction) -> bool {
+        tx.nonce() < self.committed_nonce(tx.from())
+    }
+
+    /// The next nonce the pool believes `account` will commit.
+    pub fn committed_nonce(&self, account: AccountId) -> u64 {
+        self.committed_next.get(&account).copied().unwrap_or(0)
+    }
+
+    /// Inserts `tx`; returns `false` for stale transactions, duplicates
+    /// and a full pool.
+    pub fn insert(&mut self, tx: Transaction) -> bool {
+        if self.is_stale(&tx) || self.ids.contains(&tx.id()) {
+            self.rejected_stale += 1;
+            return false;
+        }
+        if self.len >= self.capacity {
+            self.rejected_full += 1;
+            return false;
+        }
+        let slots = self.by_account.entry(tx.from()).or_default();
+        if slots.contains_key(&tx.nonce()) {
+            // A different transaction already occupies this nonce; first
+            // arrival wins (like production pools without fee bumping).
+            self.rejected_stale += 1;
+            return false;
+        }
+        slots.insert(tx.nonce(), tx);
+        self.ids.insert(tx.id());
+        self.len += 1;
+        true
+    }
+
+    /// Copies up to `max` *ready* transactions: for every account, the
+    /// contiguous nonce run starting at its committed nonce, drawn
+    /// round-robin across accounts for fairness. The pool is unchanged —
+    /// entries leave only through [`AccountPool::mark_committed`].
+    pub fn take_ready(&self, max: usize) -> Vec<Transaction> {
+        let mut ready: Vec<Vec<Transaction>> = Vec::new();
+        for (account, slots) in &self.by_account {
+            let mut next = self.committed_nonce(*account);
+            let mut run = Vec::new();
+            while let Some(tx) = slots.get(&next) {
+                run.push(*tx);
+                next += 1;
+            }
+            if !run.is_empty() {
+                ready.push(run);
+            }
+        }
+        let mut out = Vec::with_capacity(max.min(self.len));
+        let mut depth = 0;
+        while out.len() < max {
+            let mut any = false;
+            for run in &ready {
+                if let Some(tx) = run.get(depth) {
+                    out.push(*tx);
+                    any = true;
+                    if out.len() == max {
+                        break;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            depth += 1;
+        }
+        out
+    }
+
+    /// All ready transactions of one account, up to `max` (used by
+    /// protocol-specific selection policies such as Avalanche's
+    /// randomised gossip).
+    pub fn ready_for(&self, account: AccountId, max: usize) -> Vec<Transaction> {
+        let mut out = Vec::new();
+        if let Some(slots) = self.by_account.get(&account) {
+            let mut next = self.committed_nonce(account);
+            while let Some(tx) = slots.get(&next) {
+                out.push(*tx);
+                next += 1;
+                if out.len() == max {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The pool's *frontier*: for every account with state, the first
+    /// nonce the node does **not** hold contiguously (committed nonce
+    /// plus the ready run). Pull-gossip peers use this to compute which
+    /// transactions the node is missing.
+    pub fn frontier(&self) -> Vec<(AccountId, u64)> {
+        let mut out: Vec<(AccountId, u64)> = Vec::new();
+        let mut accounts: Vec<AccountId> = self
+            .by_account
+            .keys()
+            .copied()
+            .chain(self.committed_next.keys().copied())
+            .collect();
+        accounts.sort_unstable();
+        accounts.dedup();
+        for account in accounts {
+            let mut next = self.committed_nonce(account);
+            if let Some(slots) = self.by_account.get(&account) {
+                while slots.contains_key(&next) {
+                    next += 1;
+                }
+            }
+            out.push((account, next));
+        }
+        out
+    }
+
+    /// Transactions this pool holds that a peer with `frontier` is
+    /// missing (nonce at or above the peer's frontier for that account),
+    /// up to `max` — the pull-gossip response.
+    pub fn missing_for(&self, frontier: &[(AccountId, u64)], max: usize) -> Vec<Transaction> {
+        let mut out = Vec::new();
+        for &(account, from_nonce) in frontier {
+            if let Some(slots) = self.by_account.get(&account) {
+                for (_, tx) in slots.range(from_nonce..) {
+                    out.push(*tx);
+                    if out.len() == max {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Accounts with at least one pending transaction, in id order.
+    pub fn accounts(&self) -> Vec<AccountId> {
+        self.by_account
+            .iter()
+            .filter(|(_, slots)| !slots.is_empty())
+            .map(|(account, _)| *account)
+            .collect()
+    }
+
+    /// Advances `account`'s committed nonce to at least `next_nonce`,
+    /// pruning every entry below it.
+    pub fn mark_committed(&mut self, account: AccountId, next_nonce: u64) {
+        let entry = self.committed_next.entry(account).or_insert(0);
+        if next_nonce <= *entry {
+            return;
+        }
+        *entry = next_nonce;
+        if let Some(slots) = self.by_account.get_mut(&account) {
+            let keep = slots.split_off(&next_nonce);
+            for (_, tx) in std::mem::replace(slots, keep) {
+                self.ids.remove(&tx.id());
+                self.len -= 1;
+            }
+        }
+    }
+
+    /// Drops all pending transactions (volatile restart) while keeping
+    /// the committed-nonce index (derived from durable chain state).
+    pub fn clear_pending(&mut self) {
+        self.by_account.clear();
+        self.ids.clear();
+        self.len = 0;
+    }
+
+    /// Transactions rejected as stale or duplicate.
+    pub fn rejected_stale(&self) -> u64 {
+        self.rejected_stale
+    }
+
+    /// Transactions rejected because the pool was full.
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(from: u32, nonce: u64) -> Transaction {
+        Transaction::transfer(AccountId::new(from), nonce, AccountId::new(99), 1)
+    }
+
+    #[test]
+    fn contiguous_runs_are_ready() {
+        let mut pool = AccountPool::new(100);
+        pool.insert(tx(0, 0));
+        pool.insert(tx(0, 1));
+        pool.insert(tx(0, 3)); // gap at 2
+        let ready = pool.take_ready(10);
+        assert_eq!(ready.iter().map(|t| t.nonce()).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn gap_fill_releases_parked() {
+        let mut pool = AccountPool::new(100);
+        pool.insert(tx(0, 1));
+        assert!(pool.take_ready(10).is_empty());
+        pool.insert(tx(0, 0));
+        assert_eq!(pool.take_ready(10).len(), 2);
+    }
+
+    #[test]
+    fn round_robin_across_accounts() {
+        let mut pool = AccountPool::new(100);
+        for nonce in 0..3 {
+            pool.insert(tx(0, nonce));
+            pool.insert(tx(1, nonce));
+        }
+        let ready = pool.take_ready(4);
+        let senders: Vec<u32> = ready.iter().map(|t| t.from().as_u32()).collect();
+        assert_eq!(senders, vec![0, 1, 0, 1], "fair interleave");
+        let nonces: Vec<u64> = ready.iter().map(|t| t.nonce()).collect();
+        assert_eq!(nonces, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn take_ready_does_not_remove() {
+        let mut pool = AccountPool::new(100);
+        pool.insert(tx(0, 0));
+        assert_eq!(pool.take_ready(10).len(), 1);
+        assert_eq!(pool.take_ready(10).len(), 1, "copy semantics");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn mark_committed_prunes_and_blocks_stale() {
+        let mut pool = AccountPool::new(100);
+        pool.insert(tx(0, 0));
+        pool.insert(tx(0, 1));
+        pool.insert(tx(0, 2));
+        pool.mark_committed(AccountId::new(0), 2);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.insert(tx(0, 1)), "stale rejected");
+        assert!(pool.is_stale(&tx(0, 1)));
+        assert_eq!(
+            pool.take_ready(10).iter().map(|t| t.nonce()).collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn mark_committed_never_regresses() {
+        let mut pool = AccountPool::new(100);
+        pool.mark_committed(AccountId::new(0), 5);
+        pool.mark_committed(AccountId::new(0), 3);
+        assert_eq!(pool.committed_nonce(AccountId::new(0)), 5);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut pool = AccountPool::new(2);
+        assert!(pool.insert(tx(0, 0)));
+        assert!(pool.insert(tx(0, 1)));
+        assert!(!pool.insert(tx(0, 2)));
+        assert_eq!(pool.rejected_full(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut pool = AccountPool::new(10);
+        let t = tx(0, 0);
+        assert!(pool.insert(t));
+        assert!(!pool.insert(t));
+        assert_eq!(pool.rejected_stale(), 1);
+    }
+
+    #[test]
+    fn conflicting_nonce_first_wins() {
+        let mut pool = AccountPool::new(10);
+        let a = Transaction::transfer(AccountId::new(0), 0, AccountId::new(1), 1);
+        let b = Transaction::transfer(AccountId::new(0), 0, AccountId::new(2), 1);
+        assert!(pool.insert(a));
+        assert!(!pool.insert(b));
+        assert_eq!(pool.take_ready(10)[0].id(), a.id());
+    }
+
+    #[test]
+    fn clear_pending_keeps_nonce_index() {
+        let mut pool = AccountPool::new(10);
+        pool.insert(tx(0, 0));
+        pool.mark_committed(AccountId::new(0), 1);
+        pool.insert(tx(0, 1));
+        pool.clear_pending();
+        assert!(pool.is_empty());
+        assert!(!pool.insert(tx(0, 0)), "stale check survives restart");
+        assert!(pool.insert(tx(0, 1)));
+    }
+
+    #[test]
+    fn frontier_reports_first_missing_nonce() {
+        let mut pool = AccountPool::new(64);
+        pool.insert(tx(0, 0));
+        pool.insert(tx(0, 1));
+        pool.insert(tx(0, 3)); // gap at 2
+        pool.insert(tx(1, 5)); // gap from 0
+        assert_eq!(
+            pool.frontier(),
+            vec![(AccountId::new(0), 2), (AccountId::new(1), 0)]
+        );
+        pool.mark_committed(AccountId::new(0), 4);
+        assert_eq!(
+            pool.frontier(),
+            vec![(AccountId::new(0), 4), (AccountId::new(1), 0)]
+        );
+    }
+
+    #[test]
+    fn missing_for_serves_the_peers_gap() {
+        let mut pool = AccountPool::new(64);
+        for n in 0..5 {
+            pool.insert(tx(0, n));
+        }
+        // Peer already has nonces 0..3.
+        let missing = pool.missing_for(&[(AccountId::new(0), 3)], 10);
+        assert_eq!(missing.iter().map(|t| t.nonce()).collect::<Vec<_>>(), vec![3, 4]);
+        // Cap applies.
+        let capped = pool.missing_for(&[(AccountId::new(0), 0)], 2);
+        assert_eq!(capped.len(), 2);
+        // Unknown accounts yield nothing.
+        assert!(pool.missing_for(&[(AccountId::new(7), 0)], 10).is_empty());
+    }
+
+    #[test]
+    fn ready_for_single_account() {
+        let mut pool = AccountPool::new(10);
+        pool.insert(tx(0, 0));
+        pool.insert(tx(0, 1));
+        pool.insert(tx(1, 0));
+        let ready = pool.ready_for(AccountId::new(0), 1);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].nonce(), 0);
+        assert_eq!(pool.accounts(), vec![AccountId::new(0), AccountId::new(1)]);
+    }
+}

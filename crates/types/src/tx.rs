@@ -1,0 +1,166 @@
+//! Accounts and native-transfer transactions.
+//!
+//! The Stabl workload consists exclusively of native transfers at a
+//! constant rate (the paper, §8: complex contract calls would exhaust gas
+//! on some chains and mask the failure effects), so a transfer is the only
+//! transaction kind modelled.
+
+use std::fmt;
+
+use crate::{Hash32, Sha256};
+
+/// Identifies a client account.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccountId(u32);
+
+impl AccountId {
+    /// Creates an account id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        AccountId(index)
+    }
+
+    /// The dense index of this account.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32`.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
+/// Identifies a transaction: the SHA-256 digest of its signed payload.
+///
+/// Two submissions of the same logical transfer (same sender and nonce)
+/// have the same id — this is what makes the secure client's redundant
+/// submissions deduplicable, as in the real chains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(Hash32);
+
+impl TxId {
+    /// The digest backing this id.
+    pub const fn hash(&self) -> Hash32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.0.as_bytes();
+        write!(f, "tx:{:02x}{:02x}{:02x}{:02x}", bytes[0], bytes[1], bytes[2], bytes[3])
+    }
+}
+
+/// A signed native transfer.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_types::{AccountId, Transaction};
+///
+/// let tx = Transaction::transfer(AccountId::new(0), 5, AccountId::new(1), 100);
+/// assert_eq!(tx.nonce(), 5);
+/// assert_eq!(tx, tx.clone());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    id: TxId,
+    from: AccountId,
+    to: AccountId,
+    nonce: u64,
+    amount: u64,
+}
+
+impl Transaction {
+    /// Creates a transfer of `amount` from `from` (at sequence number
+    /// `nonce`) to `to`.
+    pub fn transfer(from: AccountId, nonce: u64, to: AccountId, amount: u64) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(b"stabl-transfer-v1");
+        hasher.update(&from.as_u32().to_be_bytes());
+        hasher.update(&nonce.to_be_bytes());
+        hasher.update(&to.as_u32().to_be_bytes());
+        hasher.update(&amount.to_be_bytes());
+        Transaction {
+            id: TxId(hasher.finalize()),
+            from,
+            to,
+            nonce,
+            amount,
+        }
+    }
+
+    /// The transaction id (content digest).
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// The sending account.
+    pub fn from(&self) -> AccountId {
+        self.from
+    }
+
+    /// The receiving account.
+    pub fn to(&self) -> AccountId {
+        self.to
+    }
+
+    /// The sender's sequence number.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
+    }
+
+    /// The transferred amount.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}→{} #{} ({})",
+            self.id, self.from, self.to, self.nonce, self.amount
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_is_content_addressed() {
+        let a = Transaction::transfer(AccountId::new(0), 0, AccountId::new(1), 10);
+        let b = Transaction::transfer(AccountId::new(0), 0, AccountId::new(1), 10);
+        assert_eq!(a.id(), b.id(), "resubmission keeps the id");
+        let c = Transaction::transfer(AccountId::new(0), 1, AccountId::new(1), 10);
+        assert_ne!(a.id(), c.id(), "new nonce, new id");
+        let d = Transaction::transfer(AccountId::new(2), 0, AccountId::new(1), 10);
+        assert_ne!(a.id(), d.id(), "different sender, new id");
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let tx = Transaction::transfer(AccountId::new(3), 7, AccountId::new(4), 55);
+        assert_eq!(tx.from(), AccountId::new(3));
+        assert_eq!(tx.to(), AccountId::new(4));
+        assert_eq!(tx.nonce(), 7);
+        assert_eq!(tx.amount(), 55);
+    }
+
+    #[test]
+    fn display_formats() {
+        let tx = Transaction::transfer(AccountId::new(0), 1, AccountId::new(2), 3);
+        let s = tx.to_string();
+        assert!(s.contains("acct0") && s.contains("acct2") && s.contains("#1"), "{s}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Partition study: compare how the chains that survive a network
+//! partition recover from it — and how much slower that is than
+//! recovering from process restarts (the paper's §6).
+//!
+//! Recovery from a *transient node failure* is active: a restarted node
+//! dials its peers immediately. Recovery from a *partition* is passive:
+//! nobody knows connectivity is back until the next reconnection
+//! attempt, whose schedule (idle timeouts, dial backoff) differs per
+//! chain — Aptos probes every 5 s, Algorand and Redbelly wait much
+//! longer.
+//!
+//! ```sh
+//! cargo run --release --example partition_study
+//! ```
+
+use stabl_suite::stabl::{Chain, PaperSetup, ScenarioKind};
+
+fn recovery_seconds(
+    setup: &PaperSetup,
+    chain: Chain,
+    kind: ScenarioKind,
+) -> Option<usize> {
+    let result = setup.run(chain, kind);
+    if result.lost_liveness {
+        return None;
+    }
+    let recover_s = (setup.recover_at.as_micros() / 1_000_000) as usize;
+    result
+        .throughput()
+        .first_at_least(recover_s, 100)
+        .map(|s| s - recover_s)
+}
+
+fn main() {
+    let setup = PaperSetup::quick(180, 9);
+    println!(
+        "Partition vs transient recovery, f = t+1 nodes, outage {}s → {}s\n",
+        setup.fault_at.as_secs_f64(),
+        setup.recover_at.as_secs_f64(),
+    );
+    println!(
+        "{:<10} {:>22} {:>22}",
+        "chain", "transient recovery", "partition recovery"
+    );
+    for chain in [Chain::Algorand, Chain::Aptos, Chain::Redbelly, Chain::Avalanche, Chain::Solana]
+    {
+        let fmt = |r: Option<usize>| match r {
+            Some(s) => format!("{s} s after heal"),
+            None => "never (liveness lost)".to_owned(),
+        };
+        println!(
+            "{:<10} {:>22} {:>22}",
+            chain.name(),
+            fmt(recovery_seconds(&setup, chain, ScenarioKind::Transient)),
+            fmt(recovery_seconds(&setup, chain, ScenarioKind::Partition)),
+        );
+    }
+    println!(
+        "\nActive reconnection (restarted nodes dial immediately) beats passive\n\
+         detection (idle timeouts + dial backoff) — except on Aptos, whose 5 s\n\
+         connectivity probes make both paths equally fast, and on Avalanche and\n\
+         Solana, which do not come back at all."
+    );
+}

@@ -1,0 +1,32 @@
+//! Quickstart: measure the sensitivity of one blockchain to crashes.
+//!
+//! Runs a scaled-down (90 s) version of the paper's resilience
+//! experiment on Redbelly: a baseline run and a run where `f = t` nodes
+//! crash a third of the way in, then prints the sensitivity score.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stabl_suite::stabl::{Chain, PaperSetup, ScenarioKind};
+
+fn main() {
+    let setup = PaperSetup::quick(90, 42);
+    println!(
+        "10 validators, 200 TPS, {}s run, {} crashes at {}s\n",
+        setup.horizon.as_secs_f64(),
+        Chain::Redbelly.tolerated_faults(setup.n),
+        setup.fault_at.as_secs_f64(),
+    );
+
+    let report = setup.sensitivity(Chain::Redbelly, ScenarioKind::Crash);
+    println!("{report}\n");
+
+    match report.sensitivity.score() {
+        Some(score) => println!(
+            "Redbelly's leaderless DBFT barely notices f = t crashes: \
+             the latency distribution moved by only {score:.3} s."
+        ),
+        None => println!("liveness was lost — unexpected for Redbelly under f = t crashes"),
+    }
+}

@@ -1,0 +1,58 @@
+//! Byzantine node tolerance: what does it cost to stop trusting a single
+//! node?
+//!
+//! Blockchain SDKs connect applications to one node and trust it — one
+//! Byzantine node can then lie to every client it serves. The paper's
+//! remedy (§7) is a *secure client* that submits each transaction to
+//! `t + 1` nodes and accepts a result only when all of them report it.
+//! This example measures what that redundancy does to latency on every
+//! chain: deduplication makes it nearly free on Algorand and Solana,
+//! Aptos pays for redundant speculative execution, and Avalanche (and
+//! marginally Redbelly) actually get *faster*.
+//!
+//! ```sh
+//! cargo run --release --example secure_client
+//! ```
+
+use stabl_suite::stabl::{Chain, PaperSetup, ScenarioKind};
+
+fn main() {
+    let setup = PaperSetup::quick(120, 11);
+    println!(
+        "Secure client: every transaction to 4 nodes, commit = all 4 observed it\n"
+    );
+    println!(
+        "{:<10} {:>16} {:>16} {:>18}",
+        "chain", "1-node mean (s)", "4-node mean (s)", "sensitivity"
+    );
+    for chain in Chain::ALL {
+        let baseline = setup.run_baseline(chain, ScenarioKind::SecureClient);
+        let secure = setup.run(chain, ScenarioKind::SecureClient);
+        let report = stabl_suite::stabl::report_from_runs(
+            chain,
+            ScenarioKind::SecureClient,
+            &baseline,
+            &secure,
+        );
+        println!(
+            "{:<10} {:>16} {:>16} {:>18}",
+            chain.name(),
+            report
+                .baseline
+                .mean_latency
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "—".into()),
+            report
+                .altered
+                .mean_latency
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "—".into()),
+            report.sensitivity.to_string(),
+        );
+    }
+    println!(
+        "\n\"(improved)\" marks chains where redundancy sped commits up: on\n\
+         Avalanche the duplicate copies bypass its randomised, nonce-blind\n\
+         transaction gossip and land in every proposer's pool immediately."
+    );
+}

@@ -1,0 +1,23 @@
+//! # stabl-suite — the Stabl reproduction workspace
+//!
+//! Top-level package carrying the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The library surface simply
+//! re-exports the workspace crates so examples and downstream experiments
+//! can depend on one package:
+//!
+//! * [`stabl`] — sensitivity metric, fault-injection harness, scenarios;
+//! * [`stabl_sim`] — the deterministic discrete-event kernel;
+//! * [`stabl_types`] — transactions, blocks, ledger, pools;
+//! * the five chains: [`stabl_algorand`], [`stabl_aptos`],
+//!   [`stabl_avalanche`], [`stabl_redbelly`], [`stabl_solana`].
+
+#![forbid(unsafe_code)]
+
+pub use stabl;
+pub use stabl_algorand;
+pub use stabl_aptos;
+pub use stabl_avalanche;
+pub use stabl_redbelly;
+pub use stabl_sim;
+pub use stabl_solana;
+pub use stabl_types;

@@ -1,0 +1,217 @@
+//! Integration tests asserting the qualitative results of the paper —
+//! the shape table of DESIGN.md §3 — at a reduced (180 s) scale.
+//!
+//! These run every chain through the four adversarial scenarios and
+//! check who wins, who loses liveness and in what order, not absolute
+//! numbers.
+
+use stabl_suite::stabl::{Chain, PaperSetup, ScenarioKind};
+
+fn setup() -> PaperSetup {
+    // 180 s keeps Solana's EAH windows overlapping the outage like the
+    // paper's 400 s timeline does.
+    PaperSetup::quick(180, 0xD15C_0ACE)
+}
+
+fn score(chain: Chain, kind: ScenarioKind) -> Option<f64> {
+    setup().sensitivity(chain, kind).sensitivity.score()
+}
+
+#[test]
+fn every_chain_commits_the_baseline_load() {
+    for chain in Chain::ALL {
+        let result = setup().run(chain, ScenarioKind::Baseline);
+        assert_eq!(result.unresolved, 0, "{chain} dropped transactions at 200 TPS");
+        assert!(result.panics.is_empty(), "{chain} panicked in the baseline");
+    }
+}
+
+#[test]
+fn redbelly_is_the_least_crash_sensitive() {
+    let redbelly = score(Chain::Redbelly, ScenarioKind::Crash)
+        .expect("Redbelly crash run must stay live");
+    for chain in [Chain::Algorand, Chain::Aptos, Chain::Solana] {
+        let other = score(chain, ScenarioKind::Crash)
+            .unwrap_or(f64::INFINITY);
+        assert!(
+            redbelly < other,
+            "{chain} crash score {other} should exceed Redbelly's {redbelly}"
+        );
+    }
+    assert!(redbelly < 0.5, "Redbelly should barely notice f = t crashes: {redbelly}");
+}
+
+#[test]
+fn crashes_do_not_kill_any_chain() {
+    for chain in Chain::ALL {
+        let result = setup().run(chain, ScenarioKind::Crash);
+        assert!(
+            !result.lost_liveness,
+            "{chain} lost liveness under f = t crashes"
+        );
+    }
+}
+
+#[test]
+fn solana_transient_failure_panics_the_whole_cluster() {
+    let result = setup().run(Chain::Solana, ScenarioKind::Transient);
+    assert!(result.lost_liveness, "Solana must lose liveness");
+    let panicked: std::collections::HashSet<u32> =
+        result.panics.iter().map(|p| p.node.as_u32()).collect();
+    assert_eq!(panicked.len(), 10, "the EAH bug must abort every validator");
+    assert!(
+        result.panics.iter().all(|p| p.reason.contains("wait_get_epoch_accounts_hash")),
+        "panics must come from the EAH precondition"
+    );
+}
+
+#[test]
+fn avalanche_cannot_recover_from_transient_failures() {
+    let result = setup().run(Chain::Avalanche, ScenarioKind::Transient);
+    assert!(result.lost_liveness, "throttling congestion must persist");
+    assert!(result.panics.is_empty(), "Avalanche degrades without panicking");
+}
+
+#[test]
+fn algorand_and_redbelly_recover_quickly_from_transient_failures() {
+    let setup = setup();
+    let recover_s = (setup.recover_at.as_micros() / 1_000_000) as usize;
+    for chain in [Chain::Algorand, Chain::Redbelly] {
+        let result = setup.run(chain, ScenarioKind::Transient);
+        assert!(!result.lost_liveness, "{chain} must recover");
+        assert_eq!(result.unresolved, 0, "{chain} must clear the whole backlog");
+        let series = result.throughput();
+        let recovery = series
+            .first_at_least(recover_s, 100)
+            .unwrap_or(usize::MAX)
+            .saturating_sub(recover_s);
+        assert!(recovery <= 15, "{chain} recovery took {recovery}s, expected ≈7–9 s");
+        // Catch-up burst: the backlog commits in a visible peak.
+        let end = series.bins().len();
+        assert!(
+            series.peak_over(recover_s, end) > 400,
+            "{chain} should show a catch-up peak"
+        );
+    }
+}
+
+#[test]
+fn aptos_is_the_most_impacted_recovering_chain() {
+    let aptos = score(Chain::Aptos, ScenarioKind::Transient).expect("Aptos recovers");
+    let algorand = score(Chain::Algorand, ScenarioKind::Transient).expect("Algorand recovers");
+    let redbelly = score(Chain::Redbelly, ScenarioKind::Transient).expect("Redbelly recovers");
+    assert!(
+        aptos > algorand && aptos > redbelly,
+        "Aptos ({aptos}) must exceed Algorand ({algorand}) and Redbelly ({redbelly})"
+    );
+    assert!(redbelly < algorand * 1.5, "Redbelly recovers at least as well as Algorand");
+}
+
+#[test]
+fn partitions_kill_the_same_chains_as_transient_failures() {
+    for chain in [Chain::Avalanche, Chain::Solana] {
+        let result = setup().run(chain, ScenarioKind::Partition);
+        assert!(result.lost_liveness, "{chain} must not survive the partition");
+    }
+}
+
+#[test]
+fn partition_recovery_is_slower_than_transient_recovery() {
+    // Algorand and Redbelly reconnect passively after a partition
+    // (idle timeouts + dial backoff) — visibly slower than the active
+    // redial after a restart.
+    for chain in [Chain::Algorand, Chain::Redbelly] {
+        let transient = score(chain, ScenarioKind::Transient).expect("recovers");
+        let partition = score(chain, ScenarioKind::Partition).expect("recovers");
+        assert!(
+            partition > transient * 1.3,
+            "{chain}: partition {partition} should clearly exceed transient {transient}"
+        );
+    }
+}
+
+#[test]
+fn aptos_partition_score_matches_its_transient_score() {
+    let transient = score(Chain::Aptos, ScenarioKind::Transient).expect("recovers");
+    let partition = score(Chain::Aptos, ScenarioKind::Partition).expect("recovers");
+    let ratio = partition / transient;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "Aptos probes connectivity every 5 s: partition ({partition}) should track \
+         transient ({transient})"
+    );
+}
+
+#[test]
+fn secure_client_shapes() {
+    let setup = setup();
+    // Algorand and Solana: essentially unchanged.
+    for chain in [Chain::Algorand, Chain::Solana] {
+        let report = setup.sensitivity(chain, ScenarioKind::SecureClient);
+        let score = report.sensitivity.score().expect("live");
+        assert!(score < 0.1, "{chain} should be insensitive to redundancy: {score}");
+    }
+    // Aptos: degraded by redundant speculative execution.
+    let aptos = setup.sensitivity(Chain::Aptos, ScenarioKind::SecureClient);
+    match aptos.sensitivity {
+        stabl_suite::stabl::metrics::Sensitivity::Finite { score, improved } => {
+            assert!(!improved, "Aptos must be degraded by the secure client");
+            assert!(score > 0.03, "Aptos degradation should be visible: {score}");
+        }
+        other => panic!("Aptos secure client must stay live: {other:?}"),
+    }
+    // Avalanche: improved, and by the largest magnitude of all chains.
+    let avalanche = setup.sensitivity(Chain::Avalanche, ScenarioKind::SecureClient);
+    match avalanche.sensitivity {
+        stabl_suite::stabl::metrics::Sensitivity::Finite { score, improved } => {
+            assert!(improved, "redundancy must bypass Avalanche's gossip delays");
+            assert!(
+                score > aptos.sensitivity.score().unwrap_or(0.0),
+                "Avalanche must show the largest secure-client sensitivity"
+            );
+        }
+        other => panic!("Avalanche secure client must stay live: {other:?}"),
+    }
+}
+
+#[test]
+fn campaign_is_deterministic() {
+    let a = setup().sensitivity(Chain::Redbelly, ScenarioKind::Crash);
+    let b = setup().sensitivity(Chain::Redbelly, ScenarioKind::Crash);
+    assert_eq!(a.sensitivity, b.sensitivity);
+    assert_eq!(a.baseline, b.baseline);
+    assert_eq!(a.altered, b.altered);
+}
+
+mod ablations {
+    //! Causal checks: remove the blamed mechanism, the failure vanishes.
+    use super::*;
+    use stabl_suite::stabl::run_protocol;
+    use stabl_suite::stabl_avalanche::{AvalancheConfig, AvalancheNode};
+    use stabl_suite::stabl_solana::{EpochSchedule, SolanaConfig, SolanaNode};
+
+    #[test]
+    fn solana_without_warmup_epochs_survives_the_transient_outage() {
+        let setup = setup();
+        let config = SolanaConfig {
+            schedule: EpochSchedule::constant(8192),
+            ..SolanaConfig::default()
+        };
+        let cfg = setup.run_config(Chain::Solana, ScenarioKind::Transient);
+        let result = run_protocol::<SolanaNode>(&cfg, config);
+        assert!(result.panics.is_empty(), "no warmup epochs, no EAH panic");
+        assert!(!result.lost_liveness, "the cluster keeps committing");
+    }
+
+    #[test]
+    fn avalanche_without_throttling_recovers_from_the_transient_outage() {
+        let setup = setup();
+        let config = AvalancheConfig { cpu_quota: f64::INFINITY, ..AvalancheConfig::default() };
+        let cfg = setup.run_config(Chain::Avalanche, ScenarioKind::Transient);
+        let result = run_protocol::<AvalancheNode>(&cfg, config);
+        assert!(
+            !result.lost_liveness,
+            "without the throttler the congestion is not metastable"
+        );
+    }
+}
