@@ -191,13 +191,23 @@ impl AlgorandNode {
 
     fn start_attempt(&mut self, ctx: &mut Ctx<'_, Self>) {
         let (round, attempt) = (self.round, self.attempt);
-        if sortition::is_proposer(self.seed, round, attempt, self.id, self.config.proposer_permille)
-        {
+        if sortition::is_proposer(
+            self.seed,
+            round,
+            attempt,
+            self.id,
+            self.config.proposer_permille,
+        ) {
             let txs = self.pool.take_ready(self.config.max_block_txs);
             let parent = self.chain.last().map(Block::hash).unwrap_or(Hash32::ZERO);
             let block = Block::new(parent, round, self.id, txs);
             let priority = sortition::priority(self.seed, round, attempt, self.id);
-            let msg = AlgorandMsg::Proposal { round, attempt, priority, block: block.clone() };
+            let msg = AlgorandMsg::Proposal {
+                round,
+                attempt,
+                priority,
+                block: block.clone(),
+            };
             ctx.multicast(self.conn.connected_peers(), msg);
             self.accept_proposal(round, priority, block, ctx);
         }
@@ -222,10 +232,19 @@ impl AlgorandNode {
             }
         }
         ctx.set_timer(self.dyn_filter, AlgorandTimer::Filter { round, attempt });
-        ctx.set_timer(self.config.attempt_timeout, AlgorandTimer::Attempt { round, attempt });
+        ctx.set_timer(
+            self.config.attempt_timeout,
+            AlgorandTimer::Attempt { round, attempt },
+        );
     }
 
-    fn accept_proposal(&mut self, round: u64, priority: u64, block: Block, ctx: &mut Ctx<'_, Self>) {
+    fn accept_proposal(
+        &mut self,
+        round: u64,
+        priority: u64,
+        block: Block,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
         if round != self.round {
             return;
         }
@@ -244,8 +263,7 @@ impl AlgorandNode {
             && self.soft_voted_attempt.is_none()
         {
             if let Some(expected) = self.expected_proposer() {
-                let expected_priority =
-                    sortition::priority(self.seed, self.round, 0, expected);
+                let expected_priority = sortition::priority(self.seed, self.round, 0, expected);
                 if priority == expected_priority {
                     self.soft_vote(ctx);
                 }
@@ -266,13 +284,18 @@ impl AlgorandNode {
     }
 
     fn soft_vote(&mut self, ctx: &mut Ctx<'_, Self>) {
-        let Some((_, hash)) = self.best_proposal else { return };
+        let Some((_, hash)) = self.best_proposal else {
+            return;
+        };
         if self.soft_voted_attempt == Some(self.attempt) {
             return;
         }
         self.soft_voted_attempt = Some(self.attempt);
         let round = self.round;
-        ctx.multicast(self.conn.connected_peers(), AlgorandMsg::SoftVote { round, hash });
+        ctx.multicast(
+            self.conn.connected_peers(),
+            AlgorandMsg::SoftVote { round, hash },
+        );
         self.record_soft_vote(self.id, hash, ctx);
     }
 
@@ -285,7 +308,10 @@ impl AlgorandNode {
             // forming on different blocks.
             self.cert_voted = Some(hash);
             let round = self.round;
-            ctx.multicast(self.conn.connected_peers(), AlgorandMsg::CertVote { round, hash });
+            ctx.multicast(
+                self.conn.connected_peers(),
+                AlgorandMsg::CertVote { round, hash },
+            );
             self.record_cert_vote(self.id, hash, ctx);
         }
     }
@@ -297,7 +323,12 @@ impl AlgorandNode {
             if let Some(block) = self.blocks_by_hash.get(&hash).cloned() {
                 self.commit_block(block, ctx);
             } else {
-                ctx.send(from, AlgorandMsg::SyncRequest { from_height: self.chain_height() + 1 });
+                ctx.send(
+                    from,
+                    AlgorandMsg::SyncRequest {
+                        from_height: self.chain_height() + 1,
+                    },
+                );
             }
         }
     }
@@ -352,7 +383,12 @@ impl AlgorandNode {
         }
         let start = (from_height - 1) as usize;
         let end = (start + 30).min(self.chain.len());
-        ctx.send(from, AlgorandMsg::SyncResponse { blocks: self.chain[start..end].to_vec() });
+        ctx.send(
+            from,
+            AlgorandMsg::SyncResponse {
+                blocks: self.chain[start..end].to_vec(),
+            },
+        );
     }
 
     fn handle_sync_response(&mut self, from: NodeId, blocks: Vec<Block>, ctx: &mut Ctx<'_, Self>) {
@@ -375,7 +411,12 @@ impl AlgorandNode {
         }
         if advanced {
             self.enter_round(self.chain_height() + 1, ctx);
-            ctx.send(from, AlgorandMsg::SyncRequest { from_height: self.chain_height() + 1 });
+            ctx.send(
+                from,
+                AlgorandMsg::SyncRequest {
+                    from_height: self.chain_height() + 1,
+                },
+            );
         }
     }
 
@@ -391,7 +432,12 @@ impl AlgorandNode {
     }
 
     fn on_reconnected(&mut self, peer: NodeId, ctx: &mut Ctx<'_, Self>) {
-        ctx.send(peer, AlgorandMsg::SyncRequest { from_height: self.chain_height() + 1 });
+        ctx.send(
+            peer,
+            AlgorandMsg::SyncRequest {
+                from_height: self.chain_height() + 1,
+            },
+        );
     }
 }
 
@@ -442,11 +488,19 @@ impl Protocol for AlgorandNode {
             AlgorandMsg::TxGossip(tx) => {
                 self.pool.insert(tx);
             }
-            AlgorandMsg::Proposal { round, attempt: _, priority, block } => {
+            AlgorandMsg::Proposal {
+                round,
+                attempt: _,
+                priority,
+                block,
+            } => {
                 if round > self.round {
-                    ctx.send(from, AlgorandMsg::SyncRequest {
-                        from_height: self.chain_height() + 1,
-                    });
+                    ctx.send(
+                        from,
+                        AlgorandMsg::SyncRequest {
+                            from_height: self.chain_height() + 1,
+                        },
+                    );
                     return;
                 }
                 self.accept_proposal(round, priority, block, ctx);
@@ -455,18 +509,24 @@ impl Protocol for AlgorandNode {
                 if round == self.round {
                     self.record_soft_vote(from, hash, ctx);
                 } else if round > self.round {
-                    ctx.send(from, AlgorandMsg::SyncRequest {
-                        from_height: self.chain_height() + 1,
-                    });
+                    ctx.send(
+                        from,
+                        AlgorandMsg::SyncRequest {
+                            from_height: self.chain_height() + 1,
+                        },
+                    );
                 }
             }
             AlgorandMsg::CertVote { round, hash } => {
                 if round == self.round {
                     self.record_cert_vote(from, hash, ctx);
                 } else if round > self.round {
-                    ctx.send(from, AlgorandMsg::SyncRequest {
-                        from_height: self.chain_height() + 1,
-                    });
+                    ctx.send(
+                        from,
+                        AlgorandMsg::SyncRequest {
+                            from_height: self.chain_height() + 1,
+                        },
+                    );
                 }
             }
             AlgorandMsg::SyncRequest { from_height } => {
@@ -495,8 +555,7 @@ impl Protocol for AlgorandNode {
     fn on_timer(&mut self, timer: AlgorandTimer, ctx: &mut Ctx<'_, Self>) {
         match timer {
             AlgorandTimer::Begin { round } => {
-                if round == self.round && self.attempt == 0 && self.soft_voted_attempt.is_none()
-                {
+                if round == self.round && self.attempt == 0 && self.soft_voted_attempt.is_none() {
                     self.start_attempt(ctx);
                 }
             }
@@ -581,7 +640,9 @@ impl Protocol for AlgorandNode {
         self.run_conn_tick(ctx);
         ctx.multicast(
             self.conn.connected_peers(),
-            AlgorandMsg::SyncRequest { from_height: self.chain_height() + 1 },
+            AlgorandMsg::SyncRequest {
+                from_height: self.chain_height() + 1,
+            },
         );
     }
 }
@@ -660,10 +721,17 @@ mod tests {
         submit_stream(&mut s, 10, 100, 1, 40);
         s.schedule_crash(SimTime::from_secs(10), NodeId::new(5)); // f = t = 1
         s.run_until(SimTime::from_secs(70));
-        assert_eq!(unique_commits_at(&s, 0), 3900, "all load commits with f = t");
+        assert_eq!(
+            unique_commits_at(&s, 0),
+            3900,
+            "all load commits with f = t"
+        );
         // The crashed node keeps being selected by sortition, so some
         // rounds need recovery attempts (the paper's periodic resets).
-        assert!(s.node(NodeId::new(0)).slow_rounds() > 0, "expected recovery rounds");
+        assert!(
+            s.node(NodeId::new(0)).slow_rounds() > 0,
+            "expected recovery rounds"
+        );
     }
 
     #[test]
@@ -680,7 +748,10 @@ mod tests {
             .iter()
             .filter(|c| c.time > SimTime::from_secs(15) && c.time < SimTime::from_secs(40))
             .count();
-        assert_eq!(during, 0, "20% offline exceeds Algorand's liveness threshold");
+        assert_eq!(
+            during, 0,
+            "20% offline exceeds Algorand's liveness threshold"
+        );
         // Backlog clears within roughly ten seconds of the restart.
         let by_55: HashSet<TxId> = s
             .commits()
@@ -688,7 +759,11 @@ mod tests {
             .filter(|c| c.node == NodeId::new(0) && c.time < SimTime::from_secs(55))
             .map(|c| c.commit)
             .collect();
-        assert!(by_55.len() >= 3500, "catch-up burst expected, got {}", by_55.len());
+        assert!(
+            by_55.len() >= 3500,
+            "catch-up burst expected, got {}",
+            by_55.len()
+        );
         assert_eq!(unique_commits_at(&s, 0), 5900);
     }
 
@@ -703,7 +778,11 @@ mod tests {
             PartitionRule::isolate(isolated, 10),
         );
         s.run_until(SimTime::from_secs(240));
-        assert_eq!(unique_commits_at(&s, 0), 11900, "all load commits eventually");
+        assert_eq!(
+            unique_commits_at(&s, 0),
+            11900,
+            "all load commits eventually"
+        );
         let right_after = s
             .commits()
             .iter()

@@ -29,7 +29,13 @@ fn draw(seed: u64, round: u64, attempt: u64, node: NodeId) -> u64 {
 /// Selection happens with probability `proposer_permille / 1000`,
 /// independently per node — so an attempt can have zero proposers (the
 /// round then times out and retries) or several (priority breaks ties).
-pub fn is_proposer(seed: u64, round: u64, attempt: u64, node: NodeId, proposer_permille: u32) -> bool {
+pub fn is_proposer(
+    seed: u64,
+    round: u64,
+    attempt: u64,
+    node: NodeId,
+    proposer_permille: u32,
+) -> bool {
     let threshold = (u64::MAX / 1000) * proposer_permille as u64;
     draw(seed, round, attempt, node) < threshold
 }
@@ -163,6 +169,9 @@ mod tests {
             }
         }
         assert!(empties > 0);
-        assert!(recovered * 10 >= empties * 9, "{recovered}/{empties} recovered");
+        assert!(
+            recovered * 10 >= empties * 9,
+            "{recovered}/{empties} recovered"
+        );
     }
 }

@@ -76,10 +76,16 @@ mod tests {
     fn default_is_consistent() {
         let cfg = AptosConfig::default();
         assert!(cfg.round_timeout < cfg.timeout_cap);
-        assert!(cfg.propose_delay < cfg.round_timeout, "leaders propose before timing out");
+        assert!(
+            cfg.propose_delay < cfg.round_timeout,
+            "leaders propose before timing out"
+        );
         assert!(cfg.max_block_txs > 0 && cfg.mempool_capacity > cfg.max_block_txs);
         // Executor keeps up with the paper's 200 TPS baseline.
         let per_second_cost = cfg.exec_per_tx.as_micros() * 200;
-        assert!(per_second_cost < 1_000_000, "executor saturated at baseline load");
+        assert!(
+            per_second_cost < 1_000_000,
+            "executor saturated at baseline load"
+        );
     }
 }

@@ -69,8 +69,7 @@ impl BlockStmExecutor {
     /// The estimated ancillary core utilisation at `now` (0 = idle).
     pub fn ancillary_rate(&mut self, now: SimTime) -> f64 {
         // Steady-state meter level for input rate r is r·HL/ln2.
-        self.ancillary.usage(now) * std::f64::consts::LN_2
-            / ANCILLARY_HALF_LIFE.as_secs_f64()
+        self.ancillary.usage(now) * std::f64::consts::LN_2 / ANCILLARY_HALF_LIFE.as_secs_f64()
     }
 
     /// The processor-sharing stretch factor applied to block execution.
@@ -150,7 +149,9 @@ mod tests {
 
     fn block(height: u64, txs: usize) -> Block {
         let txs = (0..txs as u64)
-            .map(|n| Transaction::transfer(AccountId::new(9), n + height * 100, AccountId::new(1), 1))
+            .map(|n| {
+                Transaction::transfer(AccountId::new(9), n + height * 100, AccountId::new(1), 1)
+            })
             .collect();
         Block::new(Hash32::ZERO, height, NodeId::new(0), txs)
     }
@@ -180,7 +181,10 @@ mod tests {
         let mut e = exec();
         let d1 = e.submit_block(SimTime::ZERO, block(1, 1));
         let d2 = e.submit_block(SimTime::ZERO, block(2, 1));
-        assert!(e.take_completed(SimTime::ZERO).is_none(), "nothing done yet");
+        assert!(
+            e.take_completed(SimTime::ZERO).is_none(),
+            "nothing done yet"
+        );
         let b1 = e.take_completed(d1).expect("first block done");
         assert_eq!(b1.height(), 1);
         let b2 = e.take_completed(d2).expect("second block done");
@@ -214,7 +218,10 @@ mod tests {
     fn contention_factor_is_capped() {
         let mut e = exec();
         e.charge(SimTime::ZERO, SimDuration::from_secs(100));
-        assert!(e.contention_factor(SimTime::ZERO) <= 4.0 + 1e-9, "1/(1-0.75) cap");
+        assert!(
+            e.contention_factor(SimTime::ZERO) <= 4.0 + 1e-9,
+            "1/(1-0.75) cap"
+        );
     }
 
     #[test]

@@ -173,8 +173,8 @@ impl AptosNode {
     }
 
     fn round_timeout(&self) -> stabl_sim::SimDuration {
-        let factor =
-            (self.config.timeout_factor_permille as f64 / 1000.0).powi(self.consecutive_failures as i32);
+        let factor = (self.config.timeout_factor_permille as f64 / 1000.0)
+            .powi(self.consecutive_failures as i32);
         self.config
             .round_timeout
             .mul_f64(factor)
@@ -192,7 +192,10 @@ impl AptosNode {
         self.timeouts.clear();
         ctx.set_timer(self.round_timeout(), AptosTimer::Round { height, round });
         if self.scheduled_leader(height, round, ctx.now()) == self.id {
-            ctx.set_timer(self.config.propose_delay, AptosTimer::Propose { height, round });
+            ctx.set_timer(
+                self.config.propose_delay,
+                AptosTimer::Propose { height, round },
+            );
         }
     }
 
@@ -228,7 +231,12 @@ impl AptosNode {
         if height != self.height || round != self.round || self.proposal.is_some() {
             if height > self.height && !self.syncing {
                 self.syncing = true;
-                ctx.send(from, AptosMsg::SyncRequest { from_height: self.chain_height() + 1 });
+                ctx.send(
+                    from,
+                    AptosMsg::SyncRequest {
+                        from_height: self.chain_height() + 1,
+                    },
+                );
             }
             return;
         }
@@ -236,7 +244,11 @@ impl AptosNode {
         self.proposal = Some(block);
         if !self.voted {
             self.voted = true;
-            let msg = AptosMsg::Vote { height, round, hash };
+            let msg = AptosMsg::Vote {
+                height,
+                round,
+                hash,
+            };
             ctx.multicast(self.conn.connected_peers(), msg);
             self.handle_vote(self.id, height, round, hash, ctx);
         }
@@ -257,7 +269,11 @@ impl AptosNode {
         votes.insert(from);
         if votes.len() >= self.quorum() && !self.commit_voted {
             self.commit_voted = true;
-            let msg = AptosMsg::CommitVote { height, round, hash };
+            let msg = AptosMsg::CommitVote {
+                height,
+                round,
+                hash,
+            };
             ctx.multicast(self.conn.connected_peers(), msg);
             self.handle_commit_vote(self.id, height, round, hash, ctx);
         }
@@ -288,7 +304,9 @@ impl AptosNode {
                         self.syncing = true;
                         ctx.send(
                             from,
-                            AptosMsg::SyncRequest { from_height: self.chain_height() + 1 },
+                            AptosMsg::SyncRequest {
+                                from_height: self.chain_height() + 1,
+                            },
                         );
                     }
                 }
@@ -309,7 +327,13 @@ impl AptosNode {
         self.enter_round(next, 0, ctx);
     }
 
-    fn handle_timeout_msg(&mut self, from: NodeId, height: u64, round: u64, ctx: &mut Ctx<'_, Self>) {
+    fn handle_timeout_msg(
+        &mut self,
+        from: NodeId,
+        height: u64,
+        round: u64,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
         if height != self.height {
             return;
         }
@@ -328,7 +352,10 @@ impl AptosNode {
     }
 
     fn declare_timeout(&mut self, ctx: &mut Ctx<'_, Self>) {
-        let msg = AptosMsg::Timeout { height: self.height, round: self.round };
+        let msg = AptosMsg::Timeout {
+            height: self.height,
+            round: self.round,
+        };
         ctx.multicast(self.conn.connected_peers(), msg);
         self.timeouts.insert(self.id);
         if self.timeouts.len() >= self.quorum() {
@@ -380,7 +407,12 @@ impl AptosNode {
             let next = self.chain_height() + 1;
             self.enter_round(next, 0, ctx);
             // Possibly still behind: ask for more.
-            ctx.send(from, AptosMsg::SyncRequest { from_height: self.chain_height() + 1 });
+            ctx.send(
+                from,
+                AptosMsg::SyncRequest {
+                    from_height: self.chain_height() + 1,
+                },
+            );
             self.syncing = true;
         }
     }
@@ -398,9 +430,20 @@ impl AptosNode {
 
     /// A peer we had lost contact with is back: resynchronise.
     fn on_reconnected(&mut self, peer: NodeId, ctx: &mut Ctx<'_, Self>) {
-        ctx.send(peer, AptosMsg::SyncRequest { from_height: self.chain_height() + 1 });
+        ctx.send(
+            peer,
+            AptosMsg::SyncRequest {
+                from_height: self.chain_height() + 1,
+            },
+        );
         // Share our pacemaker position so the peer can catch up rounds.
-        ctx.send(peer, AptosMsg::Timeout { height: self.height, round: self.round });
+        ctx.send(
+            peer,
+            AptosMsg::Timeout {
+                height: self.height,
+                round: self.round,
+            },
+        );
     }
 
     fn drain_executor(&mut self, ctx: &mut Ctx<'_, Self>) {
@@ -414,7 +457,8 @@ impl AptosNode {
                     Err(_) => {
                         // SEQUENCE_NUMBER_TOO_OLD (or a gap): charged as a
                         // speculative re-execution.
-                        self.executor.charge_stale(ctx.now(), self.config.stale_exec_cost);
+                        self.executor
+                            .charge_stale(ctx.now(), self.config.stale_exec_cost);
                     }
                 }
             }
@@ -469,21 +513,34 @@ impl Protocol for AptosNode {
                 // copies of committed transactions trigger the
                 // SEQUENCE_NUMBER_TOO_OLD speculative path.
                 if self.pool.is_stale(&tx) {
-                    self.executor.charge_stale(ctx.now(), self.config.stale_exec_cost);
+                    self.executor
+                        .charge_stale(ctx.now(), self.config.stale_exec_cost);
                 } else {
                     self.executor.charge(ctx.now(), self.config.validation_cost);
                     self.pool.insert(tx);
                 }
             }
-            AptosMsg::Proposal { height, round, block } => {
+            AptosMsg::Proposal {
+                height,
+                round,
+                block,
+            } => {
                 self.maybe_catch_up_round(height, round, ctx);
                 self.handle_proposal(from, height, round, block, ctx);
             }
-            AptosMsg::Vote { height, round, hash } => {
+            AptosMsg::Vote {
+                height,
+                round,
+                hash,
+            } => {
                 self.maybe_catch_up_round(height, round, ctx);
                 self.handle_vote(from, height, round, hash, ctx);
             }
-            AptosMsg::CommitVote { height, round, hash } => {
+            AptosMsg::CommitVote {
+                height,
+                round,
+                hash,
+            } => {
                 self.maybe_catch_up_round(height, round, ctx);
                 self.handle_commit_vote(from, height, round, hash, ctx);
             }
@@ -526,7 +583,8 @@ impl Protocol for AptosNode {
         // RPC path: validate + speculatively dispatch, then share through
         // the mempool broadcast.
         if self.pool.is_stale(&tx) {
-            self.executor.charge_stale(ctx.now(), self.config.stale_exec_cost);
+            self.executor
+                .charge_stale(ctx.now(), self.config.stale_exec_cost);
             return;
         }
         self.executor.charge(ctx.now(), self.config.validation_cost);
@@ -565,7 +623,9 @@ impl Protocol for AptosNode {
         self.run_conn_tick(ctx);
         ctx.multicast(
             self.conn.connected_peers(),
-            AptosMsg::SyncRequest { from_height: self.chain_height() + 1 },
+            AptosMsg::SyncRequest {
+                from_height: self.chain_height() + 1,
+            },
         );
     }
 }
@@ -580,13 +640,7 @@ mod tests {
         Simulation::new(n, seed, AptosConfig::default())
     }
 
-    fn submit_stream(
-        sim: &mut Simulation<AptosNode>,
-        accounts: u32,
-        tps: u64,
-        from: u64,
-        to: u64,
-    ) {
+    fn submit_stream(sim: &mut Simulation<AptosNode>, accounts: u32, tps: u64, from: u64, to: u64) {
         // `tps` transactions per second spread over `accounts` senders,
         // submitted round-robin to the first half of the nodes.
         let targets = (sim.n() as u64 / 2).max(1);
@@ -668,9 +722,7 @@ mod tests {
         let during = sim
             .commits()
             .iter()
-            .filter(|c| {
-                c.time > SimTime::from_secs(14) && c.time < SimTime::from_secs(40)
-            })
+            .filter(|c| c.time > SimTime::from_secs(14) && c.time < SimTime::from_secs(40))
             .count();
         assert_eq!(during, 0, "no quorum, no commits");
         // After the restart the backlog eventually drains.
@@ -701,7 +753,11 @@ mod tests {
             .filter(|c| c.node == NodeId::new(0))
             .map(|c| c.commit)
             .collect();
-        assert_eq!(unique.len(), 5900, "all load commits after the partition heals");
+        assert_eq!(
+            unique.len(),
+            5900,
+            "all load commits after the partition heals"
+        );
     }
 
     #[test]

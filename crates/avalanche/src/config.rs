@@ -112,9 +112,15 @@ mod tests {
         assert!(cfg.alpha <= cfg.k);
         assert_eq!(cfg.effective_sampling(10), (8, 7));
         let (k4, a4) = cfg.effective_sampling(4);
-        assert!(k4 == 3 && a4 * 2 > k4 && a4 <= k4, "scaled params invalid: {k4}/{a4}");
+        assert!(
+            k4 == 3 && a4 * 2 > k4 && a4 <= k4,
+            "scaled params invalid: {k4}/{a4}"
+        );
         assert!(cfg.query_timeout > cfg.query_interval);
-        assert!(cfg.stale_age > cfg.block_interval * 4, "steady state never regossips");
+        assert!(
+            cfg.stale_age > cfg.block_interval * 4,
+            "steady state never regossips"
+        );
         // Analytic lower bound on the baseline load (epidemic gossip
         // reaches each node ≥ 2 times per tx, ~5 proposals per 2 s,
         // execution): the sustained meter level must stay under the
@@ -126,10 +132,16 @@ mod tests {
             + (cfg.cost_proposal_base + 400.0 * cfg.cost_proposal_per_tx) * 5.0 / 2.0
             + 200.0 * cfg.cost_exec_per_tx;
         let steady_meter = baseline * 1.44; // CpuMeter steady state
-        assert!(steady_meter < cfg.cpu_quota, "baseline meter {steady_meter} exceeds quota");
+        assert!(
+            steady_meter < cfg.cpu_quota,
+            "baseline meter {steady_meter} exceeds quota"
+        );
         // A full regossip batch is heavy enough to saturate: one batch
         // per second from a few peers exceeds the sustainable rate.
         let storm = cfg.regossip_batch as f64 * cfg.cost_per_tx * 2.5;
-        assert!(storm > cfg.cpu_quota, "regossip storm {storm} would not saturate");
+        assert!(
+            storm > cfg.cpu_quota,
+            "regossip storm {storm} would not saturate"
+        );
     }
 }

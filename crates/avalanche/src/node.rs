@@ -177,9 +177,9 @@ impl AvalancheNode {
                 self.config.cost_proposal_base
                     + self.config.cost_proposal_per_tx * block.len() as f64
             }
-            AvalancheMsg::Query { .. } | AvalancheMsg::Chit { .. } | AvalancheMsg::Accepted { .. } => {
-                self.config.cost_query
-            }
+            AvalancheMsg::Query { .. }
+            | AvalancheMsg::Chit { .. }
+            | AvalancheMsg::Accepted { .. } => self.config.cost_query,
             AvalancheMsg::BlockRequest { .. } => self.config.cost_proposal_base,
             AvalancheMsg::BlockResponse { block, .. } => {
                 self.config.cost_proposal_base
@@ -231,7 +231,12 @@ impl AvalancheNode {
                         self.try_commit(hash, ctx);
                     }
                 } else if height > self.current_height() {
-                    ctx.send(from, AvalancheMsg::BlockRequest { height: self.current_height() });
+                    ctx.send(
+                        from,
+                        AvalancheMsg::BlockRequest {
+                            height: self.current_height(),
+                        },
+                    );
                 }
             }
             AvalancheMsg::Query { id, height } => {
@@ -275,10 +280,13 @@ impl AvalancheNode {
                     let end = (start + 8).min(self.chain.len());
                     for i in start..end {
                         let block = self.chain[i].clone();
-                        ctx.send(from, AvalancheMsg::BlockResponse {
-                            height: i as u64 + 1,
-                            block,
-                        });
+                        ctx.send(
+                            from,
+                            AvalancheMsg::BlockResponse {
+                                height: i as u64 + 1,
+                                block,
+                            },
+                        );
                     }
                 }
             }
@@ -294,7 +302,9 @@ impl AvalancheNode {
     }
 
     fn finalise_poll(&mut self, id: u64, ctx: &mut Ctx<'_, Self>) {
-        let Some(poll) = self.outstanding.remove(&id) else { return };
+        let Some(poll) = self.outstanding.remove(&id) else {
+            return;
+        };
         if poll.height != self.current_height() {
             return;
         }
@@ -313,7 +323,9 @@ impl AvalancheNode {
     }
 
     fn try_commit(&mut self, hash: Hash32, ctx: &mut Ctx<'_, Self>) {
-        let Some(block) = self.proposals.get(&hash).cloned() else { return };
+        let Some(block) = self.proposals.get(&hash).cloned() else {
+            return;
+        };
         let height = self.current_height();
         // Execution competes with message handling for CPU.
         self.throttler
@@ -385,16 +397,22 @@ impl AvalancheNode {
         self.next_poll += 1;
         let peers = self.sample_peers(ctx, self.k_eff);
         let height = self.current_height();
-        self.outstanding.insert(id, Poll {
-            height,
-            values: Vec::new(),
-            received: 0,
-            expected: peers.len(),
-        });
+        self.outstanding.insert(
+            id,
+            Poll {
+                height,
+                values: Vec::new(),
+                received: 0,
+                expected: peers.len(),
+            },
+        );
         for peer in peers {
             ctx.send(peer, AvalancheMsg::Query { id, height });
         }
-        ctx.set_timer(self.config.query_timeout, AvalancheTimer::QueryDeadline { id });
+        ctx.set_timer(
+            self.config.query_timeout,
+            AvalancheTimer::QueryDeadline { id },
+        );
     }
 
     fn handle_announce_tick(&mut self, ctx: &mut Ctx<'_, Self>) {
@@ -426,10 +444,7 @@ impl AvalancheNode {
         stale_ids.sort_unstable();
         ctx.rng().shuffle(&mut stale_ids);
         stale_ids.truncate(self.config.regossip_batch);
-        let txs: Vec<Transaction> = stale_ids
-            .iter()
-            .map(|id| self.pending[id].0)
-            .collect();
+        let txs: Vec<Transaction> = stale_ids.iter().map(|id| self.pending[id].0).collect();
         let peers = self.sample_peers(ctx, self.config.gossip_fanout);
         for peer in peers {
             ctx.send(peer, AvalancheMsg::RegossipTxs { txs: txs.clone() });
@@ -614,7 +629,11 @@ mod tests {
         s.run_until(SimTime::from_secs(45));
         // Committed within the run and no throttling collapse.
         assert_eq!(unique_commits_at(&s, 0), 3000);
-        assert_eq!(s.node(NodeId::new(0)).throttled_drops(), 0, "no buffer drops at baseline");
+        assert_eq!(
+            s.node(NodeId::new(0)).throttled_drops(),
+            0,
+            "no buffer drops at baseline"
+        );
     }
 
     #[test]
@@ -623,9 +642,15 @@ mod tests {
         submit_stream(&mut s, 10, 100, 1, 60);
         s.schedule_crash(SimTime::from_secs(10), NodeId::new(9)); // f = t = 1
         s.run_until(SimTime::from_secs(90));
-        assert_eq!(unique_commits_at(&s, 0), 5900, "all load commits with f = t");
+        assert_eq!(
+            unique_commits_at(&s, 0),
+            5900,
+            "all load commits with f = t"
+        );
         // Polls that sampled the dead node failed: visible instability.
-        let failed: u64 = (0..9u32).map(|i| s.node(NodeId::new(i)).failed_polls()).sum();
+        let failed: u64 = (0..9u32)
+            .map(|i| s.node(NodeId::new(i)).failed_polls())
+            .sum();
         let _ = failed; // per-height instance resets; drops are the stable signal
     }
 
@@ -659,8 +684,14 @@ mod tests {
             "throttling collapse should prevent recovery, yet {} committed",
             after_recovery.len()
         );
-        assert!(total < 32_000, "nowhere near the offered load: {total} vs {}", before.len());
-        let defers: u64 = (0..10u32).map(|i| s.node(NodeId::new(i)).throttled_defers()).sum();
+        assert!(
+            total < 32_000,
+            "nowhere near the offered load: {total} vs {}",
+            before.len()
+        );
+        let defers: u64 = (0..10u32)
+            .map(|i| s.node(NodeId::new(i)).throttled_defers())
+            .sum();
         assert!(defers > 1_000, "expected heavy deferral, got {defers}");
     }
 

@@ -265,7 +265,11 @@ mod tests {
     fn decision_is_stable() {
         let mut sb = Snowball::new(2, 1);
         assert_eq!(sb.record_poll(&[h(1), h(1)]), Some(h(1)));
-        assert_eq!(sb.record_poll(&[h(2), h(2)]), Some(h(1)), "decided never changes");
+        assert_eq!(
+            sb.record_poll(&[h(2), h(2)]),
+            Some(h(1)),
+            "decided never changes"
+        );
         sb.observe_proposal(h(0));
         assert_eq!(sb.preference(), Some(h(1)));
     }

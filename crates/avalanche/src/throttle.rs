@@ -147,7 +147,11 @@ mod tests {
     #[test]
     fn defers_over_quota_then_drops() {
         let mut th = throttler();
-        assert_eq!(th.admit(t(0), 1.2), Admission::Process, "first one slips in");
+        assert_eq!(
+            th.admit(t(0), 1.2),
+            Admission::Process,
+            "first one slips in"
+        );
         assert_eq!(th.admit(t(0), 0.1), Admission::Defer);
         assert_eq!(th.admit(t(0), 0.1), Admission::Defer);
         assert_eq!(th.admit(t(0), 0.1), Admission::Defer);

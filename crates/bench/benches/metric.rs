@@ -35,10 +35,7 @@ fn bench_metric(c: &mut Criterion) {
                 .map(|_| SimTime::from_micros(rng.next_below(400_000_000)))
                 .collect();
             b.iter(|| {
-                ThroughputSeries::from_commit_times(
-                    times.iter().copied(),
-                    SimTime::from_secs(400),
-                )
+                ThroughputSeries::from_commit_times(times.iter().copied(), SimTime::from_secs(400))
             });
         });
     }

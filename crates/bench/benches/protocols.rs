@@ -33,7 +33,14 @@ fn bench_protocol_blocks(c: &mut Criterion) {
 
     c.bench_function("account_pool/insert_take_1000", |b| {
         let txs: Vec<Transaction> = (0..1000)
-            .map(|n| Transaction::transfer(AccountId::new((n % 20) as u32), n / 20, AccountId::new(99), 1))
+            .map(|n| {
+                Transaction::transfer(
+                    AccountId::new((n % 20) as u32),
+                    n / 20,
+                    AccountId::new(99),
+                    1,
+                )
+            })
             .collect();
         b.iter(|| {
             let mut pool = AccountPool::new(4096);

@@ -14,11 +14,17 @@ use stabl::{report_from_runs, run_protocol, Chain, RunResult, ScenarioKind};
 use stabl_algorand::{AlgorandConfig, AlgorandNode};
 use stabl_aptos::{AptosConfig, AptosNode};
 use stabl_avalanche::{AvalancheConfig, AvalancheNode};
-use stabl_bench::BenchOpts;
+use stabl_bench::{BenchOpts, Job};
 use stabl_redbelly::{RedbellyConfig, RedbellyNode};
 use stabl_solana::{EpochSchedule, SolanaConfig, SolanaNode};
 
-fn describe(name: &str, baseline: &RunResult, altered: &RunResult, chain: Chain, kind: ScenarioKind) {
+fn describe(
+    name: &str,
+    baseline: &RunResult,
+    altered: &RunResult,
+    chain: Chain,
+    kind: ScenarioKind,
+) {
     let report = report_from_runs(chain, kind, baseline, altered);
     println!(
         "{name:<44} {:<13} sensitivity {:>12}  ({} unresolved, {} panics)",
@@ -29,97 +35,205 @@ fn describe(name: &str, baseline: &RunResult, altered: &RunResult, chain: Chain,
     );
 }
 
+/// An ablated baseline/altered pair as two cache-aware engine jobs.
+macro_rules! ablation_jobs {
+    ($name:literal, $node:ty, $config:expr, $base_cfg:expr, $alt_cfg:expr) => {{
+        let config = $config;
+        let salt = format!("{}|{:?}", stringify!($node), config);
+        [
+            Job::custom(concat!($name, "/baseline"), $base_cfg, salt.clone(), {
+                let pc = config.clone();
+                move |cfg| run_protocol::<$node>(cfg, pc.clone())
+            }),
+            Job::custom(concat!($name, "/altered"), $alt_cfg, salt, {
+                let pc = config.clone();
+                move |cfg| run_protocol::<$node>(cfg, pc.clone())
+            }),
+        ]
+    }};
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     let setup = &opts.setup;
-    println!("ablation campaign at {} (seed {})\n", setup.horizon, setup.seed);
-    let mut summary: Vec<(String, Option<f64>, bool)> = Vec::new();
-    let mut record =
-        |name: &str, baseline: &RunResult, altered: &RunResult, chain: Chain, kind: ScenarioKind| {
-            describe(name, baseline, altered, chain, kind);
-            let report = report_from_runs(chain, kind, baseline, altered);
-            summary.push((
-                name.to_owned(),
-                report.sensitivity.score(),
-                matches!(report.sensitivity, Sensitivity::Finite { improved: true, .. }),
-            ));
-        };
+    println!(
+        "ablation campaign at {} (seed {})\n",
+        setup.horizon, setup.seed
+    );
 
+    // Schedule everything up front — the five ablated pairs plus the two
+    // unablated reference pairs the commentary compares against — and
+    // let the engine run the cells concurrently.
+    let mut jobs = Vec::new();
     // 1. Solana without warmup epochs: the EAH windows of a full-length
     //    epoch fall outside the run, so the panic is unreachable.
-    {
-        let config = SolanaConfig {
+    jobs.extend(ablation_jobs!(
+        "solana/no-warmup-epochs",
+        SolanaNode,
+        SolanaConfig {
             schedule: EpochSchedule::constant(8192),
             ..SolanaConfig::default()
-        };
-        let base_cfg = setup.run_config(Chain::Solana, ScenarioKind::Baseline);
-        let alt_cfg = setup.run_config(Chain::Solana, ScenarioKind::Transient);
-        let baseline = run_protocol::<SolanaNode>(&base_cfg, config.clone());
-        let altered = run_protocol::<SolanaNode>(&alt_cfg, config);
+        },
+        setup.run_config(Chain::Solana, ScenarioKind::Baseline),
+        setup.run_config(Chain::Solana, ScenarioKind::Transient)
+    ));
+    // 2. Avalanche without throttling: unlimited CPU quota — the
+    //    re-gossip storm is absorbed and consensus resumes.
+    jobs.extend(ablation_jobs!(
+        "avalanche/no-throttling",
+        AvalancheNode,
+        AvalancheConfig {
+            cpu_quota: f64::INFINITY,
+            ..AvalancheConfig::default()
+        },
+        setup.run_config(Chain::Avalanche, ScenarioKind::Baseline),
+        setup.run_config(Chain::Avalanche, ScenarioKind::Transient)
+    ));
+    // 3. Aptos without leader reputation: crashed leaders stay in the
+    //    rotation, the oscillation never stabilises.
+    jobs.extend(ablation_jobs!(
+        "aptos/no-leader-reputation",
+        AptosNode,
+        AptosConfig {
+            reputation_strikes: u32::MAX,
+            ..AptosConfig::default()
+        },
+        setup.run_config(Chain::Aptos, ScenarioKind::Baseline),
+        setup.run_config(Chain::Aptos, ScenarioKind::Crash)
+    ));
+    // 4. Algorand without dynamic round time: the filter never shrinks,
+    //    so there is nothing to reset — slower baseline, no sawtooth.
+    jobs.extend(ablation_jobs!(
+        "algorand/no-dynamic-round-time",
+        AlgorandNode,
+        {
+            let base = AlgorandConfig::default();
+            AlgorandConfig {
+                min_filter: base.default_filter,
+                filter_shrink_permille: 1_000,
+                ..base
+            }
+        },
+        setup.run_config(Chain::Algorand, ScenarioKind::Baseline),
+        setup.run_config(Chain::Algorand, ScenarioKind::Crash)
+    ));
+    // 5. Redbelly with capped (non-collaborative) proposals: the backlog
+    //    drains over many heights instead of one superblock.
+    jobs.extend(ablation_jobs!(
+        "redbelly/capped-superblock",
+        RedbellyNode,
+        RedbellyConfig {
+            max_proposal_txs: 150,
+            ..RedbellyConfig::default()
+        },
+        setup.run_config(Chain::Redbelly, ScenarioKind::Baseline),
+        setup.run_config(Chain::Redbelly, ScenarioKind::Transient)
+    ));
+    // References: the unablated aptos crash and redbelly transient runs.
+    jobs.push(Job::scenario_baseline(
+        setup,
+        Chain::Aptos,
+        ScenarioKind::Crash,
+    ));
+    jobs.push(Job::scenario(setup, Chain::Aptos, ScenarioKind::Crash));
+    jobs.push(Job::scenario_baseline(
+        setup,
+        Chain::Redbelly,
+        ScenarioKind::Transient,
+    ));
+    jobs.push(Job::scenario(
+        setup,
+        Chain::Redbelly,
+        ScenarioKind::Transient,
+    ));
+
+    let results = opts.engine().run(jobs);
+    let pair = |i: usize| (&results[2 * i], &results[2 * i + 1]);
+
+    let mut summary: Vec<(String, Option<f64>, bool)> = Vec::new();
+    let mut record = |name: &str,
+                      baseline: &RunResult,
+                      altered: &RunResult,
+                      chain: Chain,
+                      kind: ScenarioKind| {
+        describe(name, baseline, altered, chain, kind);
+        let report = report_from_runs(chain, kind, baseline, altered);
+        summary.push((
+            name.to_owned(),
+            report.sensitivity.score(),
+            matches!(
+                report.sensitivity,
+                Sensitivity::Finite { improved: true, .. }
+            ),
+        ));
+    };
+
+    {
+        let (baseline, altered) = pair(0);
         assert!(
             altered.panics.is_empty(),
             "without warmup epochs there is no EAH panic"
         );
-        record("solana/no-warmup-epochs", &baseline, &altered, Chain::Solana, ScenarioKind::Transient);
+        record(
+            "solana/no-warmup-epochs",
+            baseline,
+            altered,
+            Chain::Solana,
+            ScenarioKind::Transient,
+        );
     }
-
-    // 2. Avalanche without throttling: unlimited CPU quota — the
-    //    re-gossip storm is absorbed and consensus resumes.
     {
-        let config = AvalancheConfig { cpu_quota: f64::INFINITY, ..AvalancheConfig::default() };
-        let base_cfg = setup.run_config(Chain::Avalanche, ScenarioKind::Baseline);
-        let alt_cfg = setup.run_config(Chain::Avalanche, ScenarioKind::Transient);
-        let baseline = run_protocol::<AvalancheNode>(&base_cfg, config.clone());
-        let altered = run_protocol::<AvalancheNode>(&alt_cfg, config);
+        let (baseline, altered) = pair(1);
         assert!(
             !altered.lost_liveness,
             "without throttling the congestion is not metastable"
         );
-        record("avalanche/no-throttling", &baseline, &altered, Chain::Avalanche, ScenarioKind::Transient);
+        record(
+            "avalanche/no-throttling",
+            baseline,
+            altered,
+            Chain::Avalanche,
+            ScenarioKind::Transient,
+        );
     }
-
-    // 3. Aptos without leader reputation: crashed leaders stay in the
-    //    rotation, the oscillation never stabilises.
     {
-        let with = setup.sensitivity(Chain::Aptos, ScenarioKind::Crash);
-        let config = AptosConfig { reputation_strikes: u32::MAX, ..AptosConfig::default() };
-        let base_cfg = setup.run_config(Chain::Aptos, ScenarioKind::Baseline);
-        let alt_cfg = setup.run_config(Chain::Aptos, ScenarioKind::Crash);
-        let baseline = run_protocol::<AptosNode>(&base_cfg, config.clone());
-        let altered = run_protocol::<AptosNode>(&alt_cfg, config);
-        record("aptos/no-leader-reputation", &baseline, &altered, Chain::Aptos, ScenarioKind::Crash);
+        let (baseline, altered) = pair(2);
+        record(
+            "aptos/no-leader-reputation",
+            baseline,
+            altered,
+            Chain::Aptos,
+            ScenarioKind::Crash,
+        );
+        let (ref_base, ref_alt) = pair(5);
+        let with = report_from_runs(Chain::Aptos, ScenarioKind::Crash, ref_base, ref_alt);
         println!(
             "{:<44} (with reputation the crash score was {})",
             "", with.sensitivity
         );
     }
-
-    // 4. Algorand without dynamic round time: the filter never shrinks,
-    //    so there is nothing to reset — slower baseline, no sawtooth.
     {
-        let base = AlgorandConfig::default();
-        let config = AlgorandConfig {
-            min_filter: base.default_filter,
-            filter_shrink_permille: 1_000,
-            ..base
-        };
-        let base_cfg = setup.run_config(Chain::Algorand, ScenarioKind::Baseline);
-        let alt_cfg = setup.run_config(Chain::Algorand, ScenarioKind::Crash);
-        let baseline = run_protocol::<AlgorandNode>(&base_cfg, config.clone());
-        let altered = run_protocol::<AlgorandNode>(&alt_cfg, config);
-        record("algorand/no-dynamic-round-time", &baseline, &altered, Chain::Algorand, ScenarioKind::Crash);
+        let (baseline, altered) = pair(3);
+        record(
+            "algorand/no-dynamic-round-time",
+            baseline,
+            altered,
+            Chain::Algorand,
+            ScenarioKind::Crash,
+        );
     }
-
-    // 5. Redbelly with capped (non-collaborative) proposals: the backlog
-    //    drains over many heights instead of one superblock.
     {
-        let config = RedbellyConfig { max_proposal_txs: 150, ..RedbellyConfig::default() };
-        let base_cfg = setup.run_config(Chain::Redbelly, ScenarioKind::Baseline);
-        let alt_cfg = setup.run_config(Chain::Redbelly, ScenarioKind::Transient);
-        let baseline = run_protocol::<RedbellyNode>(&base_cfg, config.clone());
-        let altered = run_protocol::<RedbellyNode>(&alt_cfg, config);
-        record("redbelly/capped-superblock", &baseline, &altered, Chain::Redbelly, ScenarioKind::Transient);
-        let uncapped = setup.sensitivity(Chain::Redbelly, ScenarioKind::Transient);
+        let (baseline, altered) = pair(4);
+        record(
+            "redbelly/capped-superblock",
+            baseline,
+            altered,
+            Chain::Redbelly,
+            ScenarioKind::Transient,
+        );
+        let (ref_base, ref_alt) = pair(6);
+        let uncapped =
+            report_from_runs(Chain::Redbelly, ScenarioKind::Transient, ref_base, ref_alt);
         println!(
             "{:<44} (with uncapped superblocks the score was {})",
             "", uncapped.sensitivity

@@ -2,13 +2,18 @@
 //! full paper scale and print latency statistics plus the throughput
 //! timeline; the calibration workhorse behind the figure binaries.
 
+use std::path::PathBuf;
+
 use stabl::{Chain, PaperSetup, ScenarioKind};
+use stabl_bench::{Engine, Job};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
-        eprintln!("usage: dbg_scenario <algorand|aptos|avalanche|redbelly|solana> \
-                   <baseline|crash|transient|partition|secure>");
+        eprintln!(
+            "usage: dbg_scenario <algorand|aptos|avalanche|redbelly|solana> \
+                   <baseline|crash|transient|partition|secure>"
+        );
         std::process::exit(2);
     }
     let chain = match args[1].as_str() {
@@ -28,8 +33,16 @@ fn main() {
         other => panic!("unknown scenario {other}"),
     };
     let setup = PaperSetup::default();
-    let result = setup.run(chain, kind);
-    let base = setup.run_baseline(chain, kind);
+    let engine = Engine::new(
+        Engine::default_workers(),
+        Some(PathBuf::from("results/.cache")),
+    );
+    let mut results = engine.run(vec![
+        Job::scenario(&setup, chain, kind),
+        Job::scenario_baseline(&setup, chain, kind),
+    ]);
+    let base = results.pop().expect("baseline cell");
+    let result = results.pop().expect("scenario cell");
     if let (Ok(b), Ok(a)) = (base.ecdf(), result.ecdf()) {
         println!(
             "baseline mean={:.3} p95={:.3} | altered mean={:.3} p95={:.3}",

@@ -15,36 +15,48 @@
 //!   even without an adversary.
 
 use stabl::{report_from_runs, Chain, ClientMode, ScenarioKind};
-use stabl_bench::BenchOpts;
+use stabl_bench::{BenchOpts, Job};
 use stabl_sim::NodeId;
 
 fn main() {
     let opts = BenchOpts::from_args();
     let setup = &opts.setup;
     eprintln!("credence extension ({})", setup.horizon);
+    let jobs = Chain::ALL
+        .iter()
+        .flat_map(|&chain| {
+            let byzantine = |mode: ClientMode, label: &str| {
+                let mut config = setup.run_config(chain, ScenarioKind::Baseline);
+                config.client_mode = mode;
+                // Node 2 (client-facing) withholds confirmations.
+                config.byzantine_rpc = vec![NodeId::new(2)];
+                Job::config_with_cpu(format!("{}/{label}", chain.name()), chain, config, 2.0)
+            };
+            [
+                Job::config_with_cpu(
+                    format!("{}/honest-baseline", chain.name()),
+                    chain,
+                    setup.run_config(chain, ScenarioKind::Baseline),
+                    2.0,
+                ),
+                byzantine(ClientMode::Single, "single"),
+                byzantine(ClientMode::paper_secure(), "wait-all"),
+                byzantine(ClientMode::credence(3), "credence"),
+            ]
+        })
+        .collect();
+    let results = opts.engine().run(jobs);
     println!(
         "{:<10} {:>16} {:>16} {:>16} {:>14}",
         "chain", "single: lost", "wait-all: lost", "credence: lost", "credence Δμ"
     );
     let mut artefact = Vec::new();
-    for &chain in &Chain::ALL {
-        eprintln!("· {} …", chain.name());
-        let honest_baseline = {
-            let config = setup.run_config(chain, ScenarioKind::Baseline);
-            chain.run_with_cpu(&config, 2.0)
-        };
-        let run = |mode: ClientMode| {
-            let mut config = setup.run_config(chain, ScenarioKind::Baseline);
-            config.client_mode = mode;
-            // Node 2 (client-facing) withholds confirmations.
-            config.byzantine_rpc = vec![NodeId::new(2)];
-            chain.run_with_cpu(&config, 2.0)
-        };
-        let single = run(ClientMode::Single);
-        let wait_all = run(ClientMode::paper_secure());
-        let credence = run(ClientMode::credence(3));
-        let report =
-            report_from_runs(chain, ScenarioKind::SecureClient, &honest_baseline, &credence);
+    for (i, &chain) in Chain::ALL.iter().enumerate() {
+        let honest_baseline = &results[4 * i];
+        let single = &results[4 * i + 1];
+        let wait_all = &results[4 * i + 2];
+        let credence = &results[4 * i + 3];
+        let report = report_from_runs(chain, ScenarioKind::SecureClient, honest_baseline, credence);
         println!(
             "{:<10} {:>15.1}% {:>15.1}% {:>15.1}% {:>14}",
             chain.name(),

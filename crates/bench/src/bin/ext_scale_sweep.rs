@@ -6,22 +6,50 @@
 //! scenario over n ∈ {10, 16, 22} validators (5 clients throughout,
 //! faults on trailing nodes, f = t_B(n)).
 
-use stabl::{Chain, PaperSetup, ScenarioKind};
-use stabl_bench::BenchOpts;
+use stabl::{report_from_runs, Chain, PaperSetup, ScenarioKind};
+use stabl_bench::{BenchOpts, Job};
+
+const SIZES: [usize; 3] = [10, 16, 22];
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let sweep: Vec<PaperSetup> = SIZES
+        .iter()
+        .map(|&n| {
+            let mut setup = PaperSetup {
+                n,
+                ..opts.setup.clone()
+            };
+            setup.seed ^= n as u64;
+            setup
+        })
+        .collect();
+    let jobs = sweep
+        .iter()
+        .flat_map(|setup| {
+            Chain::ALL.iter().flat_map(move |&chain| {
+                [
+                    Job::scenario_baseline(setup, chain, ScenarioKind::Crash),
+                    Job::scenario(setup, chain, ScenarioKind::Crash),
+                ]
+            })
+        })
+        .collect();
+    let results = opts.engine().run(jobs);
     println!(
         "{:<10} {:>6} {:>6} {:>14} {:>14}",
         "chain", "n", "f=t", "crash score", "baseline p50"
     );
     let mut artefact = Vec::new();
-    for n in [10usize, 16, 22] {
-        let mut setup = PaperSetup { n, ..opts.setup.clone() };
-        setup.seed ^= n as u64;
-        for &chain in &Chain::ALL {
-            eprintln!("· {} n={} …", chain.name(), n);
-            let report = setup.sensitivity(chain, ScenarioKind::Crash);
+    for (s, n) in SIZES.into_iter().enumerate() {
+        for (c, &chain) in Chain::ALL.iter().enumerate() {
+            let cell = 2 * (s * Chain::ALL.len() + c);
+            let report = report_from_runs(
+                chain,
+                ScenarioKind::Crash,
+                &results[cell],
+                &results[cell + 1],
+            );
             println!(
                 "{:<10} {:>6} {:>6} {:>14} {:>14}",
                 chain.name(),

@@ -9,7 +9,7 @@
 //! and scores all five chains.
 
 use stabl::{report_from_runs, Chain, FaultPlan, ScenarioKind};
-use stabl_bench::{sensitivity_table, BenchOpts};
+use stabl_bench::{sensitivity_table, BenchOpts, Job};
 use stabl_sim::SimDuration;
 
 fn main() {
@@ -17,25 +17,43 @@ fn main() {
     let setup = &opts.setup;
     eprintln!("slow-node extension ({})", setup.horizon);
     let extra = SimDuration::from_millis(300);
-    let mut reports = Vec::new();
-    for &chain in &Chain::ALL {
-        eprintln!("· {} …", chain.name());
-        let baseline = setup.run(chain, ScenarioKind::Baseline);
-        let mut config = setup.run_config(chain, ScenarioKind::Baseline);
-        config.faults = FaultPlan::Slowdown {
-            nodes: setup.victims(1),
-            extra,
-            at: setup.fault_at,
-            until: setup.recover_at,
-        };
-        let altered = chain.run(&config);
+    let jobs = Chain::ALL
+        .iter()
+        .flat_map(|&chain| {
+            let mut config = setup.run_config(chain, ScenarioKind::Baseline);
+            config.faults = FaultPlan::Slowdown {
+                nodes: setup.victims(1),
+                extra,
+                at: setup.fault_at,
+                until: setup.recover_at,
+            };
+            [
+                Job::scenario(setup, chain, ScenarioKind::Baseline),
+                Job::config(format!("{}/slow-node", chain.name()), chain, config),
+            ]
+        })
+        .collect();
+    let results = opts.engine().run(jobs);
+    let reports: Vec<_> = Chain::ALL
+        .iter()
+        .enumerate()
         // Reuse the crash kind for reporting (the label is printed
         // separately).
-        reports.push(report_from_runs(chain, ScenarioKind::Crash, &baseline, &altered));
-    }
+        .map(|(i, &chain)| {
+            report_from_runs(
+                chain,
+                ScenarioKind::Crash,
+                &results[2 * i],
+                &results[2 * i + 1],
+            )
+        })
+        .collect();
     println!(
         "\n{}",
-        sensitivity_table("Extension — one node slowed by 300 ms (133 s → 266 s)", &reports)
+        sensitivity_table(
+            "Extension — one node slowed by 300 ms (133 s → 266 s)",
+            &reports
+        )
     );
     let rows: Vec<serde_json::Value> = reports
         .iter()

@@ -8,7 +8,7 @@
 //! and contrasts it with crashing a minnow.
 
 use stabl::{report_from_runs, run_protocol, Chain, ScenarioKind};
-use stabl_bench::BenchOpts;
+use stabl_bench::{BenchOpts, Job};
 use stabl_solana::{SolanaConfig, SolanaNode};
 
 fn main() {
@@ -20,27 +20,37 @@ fn main() {
         stakes: Some(vec![1, 1, 1, 1, 1, 1, 1, 1, 1, 6]),
         ..SolanaConfig::default()
     };
-    let base_cfg = setup.run_config(Chain::Solana, ScenarioKind::Baseline);
-    let baseline = run_protocol::<SolanaNode>(&base_cfg, config.clone());
-
-    let mut whale_cfg = setup.run_config(Chain::Solana, ScenarioKind::Baseline);
-    whale_cfg.faults = stabl::FaultPlan::Crash {
-        nodes: vec![stabl_sim::NodeId::new(9)],
-        at: setup.fault_at,
+    let salt = format!("SolanaNode|{config:?}");
+    let job = |label: &str, crash: Option<u32>| {
+        let mut run_cfg = setup.run_config(Chain::Solana, ScenarioKind::Baseline);
+        if let Some(node) = crash {
+            run_cfg.faults = stabl::FaultPlan::Crash {
+                nodes: vec![stabl_sim::NodeId::new(node)],
+                at: setup.fault_at,
+            };
+        }
+        Job::custom(format!("Solana/{label}"), run_cfg, salt.clone(), {
+            let config = config.clone();
+            move |cfg| run_protocol::<SolanaNode>(cfg, config.clone())
+        })
     };
-    let whale = run_protocol::<SolanaNode>(&whale_cfg, config.clone());
+    let results = opts.engine().run(vec![
+        job("stake-baseline", None),
+        job("whale-crash", Some(9)),
+        job("minnow-crash", Some(8)),
+    ]);
+    let (baseline, whale, minnow) = (&results[0], &results[1], &results[2]);
 
-    let mut minnow_cfg = setup.run_config(Chain::Solana, ScenarioKind::Baseline);
-    minnow_cfg.faults = stabl::FaultPlan::Crash {
-        nodes: vec![stabl_sim::NodeId::new(8)],
-        at: setup.fault_at,
-    };
-    let minnow = run_protocol::<SolanaNode>(&minnow_cfg, config);
-
-    let whale_report = report_from_runs(Chain::Solana, ScenarioKind::Crash, &baseline, &whale);
-    let minnow_report = report_from_runs(Chain::Solana, ScenarioKind::Crash, &baseline, &minnow);
-    println!("crash 1 minnow (6.7% stake): sensitivity {}", minnow_report.sensitivity);
-    println!("crash 1 whale (40% stake):   sensitivity {}", whale_report.sensitivity);
+    let whale_report = report_from_runs(Chain::Solana, ScenarioKind::Crash, baseline, whale);
+    let minnow_report = report_from_runs(Chain::Solana, ScenarioKind::Crash, baseline, minnow);
+    println!(
+        "crash 1 minnow (6.7% stake): sensitivity {}",
+        minnow_report.sensitivity
+    );
+    println!(
+        "crash 1 whale (40% stake):   sensitivity {}",
+        whale_report.sensitivity
+    );
     println!(
         "\nOne machine with 40% of the stake takes the cluster below the 2/3\n\
          supermajority: node-count thresholds (t = 3 of 10 here) say nothing\n\

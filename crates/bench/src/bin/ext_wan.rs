@@ -6,37 +6,56 @@
 //! WAN-like links (40–120 ms one way) and compares latency profiles and
 //! crash sensitivities across the two latency regimes.
 
-use stabl::{Chain, PaperSetup, ScenarioKind};
-use stabl_bench::BenchOpts;
+use stabl::{report_from_runs, Chain, PaperSetup, ScenarioKind};
+use stabl_bench::{BenchOpts, Job};
 use stabl_sim::{LatencyModel, LatencyTopology};
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let lan = opts.setup.clone();
+    let wan = PaperSetup {
+        latency: LatencyModel::wan(),
+        ..opts.setup.clone()
+    };
+    let jobs = Chain::ALL
+        .iter()
+        .flat_map(|&chain| {
+            // Five regions, nodes spread round-robin: LAN inside a
+            // region, WAN across regions.
+            let geo = |kind: ScenarioKind| {
+                let mut config = lan.run_config(chain, kind);
+                config.topology = Some(LatencyTopology::geo(5, lan.n));
+                Job::config(
+                    format!("{}/geo-{}", chain.name(), kind.name()),
+                    chain,
+                    config,
+                )
+            };
+            [
+                Job::scenario_baseline(&lan, chain, ScenarioKind::Crash),
+                Job::scenario(&lan, chain, ScenarioKind::Crash),
+                Job::scenario_baseline(&wan, chain, ScenarioKind::Crash),
+                Job::scenario(&wan, chain, ScenarioKind::Crash),
+                geo(ScenarioKind::Baseline),
+                geo(ScenarioKind::Crash),
+            ]
+        })
+        .collect();
+    let results = opts.engine().run(jobs);
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
         "chain", "LAN p50", "WAN p50", "geo p50", "LAN crash", "WAN crash", "geo crash"
     );
     let mut artefact = Vec::new();
-    for &chain in &Chain::ALL {
-        eprintln!("· {} …", chain.name());
-        let lan = opts.setup.clone();
-        let wan = PaperSetup { latency: LatencyModel::wan(), ..opts.setup.clone() };
-        let lan_report = lan.sensitivity(chain, ScenarioKind::Crash);
-        let wan_report = wan.sensitivity(chain, ScenarioKind::Crash);
-        // Five regions, nodes spread round-robin: LAN inside a region,
-        // WAN across regions.
-        let geo_report = {
-            let setup = opts.setup.clone();
-            let mut base_cfg = setup.run_config(chain, ScenarioKind::Baseline);
-            base_cfg.topology = Some(LatencyTopology::geo(5, setup.n));
-            let mut alt_cfg = setup.run_config(chain, ScenarioKind::Crash);
-            alt_cfg.topology = Some(LatencyTopology::geo(5, setup.n));
-            let baseline = chain.run(&base_cfg);
-            let altered = chain.run(&alt_cfg);
-            stabl::report_from_runs(chain, ScenarioKind::Crash, &baseline, &altered)
-        };
+    for (i, &chain) in Chain::ALL.iter().enumerate() {
+        let cell = |j: usize| &results[6 * i + j];
+        let lan_report = report_from_runs(chain, ScenarioKind::Crash, cell(0), cell(1));
+        let wan_report = report_from_runs(chain, ScenarioKind::Crash, cell(2), cell(3));
+        let geo_report = report_from_runs(chain, ScenarioKind::Crash, cell(4), cell(5));
         let p50 = |s: &stabl::report::RunSummary| {
-            s.p50_latency.map(|p| format!("{p:.3}s")).unwrap_or_else(|| "—".into())
+            s.p50_latency
+                .map(|p| format!("{p:.3}s"))
+                .unwrap_or_else(|| "—".into())
         };
         println!(
             "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",

@@ -8,7 +8,7 @@
 //! chain absorbs load variation.
 
 use stabl::{report_from_runs, Chain, ScenarioKind, WorkloadShape};
-use stabl_bench::{sensitivity_table, BenchOpts};
+use stabl_bench::{sensitivity_table, BenchOpts, Job};
 use stabl_sim::SimDuration;
 
 fn main() {
@@ -24,20 +24,48 @@ fn main() {
                 factor: 4,
             },
         ),
-        ("ramp (200 → 400 TPS)", WorkloadShape::Ramp { end_tps_per_client: 80 }),
+        (
+            "ramp (200 → 400 TPS)",
+            WorkloadShape::Ramp {
+                end_tps_per_client: 80,
+            },
+        ),
     ];
-    let mut artefact = Vec::new();
-    for (label, shape) in shapes {
-        let mut reports = Vec::new();
+    // One baseline per chain (shared by both shapes) followed by one
+    // altered run per shape × chain.
+    let mut jobs: Vec<Job> = Chain::ALL
+        .iter()
+        .map(|&chain| Job::scenario(setup, chain, ScenarioKind::Baseline))
+        .collect();
+    for (label, shape) in &shapes {
         for &chain in &Chain::ALL {
-            eprintln!("· {} {} …", chain.name(), label);
-            let baseline = setup.run(chain, ScenarioKind::Baseline);
             let mut config = setup.run_config(chain, ScenarioKind::Baseline);
-            config.workload.shape = shape;
-            let altered = chain.run(&config);
-            reports.push(report_from_runs(chain, ScenarioKind::Baseline, &baseline, &altered));
+            config.workload.shape = *shape;
+            jobs.push(Job::config(
+                format!("{}/{label}", chain.name()),
+                chain,
+                config,
+            ));
         }
-        println!("\n{}", sensitivity_table(&format!("Extension — {label}"), &reports));
+    }
+    let results = opts.engine().run(jobs);
+    let mut artefact = Vec::new();
+    for (s, (label, _)) in shapes.iter().enumerate() {
+        let mut reports = Vec::new();
+        for (c, &chain) in Chain::ALL.iter().enumerate() {
+            let baseline = &results[c];
+            let altered = &results[Chain::ALL.len() * (s + 1) + c];
+            reports.push(report_from_runs(
+                chain,
+                ScenarioKind::Baseline,
+                baseline,
+                altered,
+            ));
+        }
+        println!(
+            "\n{}",
+            sensitivity_table(&format!("Extension — {label}"), &reports)
+        );
         for r in &reports {
             artefact.push(serde_json::json!({
                 "shape": label,

@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 use stabl::{Chain, ScenarioKind};
-use stabl_bench::BenchOpts;
+use stabl_bench::{BenchOpts, Job};
 
 #[derive(Serialize)]
 struct EcdfSeries {
@@ -29,9 +29,16 @@ fn decimate(points: Vec<(f64, f64)>, max_points: usize) -> Vec<(f64, f64)> {
 
 fn main() {
     let opts = BenchOpts::from_args();
-    eprintln!("Fig. 1: Aptos baseline vs transient failures ({})", opts.setup.horizon);
-    let baseline = opts.setup.run(Chain::Aptos, ScenarioKind::Baseline);
-    let altered = opts.setup.run(Chain::Aptos, ScenarioKind::Transient);
+    eprintln!(
+        "Fig. 1: Aptos baseline vs transient failures ({})",
+        opts.setup.horizon
+    );
+    let mut results = opts.engine().run(vec![
+        Job::scenario(&opts.setup, Chain::Aptos, ScenarioKind::Baseline),
+        Job::scenario(&opts.setup, Chain::Aptos, ScenarioKind::Transient),
+    ]);
+    let altered = results.pop().expect("transient cell");
+    let baseline = results.pop().expect("baseline cell");
 
     let b = baseline.ecdf().expect("baseline committed transactions");
     let series = |label: &str, e: &stabl::metrics::Ecdf| EcdfSeries {

@@ -20,13 +20,25 @@ struct Fig3Row {
 fn main() {
     let opts = BenchOpts::from_args();
     eprintln!("Fig. 3: full sensitivity campaign ({})", opts.setup.horizon);
-    let reports = run_campaign(&opts.setup);
+    let reports = run_campaign(&opts.engine(), &opts.setup);
 
     for (part, kind, title) in [
         ('a', ScenarioKind::Crash, "Fig. 3a — f = t crashes"),
-        ('b', ScenarioKind::Transient, "Fig. 3b — f = t+1 transient failures"),
-        ('c', ScenarioKind::Partition, "Fig. 3c — partition of f = t+1 nodes"),
-        ('d', ScenarioKind::SecureClient, "Fig. 3d — secure client (t+1 = 4 nodes)"),
+        (
+            'b',
+            ScenarioKind::Transient,
+            "Fig. 3b — f = t+1 transient failures",
+        ),
+        (
+            'c',
+            ScenarioKind::Partition,
+            "Fig. 3c — partition of f = t+1 nodes",
+        ),
+        (
+            'd',
+            ScenarioKind::SecureClient,
+            "Fig. 3d — secure client (t+1 = 4 nodes)",
+        ),
     ] {
         let part_reports: Vec<ScenarioReport> =
             reports.iter().filter(|r| r.kind == kind).cloned().collect();

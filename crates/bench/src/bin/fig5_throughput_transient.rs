@@ -2,17 +2,34 @@
 //! baseline and under the "Transient" alteration (1-second bins).
 
 use stabl::{Chain, ScenarioKind};
-use stabl_bench::{throughput_csv, BenchOpts};
+use stabl_bench::{throughput_csv, BenchOpts, Job};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    eprintln!("Fig. 5: throughput over time, scenario = Transient ({})", opts.setup.horizon);
-    for &chain in &Chain::ALL {
-        eprintln!("· {} …", chain.name());
-        let baseline = opts.setup.run(chain, ScenarioKind::Baseline);
-        let altered = opts.setup.run(chain, ScenarioKind::Transient);
-        let csv = throughput_csv(&baseline, &altered);
-        opts.write_text(&format!("fig5_throughput_transient.{}.csv", chain.name().to_lowercase()), &csv);
+    eprintln!(
+        "Fig. 5: throughput over time, scenario = Transient ({})",
+        opts.setup.horizon
+    );
+    let jobs = Chain::ALL
+        .iter()
+        .flat_map(|&chain| {
+            [
+                Job::scenario(&opts.setup, chain, ScenarioKind::Baseline),
+                Job::scenario(&opts.setup, chain, ScenarioKind::Transient),
+            ]
+        })
+        .collect();
+    let results = opts.engine().run(jobs);
+    for (i, &chain) in Chain::ALL.iter().enumerate() {
+        let (baseline, altered) = (&results[2 * i], &results[2 * i + 1]);
+        let csv = throughput_csv(baseline, altered);
+        opts.write_text(
+            &format!(
+                "fig5_throughput_transient.{}.csv",
+                chain.name().to_lowercase()
+            ),
+            &csv,
+        );
         let base_tp = baseline.throughput();
         let alt_tp = altered.throughput();
         let fault_s = (opts.setup.fault_at.as_micros() / 1_000_000) as usize;

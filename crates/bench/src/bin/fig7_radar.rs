@@ -6,7 +6,7 @@ use stabl_bench::{radar_rows, run_campaign, BenchOpts};
 fn main() {
     let opts = BenchOpts::from_args();
     eprintln!("Fig. 7: radar synthesis ({})", opts.setup.horizon);
-    let reports = run_campaign(&opts.setup);
+    let reports = run_campaign(&opts.engine(), &opts.setup);
     let rows = radar_rows(&reports);
 
     println!(
@@ -28,6 +28,8 @@ fn main() {
             fmt(&row.secure_client),
         );
     }
-    println!("\n(↓ marks scenarios where the alteration improved responsiveness; ∞ = liveness lost)");
+    println!(
+        "\n(↓ marks scenarios where the alteration improved responsiveness; ∞ = liveness lost)"
+    );
     opts.write_json("fig7_radar.json", &rows);
 }

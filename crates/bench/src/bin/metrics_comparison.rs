@@ -9,24 +9,44 @@
 
 use stabl::metrics::{downtime_seconds, throughput_drop, RecoveryReport};
 use stabl::{Chain, ScenarioKind};
-use stabl_bench::BenchOpts;
+use stabl_bench::{BenchOpts, Job};
+
+const KINDS: [ScenarioKind; 2] = [ScenarioKind::Crash, ScenarioKind::Transient];
 
 fn main() {
     let opts = BenchOpts::from_args();
     let setup = &opts.setup;
     let fault_s = (setup.fault_at.as_micros() / 1_000_000) as usize;
     let end_s = (setup.horizon.as_micros() / 1_000_000) as usize;
+    let jobs = KINDS
+        .iter()
+        .flat_map(|&kind| {
+            Chain::ALL.iter().flat_map(move |&chain| {
+                [
+                    Job::scenario_baseline(setup, chain, kind),
+                    Job::scenario(setup, chain, kind),
+                ]
+            })
+        })
+        .collect();
+    let results = opts.engine().run(jobs);
     let mut artefact = Vec::new();
-    for kind in [ScenarioKind::Crash, ScenarioKind::Transient] {
+    for (k, kind) in KINDS.into_iter().enumerate() {
         println!(
             "\n{} scenario\n{:<10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            kind.name(), "chain", "sensitivity", "Δp50 (s)", "Δp95 (s)", "tput drop", "downtime", "recovery"
+            kind.name(),
+            "chain",
+            "sensitivity",
+            "Δp50 (s)",
+            "Δp95 (s)",
+            "tput drop",
+            "downtime",
+            "recovery"
         );
-        for &chain in &Chain::ALL {
-            eprintln!("· {} {} …", chain.name(), kind.name());
-            let baseline = setup.run_baseline(chain, kind);
-            let altered = setup.run(chain, kind);
-            let report = stabl::report_from_runs(chain, kind, &baseline, &altered);
+        for (c, &chain) in Chain::ALL.iter().enumerate() {
+            let cell = 2 * (k * Chain::ALL.len() + c);
+            let (baseline, altered) = (&results[cell], &results[cell + 1]);
+            let report = stabl::report_from_runs(chain, kind, baseline, altered);
             let (dp50, dp95) = match (baseline.ecdf(), altered.ecdf()) {
                 (Ok(b), Ok(a)) => (
                     a.quantile(0.5) - b.quantile(0.5),
@@ -60,7 +80,9 @@ fn main() {
                 dp95,
                 drop * 100.0,
                 downtime,
-                recovery.map(|r| format!("{r}s")).unwrap_or_else(|| "—".into()),
+                recovery
+                    .map(|r| format!("{r}s"))
+                    .unwrap_or_else(|| "—".into()),
             );
             artefact.push(serde_json::json!({
                 "chain": chain.name(),

@@ -15,10 +15,23 @@
 //!
 //! * `--quick <secs>` — scale the 400 s campaign down (useful: 100–150);
 //! * `--seed <u64>` — change the master seed;
-//! * `--out <dir>` — where JSON/CSV artefacts go (default `results/`).
+//! * `--out <dir>` — where JSON/CSV artefacts go (default `results/`);
+//! * `--jobs <n>` — worker threads for the campaign [`engine`] (default:
+//!   all hardware threads);
+//! * `--no-cache` — recompute every cell instead of replaying the
+//!   content-addressed cache under `<out>/.cache/`.
+//!
+//! All runs go through the campaign [`engine`]: cells execute
+//! concurrently and memoise their results, but artefacts are assembled
+//! in deterministic chain/scenario order and are byte-identical
+//! whatever the `--jobs`/cache settings.
+
+pub mod engine;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+pub use engine::{run_campaign, run_part, CampaignCell, Engine, EngineSummary, Job};
 
 use stabl::report::{RadarRow, ScenarioReport, SensitivityRecord};
 use stabl::{Chain, PaperSetup, RunResult, ScenarioKind};
@@ -30,6 +43,10 @@ pub struct BenchOpts {
     pub setup: PaperSetup,
     /// Output directory for artefacts.
     pub out_dir: PathBuf,
+    /// Worker threads for the campaign engine.
+    pub jobs: usize,
+    /// Skip the on-disk run cache and recompute every cell.
+    pub no_cache: bool,
 }
 
 impl BenchOpts {
@@ -44,6 +61,8 @@ impl BenchOpts {
         let mut args = std::env::args().skip(1);
         let mut quick: Option<u64> = None;
         let mut seed: Option<u64> = None;
+        let mut jobs = Engine::default_workers();
+        let mut no_cache = false;
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => {
@@ -63,7 +82,17 @@ impl BenchOpts {
                 "--out" => {
                     out_dir = PathBuf::from(args.next().expect("--out takes a directory"));
                 }
-                other => panic!("unknown argument {other}; known: --quick --seed --out"),
+                "--jobs" => {
+                    jobs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .expect("--jobs takes a positive thread count");
+                }
+                "--no-cache" => no_cache = true,
+                other => panic!(
+                    "unknown argument {other}; known: --quick --seed --out --jobs --no-cache"
+                ),
             }
         }
         if let Some(secs) = quick {
@@ -71,7 +100,23 @@ impl BenchOpts {
         } else if let Some(seed) = seed {
             setup.seed = seed;
         }
-        BenchOpts { setup, out_dir }
+        BenchOpts {
+            setup,
+            out_dir,
+            jobs,
+            no_cache,
+        }
+    }
+
+    /// The campaign engine these options describe: `--jobs` workers,
+    /// memoising into `<out>/.cache/` unless `--no-cache` was given.
+    pub fn engine(&self) -> Engine {
+        let cache_dir = if self.no_cache {
+            None
+        } else {
+            Some(self.out_dir.join(".cache"))
+        };
+        Engine::new(self.jobs, cache_dir)
     }
 
     /// Writes a serialisable artefact as pretty JSON under the output
@@ -101,42 +146,6 @@ impl BenchOpts {
     }
 }
 
-/// Runs baseline + one altered scenario for every chain and returns the
-/// reports in chain order.
-pub fn run_part(setup: &PaperSetup, kind: ScenarioKind) -> Vec<ScenarioReport> {
-    Chain::ALL
-        .iter()
-        .map(|&chain| {
-            eprintln!("· {} {} …", chain.name(), kind.name());
-            setup.sensitivity(chain, kind)
-        })
-        .collect()
-}
-
-/// Runs the complete campaign: every chain × every altered scenario,
-/// reusing each chain's baseline run.
-pub fn run_campaign(setup: &PaperSetup) -> Vec<ScenarioReport> {
-    let mut reports = Vec::new();
-    for &chain in &Chain::ALL {
-        eprintln!("· {} baseline …", chain.name());
-        let baseline = setup.run(chain, ScenarioKind::Baseline);
-        // The secure-client experiment ran on doubled-vCPU machines, so
-        // it is compared against a doubled-vCPU baseline.
-        let baseline_8vcpu = setup.run_baseline(chain, ScenarioKind::SecureClient);
-        for kind in ScenarioKind::ALTERED {
-            eprintln!("· {} {} …", chain.name(), kind.name());
-            let altered = setup.run(chain, kind);
-            let reference = if kind == ScenarioKind::SecureClient {
-                &baseline_8vcpu
-            } else {
-                &baseline
-            };
-            reports.push(stabl::report_from_runs(chain, kind, reference, &altered));
-        }
-    }
-    reports
-}
-
 /// Folds campaign reports into Fig. 7's radar rows.
 pub fn radar_rows(reports: &[ScenarioReport]) -> Vec<RadarRow> {
     Chain::ALL
@@ -147,7 +156,10 @@ pub fn radar_rows(reports: &[ScenarioReport]) -> Vec<RadarRow> {
                     .iter()
                     .find(|r| r.chain == chain && r.kind == kind)
                     .map(|r| r.sensitivity.into())
-                    .unwrap_or(SensitivityRecord { score: None, improved: false })
+                    .unwrap_or(SensitivityRecord {
+                        score: None,
+                        improved: false,
+                    })
             };
             RadarRow {
                 chain: chain.name().to_owned(),

@@ -51,9 +51,7 @@ impl Chain {
     pub fn tolerated_faults(&self, n: usize) -> usize {
         match self {
             Chain::Algorand | Chain::Avalanche => n.div_ceil(5).saturating_sub(1),
-            Chain::Aptos | Chain::Redbelly | Chain::Solana => {
-                n.div_ceil(3).saturating_sub(1)
-            }
+            Chain::Aptos | Chain::Redbelly | Chain::Solana => n.div_ceil(3).saturating_sub(1),
         }
     }
 
@@ -132,8 +130,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<&str> =
-            Chain::ALL.iter().map(|c| c.name()).collect();
+        let names: std::collections::HashSet<&str> = Chain::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), 5);
         assert_eq!(Chain::Redbelly.to_string(), "Redbelly");
     }

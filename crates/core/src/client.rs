@@ -9,8 +9,7 @@
 use stabl_sim::NodeId;
 
 /// How clients attach to the blockchain network.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ClientMode {
     /// Each client trusts one node (the common SDK default).
     #[default]
@@ -44,7 +43,10 @@ impl ClientMode {
     /// replica: connects to `t + 2` nodes and accepts at `t + 1`
     /// matching observations.
     pub fn credence(t: usize) -> ClientMode {
-        ClientMode::Credence { replication: t + 2, quorum: t + 1 }
+        ClientMode::Credence {
+            replication: t + 2,
+            quorum: t + 1,
+        }
     }
 
     /// How many nodes one client uses.
@@ -67,7 +69,10 @@ impl ClientMode {
         match self {
             ClientMode::Single => 1,
             ClientMode::Secure { replication } => *replication,
-            ClientMode::Credence { replication, quorum } => {
+            ClientMode::Credence {
+                replication,
+                quorum,
+            } => {
                 assert!(
                     *quorum >= 1 && quorum <= replication,
                     "credence quorum {quorum} out of range for replication {replication}"
@@ -97,7 +102,6 @@ impl ClientMode {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,11 +120,21 @@ mod tests {
         let mode = ClientMode::paper_secure();
         assert_eq!(
             mode.nodes_for(0, 5),
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
         assert_eq!(
             mode.nodes_for(4, 5),
-            vec![NodeId::new(4), NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+            vec![
+                NodeId::new(4),
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2)
+            ]
         );
     }
 
@@ -156,6 +170,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn credence_quorum_validated() {
-        let _ = ClientMode::Credence { replication: 3, quorum: 4 }.required_quorum();
+        let _ = ClientMode::Credence {
+            replication: 3,
+            quorum: 4,
+        }
+        .required_quorum();
     }
 }

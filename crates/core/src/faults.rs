@@ -15,8 +15,7 @@
 use stabl_sim::{NodeId, PartitionRule, Protocol, SimDuration, SimTime, Simulation};
 
 /// A declarative failure-injection plan for one run.
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum FaultPlan {
     /// The baseline: no failures.
     #[default]
@@ -85,7 +84,10 @@ impl FaultPlan {
     pub fn schedule<P: Protocol>(&self, sim: &mut Simulation<P>) {
         let n = sim.n();
         for node in self.victims() {
-            assert!(node.index() < n, "victim {node} outside the {n}-node network");
+            assert!(
+                node.index() < n,
+                "victim {node} outside the {n}-node network"
+            );
         }
         match self {
             FaultPlan::None => {}
@@ -94,7 +96,11 @@ impl FaultPlan {
                     sim.schedule_crash(*at, *node);
                 }
             }
-            FaultPlan::Transient { nodes, at, recover_at } => {
+            FaultPlan::Transient {
+                nodes,
+                at,
+                recover_at,
+            } => {
                 assert!(at <= recover_at, "recovery precedes the failure");
                 for node in nodes {
                     sim.schedule_crash(*at, *node);
@@ -106,7 +112,12 @@ impl FaultPlan {
                 let rule = PartitionRule::isolate(nodes.iter().copied(), n);
                 sim.schedule_partition(*at, *heal_at, rule);
             }
-            FaultPlan::Slowdown { nodes, extra, at, until } => {
+            FaultPlan::Slowdown {
+                nodes,
+                extra,
+                at,
+                until,
+            } => {
                 assert!(at <= until, "slowdown ends before it starts");
                 for node in nodes {
                     sim.schedule_slowdown(*at, *until, *node, *extra);
@@ -115,7 +126,6 @@ impl FaultPlan {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -146,7 +156,11 @@ mod tests {
     #[test]
     fn crash_plan_halts_permanently() {
         let mut sim = Simulation::<Idle>::new(4, 1, ());
-        FaultPlan::Crash { nodes: nodes(&[2, 3]), at: SimTime::from_secs(1) }.schedule(&mut sim);
+        FaultPlan::Crash {
+            nodes: nodes(&[2, 3]),
+            at: SimTime::from_secs(1),
+        }
+        .schedule(&mut sim);
         sim.run_until(SimTime::from_secs(10));
         assert_eq!(sim.status(NodeId::new(2)), NodeStatus::Crashed);
         assert_eq!(sim.status(NodeId::new(3)), NodeStatus::Crashed);
@@ -205,7 +219,10 @@ mod tests {
     #[test]
     fn victims_accessor() {
         assert!(FaultPlan::None.victims().is_empty());
-        let plan = FaultPlan::Crash { nodes: nodes(&[1]), at: SimTime::ZERO };
+        let plan = FaultPlan::Crash {
+            nodes: nodes(&[1]),
+            at: SimTime::ZERO,
+        };
         assert_eq!(plan.victims(), &[NodeId::new(1)]);
     }
 
@@ -225,6 +242,10 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn out_of_range_victim_rejected() {
         let mut sim = Simulation::<Idle>::new(2, 1, ());
-        FaultPlan::Crash { nodes: nodes(&[5]), at: SimTime::ZERO }.schedule(&mut sim);
+        FaultPlan::Crash {
+            nodes: nodes(&[5]),
+            at: SimTime::ZERO,
+        }
+        .schedule(&mut sim);
     }
 }

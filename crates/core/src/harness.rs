@@ -5,8 +5,8 @@
 use std::collections::HashMap;
 
 use stabl_sim::{
-    DetRng, LatencyModel, LatencyTopology, NodeId, PanicRecord, Protocol, SimBuilder,
-    SimDuration, SimStats, SimTime,
+    DetRng, LatencyModel, LatencyTopology, NodeId, PanicRecord, Protocol, SimBuilder, SimDuration,
+    SimStats, SimTime,
 };
 use stabl_types::{Transaction, TxId};
 
@@ -63,7 +63,11 @@ impl RunConfig {
 }
 
 /// What one run measured.
-#[derive(Clone, Debug)]
+///
+/// Serialisable so the bench harness can memoise whole runs on disk:
+/// latencies round-trip through JSON losslessly (shortest-representation
+/// floats), so a cached run is bit-identical to a fresh one.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct RunResult {
     /// Client-observed latencies of committed transactions, seconds.
     pub latencies: Vec<f64>,
@@ -178,8 +182,7 @@ where
         }
     }
 
-    let lost_liveness = unresolved > 0
-        && last_commit + config.stall_grace < config.horizon;
+    let lost_liveness = unresolved > 0 && last_commit + config.stall_grace < config.horizon;
 
     RunResult {
         latencies,
@@ -232,7 +235,10 @@ mod tests {
         assert_eq!(result.latencies.len(), result.submitted);
         // Commits happen one client-link delay after submission.
         assert!(result.latencies.iter().all(|l| *l <= 0.010));
-        assert!(result.latencies.iter().all(|l| *l >= 0.005), "client link delay applies");
+        assert!(
+            result.latencies.iter().all(|l| *l >= 0.005),
+            "client link delay applies"
+        );
         assert_eq!(result.commit_ratio(), 1.0);
     }
 
@@ -281,7 +287,10 @@ mod tests {
     #[test]
     fn credence_resolves_at_the_quorum_th_observation() {
         let mut config = RunConfig::quick(7);
-        config.client_mode = ClientMode::Credence { replication: 4, quorum: 2 };
+        config.client_mode = ClientMode::Credence {
+            replication: 4,
+            quorum: 2,
+        };
         let quorum2 = run_protocol::<Instant>(&config, ());
         config.client_mode = ClientMode::Secure { replication: 4 };
         let wait_all = run_protocol::<Instant>(&config, ());
@@ -312,7 +321,10 @@ mod tests {
         let series = result.throughput();
         let total: u64 = series.bins().iter().map(|b| *b as u64).sum();
         assert_eq!(total as usize, result.latencies.len());
-        assert!((series.mean_over(2, 20) - 200.0).abs() < 10.0, "≈200 TPS offered");
+        assert!(
+            (series.mean_over(2, 20) - 200.0).abs() < 10.0,
+            "≈200 TPS offered"
+        );
     }
 
     #[test]

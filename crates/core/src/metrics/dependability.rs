@@ -24,7 +24,10 @@ pub fn downtime_seconds(
     from_sec: usize,
     to_sec: usize,
 ) -> usize {
-    assert!(from_sec < to_sec && to_sec <= series.bins().len(), "bad window");
+    assert!(
+        from_sec < to_sec && to_sec <= series.bins().len(),
+        "bad window"
+    );
     series.bins()[from_sec..to_sec]
         .iter()
         .filter(|tps| **tps < threshold_tps)
@@ -82,11 +85,13 @@ impl RecoveryReport {
         let fault_s = (fault_at.as_micros() / 1_000_000) as usize;
         let recover_s = (recover_at.as_micros() / 1_000_000) as usize;
         let end = series.bins().len();
-        assert!(fault_s < recover_s && recover_s < end, "marks outside the series");
+        assert!(
+            fault_s < recover_s && recover_s < end,
+            "marks outside the series"
+        );
         // "Near zero": below 5% of the offered rate.
         let floor = (offered_tps / 20).max(1);
-        let outage_seconds = series
-            .bins()[fault_s..recover_s]
+        let outage_seconds = series.bins()[fault_s..recover_s]
             .iter()
             .filter(|tps| **tps < floor)
             .count();
@@ -136,26 +141,20 @@ mod tests {
     fn recovery_report_reads_the_timeline() {
         // Fault at 2 s, recovery at 5 s, catch-up burst then steady.
         let s = series(&[200, 200, 0, 0, 0, 0, 900, 200, 200, 200]);
-        let report = RecoveryReport::measure(
-            &s,
-            SimTime::from_secs(2),
-            SimTime::from_secs(5),
-            200,
-        );
+        let report = RecoveryReport::measure(&s, SimTime::from_secs(2), SimTime::from_secs(5), 200);
         assert_eq!(report.outage_seconds, 3);
-        assert_eq!(report.recovery_seconds, Some(1), "back at 200 TPS at second 6");
+        assert_eq!(
+            report.recovery_seconds,
+            Some(1),
+            "back at 200 TPS at second 6"
+        );
         assert_eq!(report.catchup_peak_tps, 900);
     }
 
     #[test]
     fn recovery_never_happening_is_none() {
         let s = series(&[200, 200, 0, 0, 0, 0, 0, 0]);
-        let report = RecoveryReport::measure(
-            &s,
-            SimTime::from_secs(2),
-            SimTime::from_secs(5),
-            200,
-        );
+        let report = RecoveryReport::measure(&s, SimTime::from_secs(2), SimTime::from_secs(5), 200);
         assert_eq!(report.recovery_seconds, None);
         assert_eq!(report.catchup_peak_tps, 0);
     }

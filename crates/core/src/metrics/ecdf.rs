@@ -111,8 +111,7 @@ impl Ecdf {
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
-        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[rank - 1]
     }
 
@@ -183,7 +182,10 @@ impl Sensitivity {
     /// score robust to isolated outliers and parameter-free.
     pub fn from_ecdfs(baseline: &Ecdf, altered: &Ecdf) -> Sensitivity {
         let score = altered.mean() - baseline.mean();
-        Sensitivity::Finite { score: score.abs(), improved: score < 0.0 }
+        Sensitivity::Finite {
+            score: score.abs(),
+            improved: score < 0.0,
+        }
     }
 
     /// The finite score, if any.
@@ -203,8 +205,14 @@ impl Sensitivity {
 impl fmt::Display for Sensitivity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Sensitivity::Finite { score, improved: false } => write!(f, "{score:.3}"),
-            Sensitivity::Finite { score, improved: true } => write!(f, "{score:.3} (improved)"),
+            Sensitivity::Finite {
+                score,
+                improved: false,
+            } => write!(f, "{score:.3}"),
+            Sensitivity::Finite {
+                score,
+                improved: true,
+            } => write!(f, "{score:.3} (improved)"),
             Sensitivity::Infinite => write!(f, "∞"),
         }
     }
@@ -289,9 +297,15 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert_eq!(Ecdf::new(Vec::new()), Err(EcdfError::Empty));
-        assert_eq!(Ecdf::new(vec![1.0, f64::NAN]), Err(EcdfError::InvalidSample));
+        assert_eq!(
+            Ecdf::new(vec![1.0, f64::NAN]),
+            Err(EcdfError::InvalidSample)
+        );
         assert_eq!(Ecdf::new(vec![-1.0]), Err(EcdfError::InvalidSample));
-        assert_eq!(Ecdf::new(vec![f64::INFINITY]), Err(EcdfError::InvalidSample));
+        assert_eq!(
+            Ecdf::new(vec![f64::INFINITY]),
+            Err(EcdfError::InvalidSample)
+        );
     }
 
     #[test]
@@ -336,10 +350,22 @@ mod tests {
         let base = ecdf(&[1.0, 1.0, 1.0, 5.0]); // mean 2
         let worse = ecdf(&[3.0, 3.0, 3.0, 9.0]); // mean 4.5
         let s = Sensitivity::from_ecdfs(&base, &worse);
-        assert_eq!(s, Sensitivity::Finite { score: 2.5, improved: false });
+        assert_eq!(
+            s,
+            Sensitivity::Finite {
+                score: 2.5,
+                improved: false
+            }
+        );
         let better = ecdf(&[0.5, 0.5, 0.5, 2.5]); // mean 1.0
         let s = Sensitivity::from_ecdfs(&base, &better);
-        assert_eq!(s, Sensitivity::Finite { score: 1.0, improved: true });
+        assert_eq!(
+            s,
+            Sensitivity::Finite {
+                score: 1.0,
+                improved: true
+            }
+        );
     }
 
     #[test]
@@ -349,10 +375,7 @@ mod tests {
         let base: Vec<f64> = (0..1000).map(|i| 1.0 + (i % 10) as f64 / 100.0).collect();
         let mut spiky = base.clone();
         spiky[0] = 200.0;
-        let s = Sensitivity::from_ecdfs(
-            &ecdf(&base),
-            &Ecdf::new(spiky).expect("valid"),
-        );
+        let s = Sensitivity::from_ecdfs(&ecdf(&base), &Ecdf::new(spiky).expect("valid"));
         assert!(s.score().expect("finite") < 0.25, "outlier dominated: {s}");
     }
 
@@ -375,11 +398,19 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(
-            Sensitivity::Finite { score: 1.5, improved: false }.to_string(),
+            Sensitivity::Finite {
+                score: 1.5,
+                improved: false
+            }
+            .to_string(),
             "1.500"
         );
         assert_eq!(
-            Sensitivity::Finite { score: 0.25, improved: true }.to_string(),
+            Sensitivity::Finite {
+                score: 0.25,
+                improved: true
+            }
+            .to_string(),
             "0.250 (improved)"
         );
         assert_eq!(Sensitivity::Infinite.to_string(), "∞");
@@ -391,7 +422,9 @@ mod tests {
         let e = ecdf(&[3.0, 1.0, 2.0]);
         let steps: Vec<(f64, f64)> = e.steps().collect();
         assert_eq!(steps.len(), 3);
-        assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(steps
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
         assert_eq!(steps.last().expect("non-empty").1, 1.0);
     }
 }

@@ -62,7 +62,11 @@ impl ThroughputSeries {
     /// Panics if the window is out of range or empty.
     pub fn peak_over(&self, from_sec: usize, to_sec: usize) -> u32 {
         assert!(from_sec < to_sec && to_sec <= self.bins.len(), "bad window");
-        self.bins[from_sec..to_sec].iter().copied().max().unwrap_or(0)
+        self.bins[from_sec..to_sec]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// First second at or after `from_sec` with throughput ≥ `level`, if
@@ -99,8 +103,7 @@ mod tests {
 
     #[test]
     fn commits_beyond_horizon_ignored() {
-        let series =
-            ThroughputSeries::from_commit_times(vec![t(45)], SimTime::from_secs(3));
+        let series = ThroughputSeries::from_commit_times(vec![t(45)], SimTime::from_secs(3));
         assert_eq!(series.bins(), &[0, 0, 0]);
     }
 

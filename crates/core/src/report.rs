@@ -46,8 +46,7 @@ impl RunSummary {
             max_latency: ecdf.as_ref().map(|e| e.max()),
             lost_liveness: result.lost_liveness,
             panicked_nodes: {
-                let mut nodes: Vec<u32> =
-                    result.panics.iter().map(|p| p.node.as_u32()).collect();
+                let mut nodes: Vec<u32> = result.panics.iter().map(|p| p.node.as_u32()).collect();
                 nodes.sort_unstable();
                 nodes.dedup();
                 nodes.len()
@@ -58,11 +57,7 @@ impl RunSummary {
 
 impl fmt::Display for RunSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}/{} committed",
-            self.committed, self.submitted
-        )?;
+        write!(f, "{}/{} committed", self.committed, self.submitted)?;
         if let (Some(mean), Some(p95)) = (self.mean_latency, self.p95_latency) {
             write!(f, ", latency mean {mean:.2}s p95 {p95:.2}s")?;
         }
@@ -88,10 +83,14 @@ pub struct SensitivityRecord {
 impl From<Sensitivity> for SensitivityRecord {
     fn from(s: Sensitivity) -> SensitivityRecord {
         match s {
-            Sensitivity::Finite { score, improved } => {
-                SensitivityRecord { score: Some(score), improved }
-            }
-            Sensitivity::Infinite => SensitivityRecord { score: None, improved: false },
+            Sensitivity::Finite { score, improved } => SensitivityRecord {
+                score: Some(score),
+                improved,
+            },
+            Sensitivity::Infinite => SensitivityRecord {
+                score: None,
+                improved: false,
+            },
         }
     }
 }
@@ -168,8 +167,11 @@ mod tests {
 
     #[test]
     fn sensitivity_record_roundtrip() {
-        let fin: SensitivityRecord =
-            Sensitivity::Finite { score: 2.5, improved: true }.into();
+        let fin: SensitivityRecord = Sensitivity::Finite {
+            score: 2.5,
+            improved: true,
+        }
+        .into();
         assert_eq!(fin.score, Some(2.5));
         assert!(fin.improved);
         let inf: SensitivityRecord = Sensitivity::Infinite.into();
@@ -180,10 +182,22 @@ mod tests {
     fn serde_roundtrip() {
         let row = RadarRow {
             chain: "Redbelly".into(),
-            crash: SensitivityRecord { score: Some(0.1), improved: false },
-            transient: SensitivityRecord { score: Some(1.0), improved: false },
-            partition: SensitivityRecord { score: Some(2.0), improved: false },
-            secure_client: SensitivityRecord { score: Some(0.2), improved: true },
+            crash: SensitivityRecord {
+                score: Some(0.1),
+                improved: false,
+            },
+            transient: SensitivityRecord {
+                score: Some(1.0),
+                improved: false,
+            },
+            partition: SensitivityRecord {
+                score: Some(2.0),
+                improved: false,
+            },
+            secure_client: SensitivityRecord {
+                score: Some(0.2),
+                improved: true,
+            },
         };
         let json = serde_json::to_string(&row).expect("serialise");
         let back: RadarRow = serde_json::from_str(&json).expect("deserialise");
@@ -192,12 +206,32 @@ mod tests {
 
     #[test]
     fn ascii_bars() {
-        let inf = ascii_bar(SensitivityRecord { score: None, improved: false }, 10.0, 4);
+        let inf = ascii_bar(
+            SensitivityRecord {
+                score: None,
+                improved: false,
+            },
+            10.0,
+            4,
+        );
         assert_eq!(inf, "#### ∞");
-        let half = ascii_bar(SensitivityRecord { score: Some(5.0), improved: false }, 10.0, 4);
+        let half = ascii_bar(
+            SensitivityRecord {
+                score: Some(5.0),
+                improved: false,
+            },
+            10.0,
+            4,
+        );
         assert!(half.starts_with("## 5.000"), "{half}");
-        let improved =
-            ascii_bar(SensitivityRecord { score: Some(10.0), improved: true }, 10.0, 4);
+        let improved = ascii_bar(
+            SensitivityRecord {
+                score: Some(10.0),
+                improved: true,
+            },
+            10.0,
+            4,
+        );
         assert!(improved.starts_with("//// 10.000"), "{improved}");
     }
 }

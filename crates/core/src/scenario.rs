@@ -117,8 +117,14 @@ impl PaperSetup {
     /// Panics if `f` exceeds the non-client validators.
     pub fn victims(&self, f: usize) -> Vec<NodeId> {
         let front = 5.min(self.n);
-        assert!(f <= self.n - front, "cannot fault {f} of {} back nodes", self.n - front);
-        (0..f).map(|i| NodeId::new((self.n - 1 - i) as u32)).collect()
+        assert!(
+            f <= self.n - front,
+            "cannot fault {f} of {} back nodes",
+            self.n - front
+        );
+        (0..f)
+            .map(|i| NodeId::new((self.n - 1 - i) as u32))
+            .collect()
     }
 
     /// Builds the [`RunConfig`] for a chain and scenario.
@@ -224,7 +230,12 @@ mod tests {
         let victims = setup.victims(4);
         assert_eq!(
             victims,
-            vec![NodeId::new(9), NodeId::new(8), NodeId::new(7), NodeId::new(6)]
+            vec![
+                NodeId::new(9),
+                NodeId::new(8),
+                NodeId::new(7),
+                NodeId::new(6)
+            ]
         );
         assert!(victims.iter().all(|v| v.index() >= 5));
     }

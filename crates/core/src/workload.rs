@@ -83,10 +83,13 @@ impl WorkloadSpec {
     pub fn rate_at(&self, at: SimTime) -> u64 {
         match self.shape {
             WorkloadShape::Constant => self.tps_per_client,
-            WorkloadShape::Burst { period, burst_len, factor } => {
+            WorkloadShape::Burst {
+                period,
+                burst_len,
+                factor,
+            } => {
                 let elapsed = at.saturating_since(self.start).as_micros();
-                if period.as_micros() > 0 && elapsed % period.as_micros() < burst_len.as_micros()
-                {
+                if period.as_micros() > 0 && elapsed % period.as_micros() < burst_len.as_micros() {
                     self.tps_per_client * factor as u64
                 } else {
                     self.tps_per_client
@@ -110,8 +113,7 @@ impl WorkloadSpec {
     /// Expected number of submissions (exact for the constant shape).
     pub fn expected_count(&self) -> u64 {
         let window = self.end.saturating_since(self.start);
-        let per_client =
-            window.as_micros() * self.tps_per_client / 1_000_000;
+        let per_client = window.as_micros() * self.tps_per_client / 1_000_000;
         per_client * self.clients as u64
     }
 
@@ -126,10 +128,16 @@ impl WorkloadSpec {
     /// Panics on a zero-client, zero-account or zero-rate spec, or if
     /// `end <= start`.
     pub fn generate(&self) -> Vec<Submission> {
-        assert!(self.clients > 0 && self.accounts_per_client > 0, "empty workload");
+        assert!(
+            self.clients > 0 && self.accounts_per_client > 0,
+            "empty workload"
+        );
         assert!(self.tps_per_client > 0, "zero rate");
         assert!(self.start < self.end, "empty submission window");
-        if let WorkloadShape::Burst { period, burst_len, .. } = self.shape {
+        if let WorkloadShape::Burst {
+            period, burst_len, ..
+        } = self.shape
+        {
             assert!(burst_len <= period, "burst longer than its period");
         }
         let mut out = Vec::new();
@@ -139,13 +147,15 @@ impl WorkloadSpec {
             let mut k = 0u64;
             while at < self.end {
                 let local = (k % self.accounts_per_client as u64) as u32;
-                let account =
-                    AccountId::new(client as u32 * self.accounts_per_client + local);
+                let account = AccountId::new(client as u32 * self.accounts_per_client + local);
                 let sink = AccountId::new(10_000 + account.as_u32());
-                let transaction =
-                    Transaction::transfer(account, nonces[local as usize], sink, 1);
+                let transaction = Transaction::transfer(account, nonces[local as usize], sink, 1);
                 nonces[local as usize] += 1;
-                out.push(Submission { at, client, transaction });
+                out.push(Submission {
+                    at,
+                    client,
+                    transaction,
+                });
                 at += SimDuration::from_micros(1_000_000 / self.rate_at(at));
                 k += 1;
             }
@@ -221,7 +231,9 @@ mod tests {
     fn schedule_is_sorted_and_in_window() {
         let subs = spec().generate();
         assert!(subs.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(subs.iter().all(|s| s.at >= SimTime::from_secs(1) && s.at < SimTime::from_secs(3)));
+        assert!(subs
+            .iter()
+            .all(|s| s.at >= SimTime::from_secs(1) && s.at < SimTime::from_secs(3)));
     }
 
     #[test]
@@ -248,7 +260,11 @@ mod tests {
             burst_len: SimDuration::from_secs(1),
             factor: 4,
         };
-        assert_eq!(w.rate_at(SimTime::from_millis(1_500)), 40, "inside first burst");
+        assert_eq!(
+            w.rate_at(SimTime::from_millis(1_500)),
+            40,
+            "inside first burst"
+        );
         assert_eq!(w.rate_at(SimTime::from_millis(3_000)), 10, "between bursts");
         assert_eq!(w.rate_at(SimTime::from_millis(6_500)), 40, "second burst");
         let subs = w.generate();
@@ -265,7 +281,9 @@ mod tests {
     fn ramp_shape_increases_rate_linearly() {
         let mut w = spec();
         w.end = SimTime::from_secs(11);
-        w.shape = WorkloadShape::Ramp { end_tps_per_client: 30 };
+        w.shape = WorkloadShape::Ramp {
+            end_tps_per_client: 30,
+        };
         assert_eq!(w.rate_at(SimTime::from_secs(1)), 10);
         assert_eq!(w.rate_at(SimTime::from_secs(11)), 30);
         let mid = w.rate_at(SimTime::from_secs(6));

@@ -23,7 +23,11 @@ fn run_executes_a_quick_scenario() {
         .args(["run", "redbelly", "crash", "--secs", "40", "--seed", "7"])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8(output.stdout).expect("utf8");
     assert!(stdout.contains("Redbelly"), "{stdout}");
     assert!(stdout.contains("sensitivity"), "{stdout}");

@@ -105,7 +105,10 @@ impl BinaryInstance {
         }
         self.started = true;
         self.est = est;
-        let mut actions = vec![BinaryAction::Echo { round: 0, value: est }];
+        let mut actions = vec![BinaryAction::Echo {
+            round: 0,
+            value: est,
+        }];
         self.record(me, 0, est);
         actions.extend(self.try_progress(me));
         actions
@@ -113,7 +116,13 @@ impl BinaryInstance {
 
     /// Handles an echo from `from` (own echoes are recorded internally by
     /// `start`/round advances and must not be fed back).
-    pub fn on_echo(&mut self, me: NodeId, from: NodeId, round: u64, value: bool) -> Vec<BinaryAction> {
+    pub fn on_echo(
+        &mut self,
+        me: NodeId,
+        from: NodeId,
+        round: u64,
+        value: bool,
+    ) -> Vec<BinaryAction> {
         if self.decided.is_some() {
             return Vec::new();
         }
@@ -141,7 +150,11 @@ impl BinaryInstance {
     }
 
     fn record(&mut self, from: NodeId, round: u64, value: bool) {
-        self.echoes.entry(round).or_default().entry(from).or_insert(value);
+        self.echoes
+            .entry(round)
+            .or_default()
+            .entry(from)
+            .or_insert(value);
     }
 
     fn try_progress(&mut self, me: NodeId) -> Vec<BinaryAction> {
@@ -150,7 +163,9 @@ impl BinaryInstance {
             if self.decided.is_some() {
                 break;
             }
-            let Some(round_echoes) = self.echoes.get(&self.round) else { break };
+            let Some(round_echoes) = self.echoes.get(&self.round) else {
+                break;
+            };
             if round_echoes.len() < self.quorum {
                 break;
             }
@@ -182,7 +197,10 @@ impl BinaryInstance {
             };
             self.round += 1;
             self.record(me, self.round, self.est);
-            actions.push(BinaryAction::Echo { round: self.round, value: self.est });
+            actions.push(BinaryAction::Echo {
+                round: self.round,
+                value: self.est,
+            });
         }
         actions
     }
@@ -417,6 +435,10 @@ mod tests {
         inst.start(node(0), true);
         inst.on_echo(node(0), node(1), 0, true);
         inst.on_echo(node(0), node(1), 0, true);
-        assert_eq!(inst.decision(), None, "two distinct echoes are not a quorum of three");
+        assert_eq!(
+            inst.decision(),
+            None,
+            "two distinct echoes are not a quorum of three"
+        );
     }
 }

@@ -74,7 +74,10 @@ mod tests {
         assert!(cfg.proposal_grace < cfg.binary_round_timeout);
         assert!(cfg.height_interval >= cfg.proposal_grace);
         assert!(cfg.stall_threshold > cfg.binary_round_timeout);
-        assert!(cfg.conn.idle_timeout == SimDuration::from_secs(30), "MaxIdleTime");
+        assert!(
+            cfg.conn.idle_timeout == SimDuration::from_secs(30),
+            "MaxIdleTime"
+        );
         assert!(cfg.max_proposal_txs > 0);
     }
 }

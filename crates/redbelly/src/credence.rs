@@ -41,7 +41,11 @@ pub struct CredenceRead {
 impl CredenceRead {
     /// Creates an aggregator tolerating `t` Byzantine responders.
     pub fn new(t: usize) -> CredenceRead {
-        CredenceRead { t, responses: HashMap::new(), decided: None }
+        CredenceRead {
+            t,
+            responses: HashMap::new(),
+            decided: None,
+        }
     }
 
     /// Responses required for acceptance (`t + 1`).
@@ -58,11 +62,7 @@ impl CredenceRead {
             return self.decided;
         }
         self.responses.entry(from).or_insert(digest);
-        let agreeing = self
-            .responses
-            .values()
-            .filter(|d| **d == digest)
-            .count();
+        let agreeing = self.responses.values().filter(|d| **d == digest).count();
         if agreeing >= self.quorum() {
             self.decided = Some(digest);
         }

@@ -166,7 +166,11 @@ impl RedbellyNode {
                         match inst.decision() {
                             Some(v) => format!("{slot}:{proposal}D{}", v as u8),
                             None if inst.is_started() => {
-                                format!("{slot}:{proposal}r{}e{}", inst.current_round(), inst.current_est() as u8)
+                                format!(
+                                    "{slot}:{proposal}r{}e{}",
+                                    inst.current_round(),
+                                    inst.current_est() as u8
+                                )
                             }
                             None => format!("{slot}:{proposal}idle"),
                         }
@@ -202,7 +206,10 @@ impl RedbellyNode {
         if !state.proposed {
             state.proposed = true;
             let batch = self.pool.take_ready(self.config.max_proposal_txs);
-            let msg = RedbellyMsg::Proposal { height, batch: batch.clone() };
+            let msg = RedbellyMsg::Proposal {
+                height,
+                batch: batch.clone(),
+            };
             ctx.multicast(self.conn.connected_peers(), msg);
             self.accept_proposal(self.id, height, batch, ctx);
         }
@@ -242,13 +249,26 @@ impl RedbellyNode {
         self.emit(height, slot, actions, ctx);
     }
 
-    fn emit(&mut self, height: u64, slot: u32, actions: Vec<BinaryAction>, ctx: &mut Ctx<'_, Self>) {
+    fn emit(
+        &mut self,
+        height: u64,
+        slot: u32,
+        actions: Vec<BinaryAction>,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
         for action in actions {
             let msg = match action {
-                BinaryAction::Echo { round, value } => {
-                    RedbellyMsg::Echo { height, slot, round, value }
-                }
-                BinaryAction::Decide(value) => RedbellyMsg::Decide { height, slot, value },
+                BinaryAction::Echo { round, value } => RedbellyMsg::Echo {
+                    height,
+                    slot,
+                    round,
+                    value,
+                },
+                BinaryAction::Decide(value) => RedbellyMsg::Decide {
+                    height,
+                    slot,
+                    value,
+                },
             };
             ctx.multicast(self.conn.connected_peers(), msg);
         }
@@ -347,27 +367,45 @@ impl RedbellyNode {
     fn handle_retransmit(&mut self, ctx: &mut Ctx<'_, Self>) {
         ctx.set_timer(self.config.retransmit_interval, RedbellyTimer::Retransmit);
         let height = self.height;
-        let Some(state) = self.heights.get(&height) else { return };
-        if !state.entered || ctx.now().saturating_since(state.entered_at) < self.config.stall_threshold
+        let Some(state) = self.heights.get(&height) else {
+            return;
+        };
+        if !state.entered
+            || ctx.now().saturating_since(state.entered_at) < self.config.stall_threshold
         {
             return;
         }
         let peers = self.conn.connected_peers();
         // A stalled height may mean we missed a commit: ask a peer.
         if let Some(peer) = peers.first() {
-            ctx.send(*peer, RedbellyMsg::SyncRequest { from_height: self.chain_height() + 1 });
+            ctx.send(
+                *peer,
+                RedbellyMsg::SyncRequest {
+                    from_height: self.chain_height() + 1,
+                },
+            );
         }
         // Re-announce our own proposal and every undecided instance's
         // current echo; decided instances re-announce the decision.
         if let Some(batch) = state.proposals.get(&self.id.as_u32()) {
-            let msg = RedbellyMsg::Proposal { height, batch: batch.clone() };
+            let msg = RedbellyMsg::Proposal {
+                height,
+                batch: batch.clone(),
+            };
             ctx.multicast(peers.clone(), msg);
         }
         for (slot, instance) in state.instances.iter().enumerate() {
             let slot = slot as u32;
             match instance.decision() {
                 Some(value) => {
-                    ctx.multicast(peers.clone(), RedbellyMsg::Decide { height, slot, value });
+                    ctx.multicast(
+                        peers.clone(),
+                        RedbellyMsg::Decide {
+                            height,
+                            slot,
+                            value,
+                        },
+                    );
                 }
                 None if instance.is_started() => {
                     let msg = RedbellyMsg::Echo {
@@ -412,8 +450,8 @@ impl RedbellyNode {
                 for tx in &superblock {
                     self.pool.mark_committed(tx.from(), tx.nonce() + 1);
                 }
-                let cost = self.config.exec_per_block
-                    + self.config.exec_per_tx * superblock.len() as u64;
+                let cost =
+                    self.config.exec_per_block + self.config.exec_per_tx * superblock.len() as u64;
                 let start = self.exec_busy_until.max(ctx.now());
                 let done_at = start + cost;
                 self.exec_busy_until = done_at;
@@ -425,7 +463,12 @@ impl RedbellyNode {
         }
         if advanced {
             self.enter_height(self.chain_height() + 1, ctx);
-            ctx.send(from, RedbellyMsg::SyncRequest { from_height: self.chain_height() + 1 });
+            ctx.send(
+                from,
+                RedbellyMsg::SyncRequest {
+                    from_height: self.chain_height() + 1,
+                },
+            );
         }
     }
 
@@ -441,7 +484,12 @@ impl RedbellyNode {
     }
 
     fn on_reconnected(&mut self, peer: NodeId, ctx: &mut Ctx<'_, Self>) {
-        ctx.send(peer, RedbellyMsg::SyncRequest { from_height: self.chain_height() + 1 });
+        ctx.send(
+            peer,
+            RedbellyMsg::SyncRequest {
+                from_height: self.chain_height() + 1,
+            },
+        );
     }
 }
 
@@ -486,7 +534,12 @@ impl Protocol for RedbellyNode {
             RedbellyMsg::Proposal { height, batch } => {
                 self.accept_proposal(from, height, batch, ctx);
             }
-            RedbellyMsg::Echo { height, slot, round, value } => {
+            RedbellyMsg::Echo {
+                height,
+                slot,
+                round,
+                value,
+            } => {
                 if height < self.height || slot as usize >= self.n {
                     return;
                 }
@@ -505,11 +558,23 @@ impl Protocol for RedbellyNode {
                     }
                 };
                 if let Some(value) = stale_help {
-                    ctx.send(from, RedbellyMsg::Echo { height, slot, round, value });
+                    ctx.send(
+                        from,
+                        RedbellyMsg::Echo {
+                            height,
+                            slot,
+                            round,
+                            value,
+                        },
+                    );
                 }
                 self.emit(height, slot, actions, ctx);
             }
-            RedbellyMsg::Decide { height, slot, value } => {
+            RedbellyMsg::Decide {
+                height,
+                slot,
+                value,
+            } => {
                 if height < self.height || slot as usize >= self.n {
                     return;
                 }
@@ -520,7 +585,10 @@ impl Protocol for RedbellyNode {
             RedbellyMsg::SyncRequest { from_height } => {
                 self.handle_sync_request(from, from_height, ctx);
             }
-            RedbellyMsg::SyncResponse { first_height, superblocks } => {
+            RedbellyMsg::SyncResponse {
+                first_height,
+                superblocks,
+            } => {
                 self.handle_sync_response(from, first_height, superblocks, ctx);
             }
             RedbellyMsg::Heartbeat => {}
@@ -572,7 +640,9 @@ impl Protocol for RedbellyNode {
         self.run_conn_tick(ctx);
         ctx.multicast(
             self.conn.connected_peers(),
-            RedbellyMsg::SyncRequest { from_height: self.chain_height() + 1 },
+            RedbellyMsg::SyncRequest {
+                from_height: self.chain_height() + 1,
+            },
         );
     }
 }
@@ -655,7 +725,11 @@ mod tests {
             s.schedule_crash(SimTime::from_secs(10), NodeId::new(i));
         }
         s.run_until(SimTime::from_secs(40));
-        assert_eq!(unique_commits_at(&s, 0), 2900, "f = t crashes do not lose liveness");
+        assert_eq!(
+            unique_commits_at(&s, 0),
+            2900,
+            "f = t crashes do not lose liveness"
+        );
     }
 
     #[test]
@@ -699,7 +773,11 @@ mod tests {
             PartitionRule::isolate(isolated, 10),
         );
         s.run_until(SimTime::from_secs(220));
-        assert_eq!(unique_commits_at(&s, 0), 11900, "all load commits eventually");
+        assert_eq!(
+            unique_commits_at(&s, 0),
+            11900,
+            "all load commits eventually"
+        );
         // Recovery is delayed by the reconnect schedule (passive
         // MaxIdleTime teardown at ~40 s, first dial one backoff later):
         // no commits right after the heal.
@@ -727,9 +805,7 @@ mod tests {
         assert_eq!(unique_commits_at(&s, 0), 4);
         let node0 = s.node(NodeId::new(0));
         // All four landed within two heights (gossip may split them).
-        let heights_used = node0
-            .chain_height()
-            .min(node0.executed_height());
+        let heights_used = node0.chain_height().min(node0.executed_height());
         assert!(heights_used >= 1);
     }
 
@@ -769,6 +845,9 @@ mod tests {
     fn empty_heights_keep_chain_alive() {
         let mut s = sim(4, 8);
         s.run_until(SimTime::from_secs(10));
-        assert!(s.node(NodeId::new(0)).chain_height() > 3, "chain paces without load");
+        assert!(
+            s.node(NodeId::new(0)).chain_height() > 3,
+            "chain paces without load"
+        );
     }
 }

@@ -118,8 +118,7 @@ impl ConnectionManager {
 
     /// `true` if the link to `peer` is currently up (self is always up).
     pub fn is_connected(&self, peer: NodeId) -> bool {
-        peer == self.me
-            || matches!(self.links[peer.index()], LinkState::Connected { .. })
+        peer == self.me || matches!(self.links[peer.index()], LinkState::Connected { .. })
     }
 
     /// All peers with an established link, in id order.
@@ -142,7 +141,10 @@ impl ConnectionManager {
             LinkState::Connected { last_sent, .. } => last_sent,
             LinkState::Disconnected { .. } => now,
         };
-        *link = LinkState::Connected { last_heard: now, last_sent };
+        *link = LinkState::Connected {
+            last_heard: now,
+            last_sent,
+        };
         reconnected
     }
 
@@ -159,7 +161,10 @@ impl ConnectionManager {
                 continue;
             }
             match *link {
-                LinkState::Connected { last_heard, last_sent } => {
+                LinkState::Connected {
+                    last_heard,
+                    last_sent,
+                } => {
                     if now.saturating_since(last_heard) > self.config.idle_timeout {
                         *link = LinkState::Disconnected {
                             next_attempt: now + self.config.backoff_base,
@@ -167,11 +172,17 @@ impl ConnectionManager {
                         };
                         actions.push(ConnAction::Disconnected(peer));
                     } else if now.saturating_since(last_sent) >= self.config.heartbeat_interval {
-                        *link = LinkState::Connected { last_heard, last_sent: now };
+                        *link = LinkState::Connected {
+                            last_heard,
+                            last_sent: now,
+                        };
                         actions.push(ConnAction::SendHeartbeat(peer));
                     }
                 }
-                LinkState::Disconnected { next_attempt, backoff } => {
+                LinkState::Disconnected {
+                    next_attempt,
+                    backoff,
+                } => {
                     if now >= next_attempt {
                         let grown = backoff
                             .mul_f64(self.config.backoff_factor_permille as f64 / 1000.0)
@@ -343,7 +354,9 @@ mod tests {
             cm.on_heard(NodeId::new(1), t(s));
         }
         let actions = cm.tick(t(22));
-        assert!(!actions.iter().any(|a| matches!(a, ConnAction::Disconnected(_))));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, ConnAction::Disconnected(_))));
         assert!(cm.is_connected(NodeId::new(1)));
     }
 
@@ -369,7 +382,10 @@ mod tests {
         let mut cm = ConnectionManager::new(NodeId::new(0), 2, cfg());
         cm.tick(t(11));
         assert!(!cm.is_connected(NodeId::new(1)));
-        assert!(cm.on_heard(NodeId::new(1), t(12)), "reconnect reported once");
+        assert!(
+            cm.on_heard(NodeId::new(1), t(12)),
+            "reconnect reported once"
+        );
         assert!(cm.is_connected(NodeId::new(1)));
         assert!(!cm.on_heard(NodeId::new(1), t(13)), "already connected");
     }
@@ -381,7 +397,10 @@ mod tests {
         let actions = cm.tick(t(50));
         assert_eq!(
             actions,
-            vec![ConnAction::SendDial(NodeId::new(1)), ConnAction::SendDial(NodeId::new(2))]
+            vec![
+                ConnAction::SendDial(NodeId::new(1)),
+                ConnAction::SendDial(NodeId::new(2))
+            ]
         );
     }
 
@@ -413,6 +432,9 @@ mod tests {
         let fine = run(1);
         let coarse = run(5);
         assert!(fine > 0 && coarse > 0);
-        assert!((fine as i64 - coarse as i64).abs() <= 2, "{fine} vs {coarse}");
+        assert!(
+            (fine as i64 - coarse as i64).abs() <= 2,
+            "{fine} vs {coarse}"
+        );
     }
 }

@@ -47,6 +47,7 @@ mod net;
 mod protocol;
 mod resource;
 mod rng;
+mod serde_support;
 mod sim;
 mod stats;
 mod time;
@@ -100,8 +101,11 @@ mod kernel_prop_tests {
                 .prop_map(|(at_ms, node, value)| Op::Request { at_ms, node, value }),
             (0u64..5_000, 0..n).prop_map(|(at_ms, node)| Op::Crash { at_ms, node }),
             (0u64..5_000, 0..n).prop_map(|(at_ms, node)| Op::Restart { at_ms, node }),
-            (0u64..5_000, 1u64..2_000, 0..n)
-                .prop_map(|(at_ms, len_ms, node)| Op::Partition { at_ms, len_ms, node }),
+            (0u64..5_000, 1u64..2_000, 0..n).prop_map(|(at_ms, len_ms, node)| Op::Partition {
+                at_ms,
+                len_ms,
+                node
+            }),
         ]
     }
 
@@ -117,7 +121,11 @@ mod kernel_prop_tests {
                 Op::Restart { at_ms, node } => {
                     sim.schedule_restart(SimTime::from_millis(at_ms), NodeId::new(node));
                 }
-                Op::Partition { at_ms, len_ms, node } => {
+                Op::Partition {
+                    at_ms,
+                    len_ms,
+                    node,
+                } => {
                     sim.schedule_partition(
                         SimTime::from_millis(at_ms),
                         SimTime::from_millis(at_ms + len_ms),
@@ -195,7 +203,11 @@ mod kernel_tests {
 
         fn new(_: NodeId, _: usize, _: &(), ctx: &mut Ctx<'_, Self>) -> Self {
             ctx.set_timer(SimDuration::from_millis(100), ());
-            Pinger { seq: 0, received: 0, restarted: false }
+            Pinger {
+                seq: 0,
+                received: 0,
+                restarted: false,
+            }
         }
 
         fn on_message(&mut self, from: NodeId, PingMsg::Ping(s): PingMsg, ctx: &mut Ctx<'_, Self>) {
@@ -247,7 +259,10 @@ mod kernel_tests {
             .count();
         assert_eq!(late, 0);
         assert!(sim.stats().messages_dropped_dead > 0);
-        assert!(sim.stats().timers_stale > 0, "crashed node's timer is stale");
+        assert!(
+            sim.stats().timers_stale > 0,
+            "crashed node's timer is stale"
+        );
     }
 
     #[test]

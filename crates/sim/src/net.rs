@@ -168,7 +168,11 @@ impl LatencyTopology {
         let wan = LatencyModel::wan();
         let lan = LatencyModel::lan();
         let matrix = (0..regions)
-            .map(|a| (0..regions).map(|b| if a == b { lan } else { wan }).collect())
+            .map(|a| {
+                (0..regions)
+                    .map(|b| if a == b { lan } else { wan })
+                    .collect()
+            })
             .collect();
         let assignment = (0..n).map(|i| i % regions).collect();
         LatencyTopology::new(matrix, assignment)
@@ -242,9 +246,7 @@ impl PartitionRule {
         I: IntoIterator<Item = NodeId>,
     {
         let group_a: BTreeSet<NodeId> = isolated.into_iter().collect();
-        let group_b: BTreeSet<NodeId> = NodeId::all(n)
-            .filter(|id| !group_a.contains(id))
-            .collect();
+        let group_b: BTreeSet<NodeId> = NodeId::all(n).filter(|id| !group_a.contains(id)).collect();
         PartitionRule { group_a, group_b }
     }
 
@@ -359,7 +361,10 @@ impl Network {
 
     /// The extra outbound delay of `node` (zero if not slowed).
     pub fn slowdown(&self, node: NodeId) -> SimDuration {
-        self.slowdowns.get(&node).copied().unwrap_or(SimDuration::ZERO)
+        self.slowdowns
+            .get(&node)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -430,10 +435,7 @@ mod tests {
     fn topology_routes_by_region() {
         let lan = LatencyModel::lan();
         let wan = LatencyModel::wan();
-        let topology = LatencyTopology::new(
-            vec![vec![lan, wan], vec![wan, lan]],
-            vec![0, 1, 0, 1],
-        );
+        let topology = LatencyTopology::new(vec![vec![lan, wan], vec![wan, lan]], vec![0, 1, 0, 1]);
         assert_eq!(topology.region_of(NodeId::new(2)), 0);
         assert_eq!(topology.model_for(NodeId::new(0), NodeId::new(2)), lan);
         assert_eq!(topology.model_for(NodeId::new(0), NodeId::new(1)), wan);

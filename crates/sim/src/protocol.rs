@@ -59,8 +59,15 @@ pub trait Protocol: Sized {
 /// the callback returns.
 #[derive(Debug)]
 pub(crate) enum Effect<P: Protocol> {
-    Send { to: NodeId, msg: P::Msg },
-    SetTimer { id: TimerId, delay: SimDuration, token: P::Timer },
+    Send {
+        to: NodeId,
+        msg: P::Msg,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        token: P::Timer,
+    },
     CancelTimer(TimerId),
     Commit(P::Commit),
     Panic(String),
@@ -114,7 +121,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         let me = self.node;
         for to in NodeId::all(self.n) {
             if to != me {
-                self.effects.push(Effect::Send { to, msg: msg.clone() });
+                self.effects.push(Effect::Send {
+                    to,
+                    msg: msg.clone(),
+                });
             }
         }
     }
@@ -125,7 +135,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         I: IntoIterator<Item = NodeId>,
     {
         for to in targets {
-            self.effects.push(Effect::Send { to, msg: msg.clone() });
+            self.effects.push(Effect::Send {
+                to,
+                msg: msg.clone(),
+            });
         }
     }
 

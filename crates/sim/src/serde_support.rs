@@ -1,0 +1,170 @@
+//! JSON (de)serialisation of the kernel's observable run outputs.
+//!
+//! The bench harness memoises whole runs in an on-disk cache, so the
+//! types a [`RunResult`] is made of — instants, node ids, panic records
+//! and traffic counters — must round-trip through JSON losslessly. The
+//! newtypes serialise as their raw integer payloads (microseconds,
+//! dense node index); the records serialise as maps keyed by field
+//! name.
+//!
+//! [`RunResult`]: https://docs.rs/stabl/latest/stabl/struct.RunResult.html
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+use crate::{NodeId, PanicRecord, SimDuration, SimStats, SimTime};
+
+impl Serialize for SimTime {
+    fn to_content(&self) -> Content {
+        Content::U64(self.as_micros())
+    }
+}
+
+impl Deserialize for SimTime {
+    fn from_content(content: &Content) -> Result<SimTime, DeError> {
+        u64::from_content(content).map(SimTime::from_micros)
+    }
+}
+
+impl Serialize for SimDuration {
+    fn to_content(&self) -> Content {
+        Content::U64(self.as_micros())
+    }
+}
+
+impl Deserialize for SimDuration {
+    fn from_content(content: &Content) -> Result<SimDuration, DeError> {
+        u64::from_content(content).map(SimDuration::from_micros)
+    }
+}
+
+impl Serialize for NodeId {
+    fn to_content(&self) -> Content {
+        Content::U64(u64::from(self.as_u32()))
+    }
+}
+
+impl Deserialize for NodeId {
+    fn from_content(content: &Content) -> Result<NodeId, DeError> {
+        u32::from_content(content).map(NodeId::new)
+    }
+}
+
+impl Serialize for PanicRecord {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("time".to_owned(), self.time.to_content()),
+            ("node".to_owned(), self.node.to_content()),
+            ("reason".to_owned(), self.reason.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for PanicRecord {
+    fn from_content(content: &Content) -> Result<PanicRecord, DeError> {
+        Ok(PanicRecord {
+            time: serde::__private::field(content, "time")?,
+            node: serde::__private::field(content, "node")?,
+            reason: serde::__private::field(content, "reason")?,
+        })
+    }
+}
+
+impl Serialize for SimStats {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("messages_sent".to_owned(), self.messages_sent.to_content()),
+            (
+                "messages_delivered".to_owned(),
+                self.messages_delivered.to_content(),
+            ),
+            (
+                "messages_dropped_dead".to_owned(),
+                self.messages_dropped_dead.to_content(),
+            ),
+            (
+                "messages_dropped_partition".to_owned(),
+                self.messages_dropped_partition.to_content(),
+            ),
+            ("timers_fired".to_owned(), self.timers_fired.to_content()),
+            ("timers_stale".to_owned(), self.timers_stale.to_content()),
+            (
+                "requests_delivered".to_owned(),
+                self.requests_delivered.to_content(),
+            ),
+            (
+                "requests_dropped".to_owned(),
+                self.requests_dropped.to_content(),
+            ),
+            (
+                "events_processed".to_owned(),
+                self.events_processed.to_content(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for SimStats {
+    fn from_content(content: &Content) -> Result<SimStats, DeError> {
+        Ok(SimStats {
+            messages_sent: serde::__private::field(content, "messages_sent")?,
+            messages_delivered: serde::__private::field(content, "messages_delivered")?,
+            messages_dropped_dead: serde::__private::field(content, "messages_dropped_dead")?,
+            messages_dropped_partition: serde::__private::field(
+                content,
+                "messages_dropped_partition",
+            )?,
+            timers_fired: serde::__private::field(content, "timers_fired")?,
+            timers_stale: serde::__private::field(content, "timers_stale")?,
+            requests_delivered: serde::__private::field(content, "requests_delivered")?,
+            requests_dropped: serde::__private::field(content, "requests_dropped")?,
+            events_processed: serde::__private::field(content, "events_processed")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize>(value: &T) -> T {
+        T::from_content(&value.to_content()).expect("roundtrip")
+    }
+
+    #[test]
+    fn newtypes_roundtrip_as_integers() {
+        let t = SimTime::from_micros(1_234_567);
+        assert_eq!(t.to_content(), Content::U64(1_234_567));
+        assert_eq!(roundtrip(&t), t);
+        let d = SimDuration::from_millis(250);
+        assert_eq!(roundtrip(&d), d);
+        let node = NodeId::new(7);
+        assert_eq!(node.to_content(), Content::U64(7));
+        assert_eq!(roundtrip(&node), node);
+    }
+
+    #[test]
+    fn panic_record_roundtrips() {
+        let record = PanicRecord {
+            time: SimTime::from_secs(133),
+            node: NodeId::new(9),
+            reason: "EAH mismatch".to_owned(),
+        };
+        assert_eq!(roundtrip(&record), record);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let stats = SimStats {
+            messages_sent: 1,
+            messages_delivered: 2,
+            messages_dropped_dead: 3,
+            messages_dropped_partition: 4,
+            timers_fired: 5,
+            timers_stale: 6,
+            requests_delivered: 7,
+            requests_dropped: 8,
+            events_processed: 9,
+        };
+        assert_eq!(roundtrip(&stats), stats);
+    }
+}

@@ -4,11 +4,11 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use crate::protocol::Effect;
-use crate::{
-    Ctx, DetRng, LatencyModel, Network, NodeId, PartitionId, PartitionRule, Protocol,
-    SimDuration, SimTime, TimerId,
-};
 use crate::stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
+use crate::{
+    Ctx, DetRng, LatencyModel, Network, NodeId, PartitionId, PartitionRule, Protocol, SimDuration,
+    SimTime, TimerId,
+};
 
 /// Liveness state of a simulated node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -107,14 +107,34 @@ struct NodeSlot<P> {
 }
 
 enum EventKind<P: Protocol> {
-    Deliver { from: NodeId, to: NodeId, msg: P::Msg },
-    Timer { node: NodeId, id: TimerId, epoch: u64, token: P::Timer },
-    Request { node: NodeId, request: P::Request },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: P::Msg,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        epoch: u64,
+        token: P::Timer,
+    },
+    Request {
+        node: NodeId,
+        request: P::Request,
+    },
     Crash(NodeId),
     Restart(NodeId),
-    PartitionStart { handle: u64, rule: PartitionRule },
-    PartitionEnd { handle: u64 },
-    SetSlowdown { node: NodeId, extra: SimDuration },
+    PartitionStart {
+        handle: u64,
+        rule: PartitionRule,
+    },
+    PartitionEnd {
+        handle: u64,
+    },
+    SetSlowdown {
+        node: NodeId,
+        extra: SimDuration,
+    },
 }
 
 struct Scheduled<P: Protocol> {
@@ -328,7 +348,13 @@ impl<P: Protocol> Simulation<P> {
     ) {
         assert!(start <= end, "slowdown must end after it starts");
         self.push(start, EventKind::SetSlowdown { node, extra });
-        self.push(end, EventKind::SetSlowdown { node, extra: SimDuration::ZERO });
+        self.push(
+            end,
+            EventKind::SetSlowdown {
+                node,
+                extra: SimDuration::ZERO,
+            },
+        );
     }
 
     /// Schedules a partition installed at `start` and healed at `end`.
@@ -383,7 +409,12 @@ impl<P: Protocol> Simulation<P> {
                 let effects = self.with_ctx(to, |proto, ctx| proto.on_message(from, msg, ctx));
                 self.apply_effects(to, effects);
             }
-            EventKind::Timer { node, id, epoch, token } => {
+            EventKind::Timer {
+                node,
+                id,
+                epoch,
+                token,
+            } => {
                 let slot = &self.nodes[node.index()];
                 if slot.status != NodeStatus::Running
                     || slot.epoch != epoch
@@ -466,8 +497,8 @@ impl<P: Protocol> Simulation<P> {
                         self.stats.messages_dropped_partition += 1;
                         continue;
                     }
-                    let delay =
-                        self.net.sample_delay(from, to, &mut self.net_rng) + self.net.slowdown(from);
+                    let delay = self.net.sample_delay(from, to, &mut self.net_rng)
+                        + self.net.slowdown(from);
                     let mut deliver_at = self.now + delay;
                     if self.fifo_links {
                         let key = (from.as_u32(), to.as_u32());
@@ -479,7 +510,15 @@ impl<P: Protocol> Simulation<P> {
                 }
                 Effect::SetTimer { id, delay, token } => {
                     let at = self.now + delay;
-                    self.push(at, EventKind::Timer { node: from, id, epoch, token });
+                    self.push(
+                        at,
+                        EventKind::Timer {
+                            node: from,
+                            id,
+                            epoch,
+                            token,
+                        },
+                    );
                 }
                 Effect::CancelTimer(id) => {
                     self.cancelled_timers.insert(id.0);

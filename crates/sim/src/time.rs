@@ -150,7 +150,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && !factor.is_nan(), "invalid factor: {factor}");
+        assert!(
+            factor >= 0.0 && !factor.is_nan(),
+            "invalid factor: {factor}"
+        );
         let scaled = self.0 as f64 * factor;
         if scaled >= u64::MAX as f64 {
             SimDuration(u64::MAX)
@@ -241,7 +244,10 @@ mod tests {
     fn construction_units_agree() {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(1_000_000));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1_000_000)
+        );
     }
 
     #[test]

@@ -146,11 +146,15 @@ impl SolanaNode {
             ctx.set_timer(produce_at, SolanaTimer::Produce { slot });
         }
         self.flush_outbox(slot, ctx);
-        ctx.set_timer(self.config.slot_duration, SolanaTimer::SlotTick { slot: slot + 1 });
+        ctx.set_timer(
+            self.config.slot_duration,
+            SolanaTimer::SlotTick { slot: slot + 1 },
+        );
         // Garbage-collect old vote state.
         let keep_from = self.root.saturating_sub(64);
         self.votes.retain(|s, _| *s >= keep_from);
-        self.blocks.retain(|s, _| *s + 256 >= keep_from + 256 && *s >= keep_from);
+        self.blocks
+            .retain(|s, _| *s + 256 >= keep_from + 256 && *s >= keep_from);
     }
 
     /// The Epoch-Accounts-Hash state machine. The calculation must start
@@ -214,7 +218,10 @@ impl SolanaNode {
             .map(Block::hash)
             .unwrap_or(Hash32::ZERO);
         let block = Block::new(parent, slot, self.id, txs);
-        ctx.broadcast(SolanaMsg::BlockMsg { slot, block: block.clone() });
+        ctx.broadcast(SolanaMsg::BlockMsg {
+            slot,
+            block: block.clone(),
+        });
         self.handle_block(slot, block, ctx);
     }
 
@@ -243,7 +250,9 @@ impl SolanaNode {
     }
 
     fn confirm(&mut self, slot: u64, ctx: &mut Ctx<'_, Self>) {
-        let Some(block) = self.blocks.get(&slot).cloned() else { return };
+        let Some(block) = self.blocks.get(&slot).cloned() else {
+            return;
+        };
         if !self.confirmed.insert(slot) {
             return;
         }
@@ -261,9 +270,10 @@ impl SolanaNode {
             }
         }
         self.highest_confirmed = self.highest_confirmed.max(slot);
-        self.root = self
-            .root
-            .max(self.highest_confirmed.saturating_sub(self.config.root_lag_slots));
+        self.root = self.root.max(
+            self.highest_confirmed
+                .saturating_sub(self.config.root_lag_slots),
+        );
     }
 
     fn drop_from_outbox(&mut self, id: TxId) {
@@ -392,10 +402,13 @@ impl Protocol for SolanaNode {
         // Resume the slot clock at the next boundary and catch up.
         let next_slot = now_slot + 1;
         let boundary = SimTime::from_micros(next_slot * self.config.slot_duration.as_micros());
-        ctx.set_timer(boundary.saturating_since(ctx.now()), SolanaTimer::SlotTick {
-            slot: next_slot,
+        ctx.set_timer(
+            boundary.saturating_since(ctx.now()),
+            SolanaTimer::SlotTick { slot: next_slot },
+        );
+        ctx.broadcast(SolanaMsg::SyncRequest {
+            from_slot: self.root,
         });
-        ctx.broadcast(SolanaMsg::SyncRequest { from_slot: self.root });
     }
 }
 
@@ -478,7 +491,10 @@ mod tests {
             .find(|c| c.commit == tx.id() && c.node == NodeId::new(0))
             .expect("committed");
         let latency = commit.time - SimTime::from_secs(5);
-        assert!(latency < SimDuration::from_millis(1500), "latency {latency}");
+        assert!(
+            latency < SimDuration::from_millis(1500),
+            "latency {latency}"
+        );
     }
 
     #[test]
@@ -489,8 +505,16 @@ mod tests {
             s.schedule_crash(SimTime::from_secs(20), NodeId::new(i)); // f = t = 3
         }
         s.run_until(SimTime::from_secs(80));
-        assert!(s.panics().is_empty(), "rooting continues with 7/10: {:?}", s.panics());
-        assert_eq!(unique_commits_at(&s, 0), 5900, "all load commits despite dead leaders");
+        assert!(
+            s.panics().is_empty(),
+            "rooting continues with 7/10: {:?}",
+            s.panics()
+        );
+        assert_eq!(
+            unique_commits_at(&s, 0),
+            5900,
+            "all load commits despite dead leaders"
+        );
         // Dead-leader slots produce nothing: per-slot (400 ms) commit
         // buckets show far more empty slots after the crash.
         let bucket_of = |t: SimTime| (t.as_micros() / 400_000) as usize;

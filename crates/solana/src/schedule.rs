@@ -25,7 +25,10 @@ impl EpochSchedule {
     /// The warmup schedule used by Solana's development deployments:
     /// 32-slot epoch 0, doubling to 8192.
     pub fn warmup() -> EpochSchedule {
-        EpochSchedule { first_epoch_slots: 32, max_epoch_slots: 8192 }
+        EpochSchedule {
+            first_epoch_slots: 32,
+            max_epoch_slots: 8192,
+        }
     }
 
     /// A constant-length schedule (no warmup).
@@ -35,7 +38,10 @@ impl EpochSchedule {
     /// Panics if `slots` is zero.
     pub fn constant(slots: u64) -> EpochSchedule {
         assert!(slots > 0, "epochs need at least one slot");
-        EpochSchedule { first_epoch_slots: slots, max_epoch_slots: slots }
+        EpochSchedule {
+            first_epoch_slots: slots,
+            max_epoch_slots: slots,
+        }
     }
 
     /// Number of slots in `epoch`.

@@ -260,7 +260,10 @@ mod tests {
         pool.insert(tx(0, 1));
         pool.insert(tx(0, 3)); // gap at 2
         let ready = pool.take_ready(10);
-        assert_eq!(ready.iter().map(|t| t.nonce()).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            ready.iter().map(|t| t.nonce()).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
     }
 
     #[test]
@@ -306,7 +309,10 @@ mod tests {
         assert!(!pool.insert(tx(0, 1)), "stale rejected");
         assert!(pool.is_stale(&tx(0, 1)));
         assert_eq!(
-            pool.take_ready(10).iter().map(|t| t.nonce()).collect::<Vec<_>>(),
+            pool.take_ready(10)
+                .iter()
+                .map(|t| t.nonce())
+                .collect::<Vec<_>>(),
             vec![2]
         );
     }
@@ -385,7 +391,10 @@ mod tests {
         }
         // Peer already has nonces 0..3.
         let missing = pool.missing_for(&[(AccountId::new(0), 3)], 10);
-        assert_eq!(missing.iter().map(|t| t.nonce()).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(
+            missing.iter().map(|t| t.nonce()).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
         // Cap applies.
         let capped = pool.missing_for(&[(AccountId::new(0), 0)], 2);
         assert_eq!(capped.len(), 2);

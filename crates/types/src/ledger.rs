@@ -117,14 +117,23 @@ impl Ledger {
     pub fn check(&self, tx: &Transaction) -> Result<(), ApplyError> {
         let expected = self.next_nonce(tx.from());
         if tx.nonce() < expected {
-            return Err(ApplyError::SequenceNumberTooOld { expected, got: tx.nonce() });
+            return Err(ApplyError::SequenceNumberTooOld {
+                expected,
+                got: tx.nonce(),
+            });
         }
         if tx.nonce() > expected {
-            return Err(ApplyError::SequenceNumberTooNew { expected, got: tx.nonce() });
+            return Err(ApplyError::SequenceNumberTooNew {
+                expected,
+                got: tx.nonce(),
+            });
         }
         let balance = self.balance(tx.from());
         if balance < tx.amount() {
-            return Err(ApplyError::InsufficientFunds { balance, needed: tx.amount() });
+            return Err(ApplyError::InsufficientFunds {
+                balance,
+                needed: tx.amount(),
+            });
         }
         Ok(())
     }
@@ -185,7 +194,13 @@ mod tests {
         let t = tx(0, 0, 1, 10);
         l.apply(&t).expect("first apply");
         let err = l.apply(&t).expect_err("duplicate");
-        assert_eq!(err, ApplyError::SequenceNumberTooOld { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            ApplyError::SequenceNumberTooOld {
+                expected: 1,
+                got: 0
+            }
+        );
         assert_eq!(l.balance(AccountId::new(1)), 110, "no double spend");
     }
 
@@ -193,14 +208,26 @@ mod tests {
     fn nonce_gap_rejected_as_too_new() {
         let mut l = Ledger::with_uniform_balance(2, 100);
         let err = l.apply(&tx(0, 5, 1, 10)).expect_err("gap");
-        assert!(matches!(err, ApplyError::SequenceNumberTooNew { expected: 0, got: 5 }));
+        assert!(matches!(
+            err,
+            ApplyError::SequenceNumberTooNew {
+                expected: 0,
+                got: 5
+            }
+        ));
     }
 
     #[test]
     fn overdraft_rejected_and_ledger_unchanged() {
         let mut l = Ledger::with_uniform_balance(2, 5);
         let err = l.apply(&tx(0, 0, 1, 10)).expect_err("overdraft");
-        assert!(matches!(err, ApplyError::InsufficientFunds { balance: 5, needed: 10 }));
+        assert!(matches!(
+            err,
+            ApplyError::InsufficientFunds {
+                balance: 5,
+                needed: 10
+            }
+        ));
         assert_eq!(l.next_nonce(AccountId::new(0)), 0, "nonce not consumed");
         assert_eq!(l.total_supply(), 10);
     }
@@ -238,7 +265,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ApplyError::SequenceNumberTooOld { expected: 2, got: 1 };
+        let e = ApplyError::SequenceNumberTooOld {
+            expected: 2,
+            got: 1,
+        };
         assert_eq!(e.to_string(), "sequence number too old: expected 2, got 1");
     }
 }

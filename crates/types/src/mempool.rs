@@ -148,7 +148,10 @@ mod tests {
             assert!(pool.insert(tx(n)));
         }
         let taken = pool.take(3);
-        assert_eq!(taken.iter().map(|t| t.nonce()).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            taken.iter().map(|t| t.nonce()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(pool.len(), 2);
     }
 

@@ -54,7 +54,11 @@ impl TxId {
 impl fmt::Display for TxId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let bytes = self.0.as_bytes();
-        write!(f, "tx:{:02x}{:02x}{:02x}{:02x}", bytes[0], bytes[1], bytes[2], bytes[3])
+        write!(
+            f,
+            "tx:{:02x}{:02x}{:02x}{:02x}",
+            bytes[0], bytes[1], bytes[2], bytes[3]
+        )
     }
 }
 
@@ -161,6 +165,9 @@ mod tests {
     fn display_formats() {
         let tx = Transaction::transfer(AccountId::new(0), 1, AccountId::new(2), 3);
         let s = tx.to_string();
-        assert!(s.contains("acct0") && s.contains("acct2") && s.contains("#1"), "{s}");
+        assert!(
+            s.contains("acct0") && s.contains("acct2") && s.contains("#1"),
+            "{s}"
+        );
     }
 }

@@ -39,7 +39,10 @@ impl Protocol for PrimaryBackup {
     type Config = ();
 
     fn new(id: NodeId, _n: usize, _config: &(), _ctx: &mut Ctx<'_, Self>) -> Self {
-        PrimaryBackup { id, ledger: Ledger::with_uniform_balance(256, u64::MAX / 512) }
+        PrimaryBackup {
+            id,
+            ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
+        }
     }
 
     fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Self>) {
@@ -109,5 +112,8 @@ fn main() {
          fault tolerance from fair-weather performance. Implement `Protocol`\n\
          for your chain and put it through the same scenarios."
     );
-    assert!(sensitivity.is_infinite(), "a primary-backup chain cannot pass the crash test");
+    assert!(
+        sensitivity.is_infinite(),
+        "a primary-backup chain cannot pass the crash test"
+    );
 }

@@ -55,15 +55,15 @@ fn main() {
     if result.lost_liveness {
         println!(
             "VERDICT: {chain} never recovered — {} of {} transactions lost, {} node panics.",
-            result.unresolved, result.submitted, result.panics.len()
+            result.unresolved,
+            result.submitted,
+            result.panics.len()
         );
         if !result.panics.is_empty() {
             println!("first panic: {}", result.panics[0].reason);
         }
     } else {
-        let recovery = series
-            .first_at_least(recover_s, 100)
-            .map(|s| s - recover_s);
+        let recovery = series.first_at_least(recover_s, 100).map(|s| s - recover_s);
         println!(
             "VERDICT: recovered{}; catch-up peak {} TPS; {} of {} transactions committed.",
             recovery

@@ -15,11 +15,7 @@
 
 use stabl_suite::stabl::{Chain, PaperSetup, ScenarioKind};
 
-fn recovery_seconds(
-    setup: &PaperSetup,
-    chain: Chain,
-    kind: ScenarioKind,
-) -> Option<usize> {
+fn recovery_seconds(setup: &PaperSetup, chain: Chain, kind: ScenarioKind) -> Option<usize> {
     let result = setup.run(chain, kind);
     if result.lost_liveness {
         return None;
@@ -42,8 +38,13 @@ fn main() {
         "{:<10} {:>22} {:>22}",
         "chain", "transient recovery", "partition recovery"
     );
-    for chain in [Chain::Algorand, Chain::Aptos, Chain::Redbelly, Chain::Avalanche, Chain::Solana]
-    {
+    for chain in [
+        Chain::Algorand,
+        Chain::Aptos,
+        Chain::Redbelly,
+        Chain::Avalanche,
+        Chain::Solana,
+    ] {
         let fmt = |r: Option<usize>| match r {
             Some(s) => format!("{s} s after heal"),
             None => "never (liveness lost)".to_owned(),

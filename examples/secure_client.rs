@@ -18,9 +18,7 @@ use stabl_suite::stabl::{Chain, PaperSetup, ScenarioKind};
 
 fn main() {
     let setup = PaperSetup::quick(120, 11);
-    println!(
-        "Secure client: every transaction to 4 nodes, commit = all 4 observed it\n"
-    );
+    println!("Secure client: every transaction to 4 nodes, commit = all 4 observed it\n");
     println!(
         "{:<10} {:>16} {:>16} {:>18}",
         "chain", "1-node mean (s)", "4-node mean (s)", "sensitivity"

@@ -17,7 +17,11 @@ fn quick_config_commits_on_every_chain() {
         assert!(result.commit_ratio() > 0.95, "{chain} commit ratio");
         let series = result.throughput();
         let total: u64 = series.bins().iter().map(|b| *b as u64).sum();
-        assert_eq!(total as usize, result.latencies.len(), "{chain}: series vs commits");
+        assert_eq!(
+            total as usize,
+            result.latencies.len(),
+            "{chain}: series vs commits"
+        );
     }
 }
 
@@ -28,7 +32,10 @@ fn latency_profiles_are_chain_specific_but_sane() {
     for chain in Chain::ALL {
         let result = chain.run(&RunConfig::quick(22));
         let ecdf = result.ecdf().expect("commits");
-        assert!(ecdf.min() > 0.0, "{chain}: latency includes the client link");
+        assert!(
+            ecdf.min() > 0.0,
+            "{chain}: latency includes the client link"
+        );
         assert!(
             ecdf.quantile(0.5) < 8.0,
             "{chain}: median latency {:.2}s out of range",
@@ -65,7 +72,10 @@ fn fault_plan_on_client_nodes_loses_their_transactions() {
         at: SimTime::from_secs(5),
     };
     let result = Chain::Redbelly.run(&config);
-    assert!(result.unresolved > 0, "client 0's submissions after 5 s are lost");
+    assert!(
+        result.unresolved > 0,
+        "client 0's submissions after 5 s are lost"
+    );
     assert!(
         !result.lost_liveness,
         "the chain itself keeps committing the other clients' load"

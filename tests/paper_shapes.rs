@@ -21,24 +21,29 @@ fn score(chain: Chain, kind: ScenarioKind) -> Option<f64> {
 fn every_chain_commits_the_baseline_load() {
     for chain in Chain::ALL {
         let result = setup().run(chain, ScenarioKind::Baseline);
-        assert_eq!(result.unresolved, 0, "{chain} dropped transactions at 200 TPS");
+        assert_eq!(
+            result.unresolved, 0,
+            "{chain} dropped transactions at 200 TPS"
+        );
         assert!(result.panics.is_empty(), "{chain} panicked in the baseline");
     }
 }
 
 #[test]
 fn redbelly_is_the_least_crash_sensitive() {
-    let redbelly = score(Chain::Redbelly, ScenarioKind::Crash)
-        .expect("Redbelly crash run must stay live");
+    let redbelly =
+        score(Chain::Redbelly, ScenarioKind::Crash).expect("Redbelly crash run must stay live");
     for chain in [Chain::Algorand, Chain::Aptos, Chain::Solana] {
-        let other = score(chain, ScenarioKind::Crash)
-            .unwrap_or(f64::INFINITY);
+        let other = score(chain, ScenarioKind::Crash).unwrap_or(f64::INFINITY);
         assert!(
             redbelly < other,
             "{chain} crash score {other} should exceed Redbelly's {redbelly}"
         );
     }
-    assert!(redbelly < 0.5, "Redbelly should barely notice f = t crashes: {redbelly}");
+    assert!(
+        redbelly < 0.5,
+        "Redbelly should barely notice f = t crashes: {redbelly}"
+    );
 }
 
 #[test]
@@ -60,7 +65,10 @@ fn solana_transient_failure_panics_the_whole_cluster() {
         result.panics.iter().map(|p| p.node.as_u32()).collect();
     assert_eq!(panicked.len(), 10, "the EAH bug must abort every validator");
     assert!(
-        result.panics.iter().all(|p| p.reason.contains("wait_get_epoch_accounts_hash")),
+        result
+            .panics
+            .iter()
+            .all(|p| p.reason.contains("wait_get_epoch_accounts_hash")),
         "panics must come from the EAH precondition"
     );
 }
@@ -69,7 +77,10 @@ fn solana_transient_failure_panics_the_whole_cluster() {
 fn avalanche_cannot_recover_from_transient_failures() {
     let result = setup().run(Chain::Avalanche, ScenarioKind::Transient);
     assert!(result.lost_liveness, "throttling congestion must persist");
-    assert!(result.panics.is_empty(), "Avalanche degrades without panicking");
+    assert!(
+        result.panics.is_empty(),
+        "Avalanche degrades without panicking"
+    );
 }
 
 #[test]
@@ -85,7 +96,10 @@ fn algorand_and_redbelly_recover_quickly_from_transient_failures() {
             .first_at_least(recover_s, 100)
             .unwrap_or(usize::MAX)
             .saturating_sub(recover_s);
-        assert!(recovery <= 15, "{chain} recovery took {recovery}s, expected ≈7–9 s");
+        assert!(
+            recovery <= 15,
+            "{chain} recovery took {recovery}s, expected ≈7–9 s"
+        );
         // Catch-up burst: the backlog commits in a visible peak.
         let end = series.bins().len();
         assert!(
@@ -104,14 +118,20 @@ fn aptos_is_the_most_impacted_recovering_chain() {
         aptos > algorand && aptos > redbelly,
         "Aptos ({aptos}) must exceed Algorand ({algorand}) and Redbelly ({redbelly})"
     );
-    assert!(redbelly < algorand * 1.5, "Redbelly recovers at least as well as Algorand");
+    assert!(
+        redbelly < algorand * 1.5,
+        "Redbelly recovers at least as well as Algorand"
+    );
 }
 
 #[test]
 fn partitions_kill_the_same_chains_as_transient_failures() {
     for chain in [Chain::Avalanche, Chain::Solana] {
         let result = setup().run(chain, ScenarioKind::Partition);
-        assert!(result.lost_liveness, "{chain} must not survive the partition");
+        assert!(
+            result.lost_liveness,
+            "{chain} must not survive the partition"
+        );
     }
 }
 
@@ -149,7 +169,10 @@ fn secure_client_shapes() {
     for chain in [Chain::Algorand, Chain::Solana] {
         let report = setup.sensitivity(chain, ScenarioKind::SecureClient);
         let score = report.sensitivity.score().expect("live");
-        assert!(score < 0.1, "{chain} should be insensitive to redundancy: {score}");
+        assert!(
+            score < 0.1,
+            "{chain} should be insensitive to redundancy: {score}"
+        );
     }
     // Aptos: degraded by redundant speculative execution.
     let aptos = setup.sensitivity(Chain::Aptos, ScenarioKind::SecureClient);
@@ -206,7 +229,10 @@ mod ablations {
     #[test]
     fn avalanche_without_throttling_recovers_from_the_transient_outage() {
         let setup = setup();
-        let config = AvalancheConfig { cpu_quota: f64::INFINITY, ..AvalancheConfig::default() };
+        let config = AvalancheConfig {
+            cpu_quota: f64::INFINITY,
+            ..AvalancheConfig::default()
+        };
         let cfg = setup.run_config(Chain::Avalanche, ScenarioKind::Transient);
         let result = run_protocol::<AvalancheNode>(&cfg, config);
         assert!(

@@ -1,0 +1,165 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate,
+//! vendored because this build environment has no access to crates.io.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` macro surface and the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` API this workspace's benches
+//! use, but replaces criterion's statistical machinery with a simple
+//! fixed-sample wall-clock measurement printed per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity, re-exported from `std`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How batched inputs are grouped; only a hint in this stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Times one ungrouped benchmark routine and prints its mean
+    /// per-iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id, self.sample_size, routine);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Times one benchmark routine and prints its mean per-iteration
+    /// wall-clock time.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id, self.sample_size, routine);
+        self
+    }
+
+    /// Ends the group (a no-op, for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Shared measurement loop behind both `bench_function` entry points.
+fn run_one<F>(group: Option<&str>, id: &dyn Display, sample_size: usize, mut routine: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iterations: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+    match group {
+        Some(name) => println!(
+            "{name}/{id}: {per_iter} ns/iter ({} iters)",
+            bencher.iterations
+        ),
+        None => println!("{id}: {per_iter} ns/iter ({} iters)", bencher.iterations),
+    }
+}
+
+/// Passed to each benchmark closure to drive the timed loop.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,671 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate, vendored
+//! because this build environment has no access to crates.io.
+//!
+//! It keeps the macro surface (`proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`) and the strategy combinators this
+//! workspace uses, but replaces proptest's shrinking machinery with plain
+//! deterministic sampling: every test draws `ProptestConfig::cases`
+//! pseudo-random cases from a seed derived from the test's module path and
+//! name, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// The deterministic generator behind every strategy draw
+/// (splitmix64-seeded xorshift).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Derives the per-test generator from the test's location, with an
+    /// optional `PROPTEST_RNG_SEED` environment override.
+    pub fn for_test(module_path: &str, test_name: &str) -> TestRng {
+        if let Ok(seed) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(seed) = seed.parse() {
+                return TestRng::new(seed);
+            }
+        }
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in module_path.bytes().chain([b':']).chain(test_name.bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(hash)
+    }
+
+    /// The next 64 uniformly random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random value in `[0, bound)`; 0 for bound 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift keeps the draw unbiased enough for test sampling.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and errors
+// ---------------------------------------------------------------------------
+
+/// How many cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl fmt::Display) -> TestCaseError {
+        TestCaseError {
+            message: message.to_string(),
+            rejected: false,
+        }
+    }
+
+    /// Creates a rejection (`prop_assume!` miss): the case is skipped,
+    /// not failed.
+    pub fn reject(message: impl fmt::Display) -> TestCaseError {
+        TestCaseError {
+            message: message.to_string(),
+            rejected: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejected
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (the [`prop_oneof!`]
+/// backend).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Builds a union over non-empty alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union(alternatives)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let index = rng.below(self.0.len() as u64) as usize;
+        self.0[index].sample(rng)
+    }
+}
+
+// Integer and float ranges as strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Full-domain strategy for a primitive (the `ANY` constants and
+/// [`Arbitrary`] backend).
+pub struct AnyValue<T>(PhantomData<T>);
+
+impl<T> AnyValue<T> {
+    /// The strategy instance (constructible in `const` position).
+    pub const NEW: AnyValue<T> = AnyValue(PhantomData);
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyValue<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyValue<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+/// Types with a canonical full-domain strategy (backs [`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy type `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! arbitrary_impl {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyValue<$t>;
+            fn arbitrary() -> AnyValue<$t> {
+                AnyValue::NEW
+            }
+        }
+    )*};
+}
+arbitrary_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The canonical full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Boolean strategies.
+pub mod bool {
+    /// Fair coin flips.
+    pub const ANY: crate::AnyValue<bool> = crate::AnyValue::NEW;
+}
+
+/// Numeric `ANY` constants, one submodule per primitive like the real
+/// crate.
+pub mod num {
+    macro_rules! num_module {
+        ($($m:ident : $t:ty),*) => {$(
+            /// Full-domain strategy constants for this primitive.
+            pub mod $m {
+                /// The whole domain, uniform.
+                pub const ANY: crate::AnyValue<$t> = crate::AnyValue::NEW;
+            }
+        )*};
+    }
+    num_module!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                i8: i8, i16: i16, i32: i32, i64: i64, isize: isize);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A B-tree set with *up to* `size` elements (duplicates collapse).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A hash set with *up to* `size` elements (duplicates collapse).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise (matching
+    /// the real crate's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// becomes a plain test running `ProptestConfig::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng =
+                $crate::TestRng::for_test(::core::module_path!(), ::core::stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__err) = __outcome {
+                    if __err.is_rejection() {
+                        continue;
+                    }
+                    ::core::panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        ::core::stringify!($name),
+                        __err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Skips the current property case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(::core::concat!(
+                "assumption failed: ",
+                ::core::stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::core::concat!("assertion failed: ", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if __left != __right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{}` == `{}` ({:?} vs {:?})",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                __left,
+                __right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if __left != __right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{} ({:?} vs {:?})",
+                ::std::format!($($fmt)+),
+                __left,
+                __right
+            )));
+        }
+    }};
+}
+
+/// Fails the current property case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if __left == __right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{}` != `{}` (both {:?})",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                __left
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alternative:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $($crate::Strategy::boxed($alternative)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let f = Strategy::sample(&(0.0f64..2.0), &mut rng);
+            assert!((0.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strategy = crate::collection::vec(0u32..100, 0..10);
+        let a: Vec<Vec<u32>> = {
+            let mut rng = TestRng::new(3);
+            (0..20)
+                .map(|_| Strategy::sample(&strategy, &mut rng))
+                .collect()
+        };
+        let b: Vec<Vec<u32>> = {
+            let mut rng = TestRng::new(3);
+            (0..20)
+                .map(|_| Strategy::sample(&strategy, &mut rng))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, strategies and assertions together.
+        #[test]
+        fn macro_surface_works(
+            xs in crate::collection::vec(0u8..4, 0..8),
+            flag in crate::bool::ANY,
+            pick in prop_oneof![(0u32..4).prop_map(|v| v * 2), 100u32..101],
+        ) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(pick % 2 == 0 || pick == 100);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(xs.len(), 99);
+        }
+    }
+}

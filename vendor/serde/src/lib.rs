@@ -1,0 +1,446 @@
+//! A minimal, dependency-free stand-in for the `serde` crate, vendored
+//! because this build environment has no access to crates.io.
+//!
+//! It keeps the *surface syntax* the workspace relies on — the
+//! [`Serialize`]/[`Deserialize`] traits, `#[derive(Serialize, Deserialize)]`
+//! (via the sibling `serde_derive` stub) and the bound `T: serde::Serialize`
+//! — but replaces serde's visitor architecture with a simple self-describing
+//! content tree ([`Content`]). The sibling `serde_json` stub renders that
+//! tree to JSON text and parses it back.
+//!
+//! Only the data shapes this workspace uses are supported: named-field
+//! structs, the standard scalars, strings, options, vectors, maps with
+//! string keys and small tuples.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value: the common representation every
+/// [`Serialize`] type lowers to and every [`Deserialize`] type is built
+/// from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (insertion order is preserved so
+    /// serialisation is deterministic).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short label for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced while rebuilding a typed value from [`Content`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl fmt::Display) -> DeError {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    fn expected(what: &str, got: &Content) -> DeError {
+        DeError::custom(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Content`] tree.
+pub trait Serialize {
+    /// The content-tree form of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, failing on shape mismatches.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let value = match content {
+                    Content::U64(v) => *v,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(value)
+                    .map_err(|_| DeError::custom(format!("{value} out of range")))
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let value: i64 = match content {
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range")))?,
+                    Content::I64(v) => *v,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(value)
+                    .map_err(|_| DeError::custom(format!("{value} out of range")))
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            // Non-finite floats serialise as null (matching serde_json).
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("sequence of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; A: 0)
+    (2; A: 0, B: 1)
+    (3; A: 0, B: 1, C: 2)
+    (4; A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+/// Support code for the derive macros; not part of the public surface.
+pub mod __private {
+    use super::{Content, DeError, Deserialize};
+
+    /// Extracts and deserialises field `key` of a map. A missing key is
+    /// handed to the target as `null` so `Option` fields default to
+    /// `None` while everything else reports the missing field.
+    pub fn field<T: Deserialize>(content: &Content, key: &str) -> Result<T, DeError> {
+        if content.as_map().is_none() {
+            return Err(DeError::expected("map", content));
+        }
+        match content.get(key) {
+            Some(value) => {
+                T::from_content(value).map_err(|e| DeError::custom(format!("field `{key}`: {e}")))
+            }
+            None => T::from_content(&Content::Null)
+                .map_err(|_| DeError::custom(format!("missing field `{key}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(f64::from_content(&2.5f64.to_content()), Ok(2.5));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn options_and_sequences() {
+        let v: Option<f64> = None;
+        assert_eq!(v.to_content(), Content::Null);
+        assert_eq!(Option::<f64>::from_content(&Content::Null), Ok(None));
+        let xs = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back = Vec::<(f64, f64)>::from_content(&xs.to_content()).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn missing_field_is_null_for_options() {
+        let map = Content::Map(vec![("a".into(), Content::U64(1))]);
+        let a: u64 = __private::field(&map, "a").unwrap();
+        assert_eq!(a, 1);
+        let b: Option<u64> = __private::field(&map, "b").unwrap();
+        assert_eq!(b, None);
+        assert!(__private::field::<u64>(&map, "b").is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stub.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shape this
+//! workspace derives on: non-generic structs with named fields. Anything
+//! else produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (content-tree lowering) for a named-field
+/// struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (content-tree rebuilding) for a
+/// named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let name = &parsed.name;
+    let code = match mode {
+        Mode::Serialize => {
+            let entries: String = parsed
+                .fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let fields: String = parsed
+                .fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__content, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__content: &::serde::Content)\n\
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {fields} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+struct Parsed {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its field names from a derive input.
+fn parse_struct(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility/other leading
+    // keywords until the `struct`/`enum` keyword.
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute group that follows.
+                tokens.next();
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected a struct name".to_string()),
+                }
+                break;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err(
+                    "the vendored serde_derive only supports structs with named fields".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("expected a struct definition")?;
+
+    // The next brace group holds the named fields. Generics or tuple
+    // structs are out of scope for the stub.
+    for token in tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err(format!(
+                    "the vendored serde_derive cannot derive for generic struct {name}"
+                ));
+            }
+            TokenTree::Group(group) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream())?;
+                return Ok(Parsed { name, fields });
+            }
+            TokenTree::Group(group) if group.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "the vendored serde_derive cannot derive for tuple struct {name}"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Err(format!("struct {name} has no braced field list"))
+}
+
+/// Collects field names from the body of a named-field struct, skipping
+/// attributes, visibility and types (tracking `<...>` nesting so commas
+/// inside generic arguments do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        // Skip visibility (`pub` or `pub(...)`).
+        if let Some(TokenTree::Ident(ident)) = tokens.peek() {
+            if ident.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            Some(other) => return Err(format!("expected a field name, found `{other}`")),
+            None => break,
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after a field name".to_string()),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+                None => break,
+            }
+        }
+    }
+    Ok(fields)
+}
