@@ -110,3 +110,16 @@ mod tests {
         assert!(cfg.proposer_permille > 0 && cfg.proposer_permille < 1_000);
     }
 }
+
+impl AlgorandConfig {
+    /// Pairs this config with a Byzantine spec, producing the config of
+    /// [`ByzantineAlgorandNode`](crate::ByzantineAlgorandNode): the named
+    /// nodes run the same protocol but mutate, equivocate, delay or
+    /// withhold their outbound messages.
+    pub fn with_byzantine(
+        self,
+        spec: stabl_sim::ByzantineSpec,
+    ) -> stabl_sim::ByzConfig<AlgorandConfig> {
+        stabl_sim::ByzConfig::new(self, spec)
+    }
+}

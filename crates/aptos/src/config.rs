@@ -89,3 +89,16 @@ mod tests {
         );
     }
 }
+
+impl AptosConfig {
+    /// Pairs this config with a Byzantine spec, producing the config of
+    /// [`ByzantineAptosNode`](crate::ByzantineAptosNode): the named
+    /// nodes run the same protocol but mutate, equivocate, delay or
+    /// withhold their outbound messages.
+    pub fn with_byzantine(
+        self,
+        spec: stabl_sim::ByzantineSpec,
+    ) -> stabl_sim::ByzConfig<AptosConfig> {
+        stabl_sim::ByzConfig::new(self, spec)
+    }
+}

@@ -145,3 +145,16 @@ mod tests {
         );
     }
 }
+
+impl AvalancheConfig {
+    /// Pairs this config with a Byzantine spec, producing the config of
+    /// [`ByzantineAvalancheNode`](crate::ByzantineAvalancheNode): the named
+    /// nodes run the same protocol but mutate, equivocate, delay or
+    /// withhold their outbound messages.
+    pub fn with_byzantine(
+        self,
+        spec: stabl_sim::ByzantineSpec,
+    ) -> stabl_sim::ByzConfig<AvalancheConfig> {
+        stabl_sim::ByzConfig::new(self, spec)
+    }
+}

@@ -1,0 +1,153 @@
+//! Extension: the composed-adversity (chaos) experiment.
+//!
+//! The paper studies each failure class in isolation; real outages
+//! compose them. This extension drives every chain through one
+//! schedule combining, between the usual fault and recovery marks:
+//!
+//! * **message-level degradation** — 5 % loss, 5 % duplication and 5 %
+//!   reordering on every link;
+//! * **a flapping asymmetric partition** — all inbound traffic to one
+//!   back node severed in two windows (outbound stays up);
+//! * **a slow node** — +200 ms on everything another back node sends;
+//! * **an equivocating Byzantine node** — a third back node replays
+//!   stale payloads to half its peers;
+//!
+//! while the clients run a retry policy (timeout, bounded exponential
+//! backoff, resubmission to alternate nodes) instead of the paper's
+//! fire-and-forget submission.
+//!
+//! The artefact reports, per chain, the sensitivity against an honest
+//! baseline plus the retry/give-up and drop/duplicate counters that
+//! show the adversity actually engaged.
+
+use stabl::{
+    report_from_runs, Chain, FaultAction, FaultSchedule, LinkFault, RetryPolicy, ScenarioKind,
+};
+use stabl_bench::{sensitivity_table, BenchOpts, Job};
+use stabl_sim::{ByzantineBehavior, ByzantineSpec, NodeId, SimDuration, SimTime};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let setup = &opts.setup;
+    eprintln!("chaos extension ({})", setup.horizon);
+
+    // Scale the schedule to the campaign: adversity runs between the
+    // standard fault and recovery marks; the flap cuts two quarters of
+    // that window.
+    let at = setup.fault_at.as_micros();
+    let until = setup.recover_at.as_micros();
+    let quarter = (until - at) / 4;
+    let t = |micros: u64| SimTime::from_micros(micros);
+
+    // Distinct back nodes per role so the schedule validates: node 9
+    // equivocates, node 8 loses its inbound links, node 7 is slow.
+    let equivocator = NodeId::new(9);
+    let flap_target = NodeId::new(8);
+    let slow_node = NodeId::new(7);
+
+    let degrade = LinkFault::all()
+        .with_drop(0.05)
+        .with_duplicate(0.05)
+        .with_reorder(0.05, SimDuration::from_millis(30));
+    let inbound_cut = LinkFault::from_parts(
+        None,
+        Some(vec![flap_target]),
+        1.0,
+        0.0,
+        0.0,
+        SimDuration::ZERO,
+    );
+    let schedule = FaultSchedule::link_degrade(degrade, t(at), t(until))
+        .and(FaultAction::LinkDegrade {
+            fault: inbound_cut.clone(),
+            at: t(at + quarter),
+            until: t(at + 2 * quarter),
+        })
+        .and(FaultAction::LinkDegrade {
+            fault: inbound_cut,
+            at: t(at + 3 * quarter),
+            until: t(until),
+        })
+        .and(FaultAction::Slowdown {
+            nodes: vec![slow_node],
+            extra: SimDuration::from_millis(200),
+            at: t(at),
+            until: t(until),
+        });
+
+    // Retry timings scale with the horizon so quick profiles still
+    // exercise resubmission (full campaign: 10 s timeout).
+    let timeout = SimDuration::from_micros((setup.horizon.as_micros() / 40).max(1_000_000));
+    let retry = RetryPolicy {
+        timeout,
+        max_retries: 3,
+        backoff_base: timeout / 4,
+        backoff_factor_permille: 2000,
+        backoff_cap: timeout,
+    };
+
+    let jobs = Chain::ALL
+        .iter()
+        .flat_map(|&chain| {
+            let mut config = setup.run_config(chain, ScenarioKind::Baseline);
+            config.faults = schedule.clone();
+            config.byzantine = ByzantineSpec::new([equivocator], ByzantineBehavior::Equivocate);
+            config.retry = Some(retry);
+            [
+                Job::scenario(setup, chain, ScenarioKind::Baseline),
+                Job::config(format!("{}/chaos", chain.name()), chain, config),
+            ]
+        })
+        .collect();
+    let results = opts.engine().run(jobs);
+
+    let reports: Vec<_> = Chain::ALL
+        .iter()
+        .enumerate()
+        // Reuse the crash kind for reporting (the label is printed
+        // separately).
+        .map(|(i, &chain)| {
+            report_from_runs(
+                chain,
+                ScenarioKind::Crash,
+                &results[2 * i],
+                &results[2 * i + 1],
+            )
+        })
+        .collect();
+    println!(
+        "\n{}",
+        sensitivity_table(
+            "Extension — composed chaos (loss + flap + slow + equivocation), retrying clients",
+            &reports
+        )
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>11} {:>12} {:>12}",
+        "chain", "retries", "give-ups", "unresolved", "link drops", "link dups"
+    );
+    let mut artefact = Vec::new();
+    for (i, &chain) in Chain::ALL.iter().enumerate() {
+        let chaos = &results[2 * i + 1];
+        println!(
+            "{:<10} {:>9} {:>9} {:>11} {:>12} {:>12}",
+            chain.name(),
+            chaos.retries,
+            chaos.give_ups,
+            chaos.unresolved,
+            chaos.stats.messages_dropped_link,
+            chaos.stats.messages_duplicated_link,
+        );
+        artefact.push(serde_json::json!({
+            "chain": chain.name(),
+            "score": reports[i].sensitivity.score(),
+            "retries": chaos.retries,
+            "give_ups": chaos.give_ups,
+            "unresolved": chaos.unresolved,
+            "messages_dropped_link": chaos.stats.messages_dropped_link,
+            "messages_duplicated_link": chaos.stats.messages_duplicated_link,
+            "messages_reordered_link": chaos.stats.messages_reordered_link,
+        }));
+    }
+    opts.write_json("ext_chaos.json", &artefact);
+}

@@ -8,7 +8,7 @@
 //! every message it sends, between the usual fault and recovery marks)
 //! and scores all five chains.
 
-use stabl::{report_from_runs, Chain, FaultPlan, ScenarioKind};
+use stabl::{report_from_runs, Chain, FaultSchedule, ScenarioKind};
 use stabl_bench::{sensitivity_table, BenchOpts, Job};
 use stabl_sim::SimDuration;
 
@@ -21,12 +21,8 @@ fn main() {
         .iter()
         .flat_map(|&chain| {
             let mut config = setup.run_config(chain, ScenarioKind::Baseline);
-            config.faults = FaultPlan::Slowdown {
-                nodes: setup.victims(1),
-                extra,
-                at: setup.fault_at,
-                until: setup.recover_at,
-            };
+            config.faults =
+                FaultSchedule::slowdown(setup.victims(1), extra, setup.fault_at, setup.recover_at);
             [
                 Job::scenario(setup, chain, ScenarioKind::Baseline),
                 Job::config(format!("{}/slow-node", chain.name()), chain, config),

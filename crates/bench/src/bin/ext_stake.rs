@@ -24,10 +24,8 @@ fn main() {
     let job = |label: &str, crash: Option<u32>| {
         let mut run_cfg = setup.run_config(Chain::Solana, ScenarioKind::Baseline);
         if let Some(node) = crash {
-            run_cfg.faults = stabl::FaultPlan::Crash {
-                nodes: vec![stabl_sim::NodeId::new(node)],
-                at: setup.fault_at,
-            };
+            run_cfg.faults =
+                stabl::FaultSchedule::crash(vec![stabl_sim::NodeId::new(node)], setup.fault_at);
         }
         Job::custom(format!("Solana/{label}"), run_cfg, salt.clone(), {
             let config = config.clone();

@@ -33,8 +33,10 @@ use stabl::{report_from_runs, Chain, PaperSetup, RunConfig, RunResult, ScenarioK
 use stabl_types::Sha256;
 
 /// Bumped whenever the serialised [`RunResult`] layout changes, so stale
-/// cache entries miss instead of misparsing.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// cache entries miss instead of misparsing. v2: `RunResult` gained
+/// retry counters; `RunConfig` gained the adversity surface (fault
+/// schedules, Byzantine specs, retry policies).
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// One simulation run the engine can schedule: a display label, the
 /// material its cache key is derived from, and the work itself.
@@ -471,14 +473,25 @@ mod tests {
                 ..base.clone()
             },
             RunConfig {
-                faults: stabl::FaultPlan::Crash {
-                    nodes: vec![stabl_sim::NodeId::new(9)],
-                    at: stabl_sim::SimTime::from_secs(10),
-                },
+                faults: stabl::FaultSchedule::crash(
+                    vec![stabl_sim::NodeId::new(9)],
+                    stabl_sim::SimTime::from_secs(10),
+                ),
+                ..base.clone()
+            },
+            RunConfig {
+                byzantine: stabl::ByzantineSpec::new(
+                    [stabl_sim::NodeId::new(9)],
+                    stabl::ByzantineBehavior::Equivocate,
+                ),
                 ..base.clone()
             },
             RunConfig {
                 byzantine_rpc: vec![stabl_sim::NodeId::new(2)],
+                ..base.clone()
+            },
+            RunConfig {
+                retry: Some(stabl::RetryPolicy::standard()),
                 ..base.clone()
             },
             RunConfig {
@@ -504,6 +517,27 @@ mod tests {
             base_key
         );
         assert_ne!(cache_key(&material, "v2"), base_key);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_link_fault_probabilities() {
+        // Two cells identical except for one LinkFault probability must
+        // hash to different cache keys: the Debug form of the schedule
+        // carries the full adversity config.
+        let base = config();
+        let cell = |drop_p: f64| RunConfig {
+            faults: stabl::FaultSchedule::link_degrade(
+                stabl::LinkFault::all().with_drop(drop_p),
+                stabl_sim::SimTime::from_secs(5),
+                stabl_sim::SimTime::from_secs(15),
+            ),
+            ..base.clone()
+        };
+        let a = cell(0.05);
+        let b = cell(0.06);
+        let key_a = cache_key(&format!("chain=Aptos|cores=1.0|{a:?}"), "v1");
+        let key_b = cache_key(&format!("chain=Aptos|cores=1.0|{b:?}"), "v1");
+        assert_ne!(key_a, key_b);
     }
 
     #[test]

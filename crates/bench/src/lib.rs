@@ -11,6 +11,11 @@
 //! | `fig6_throughput_partition` | Fig. 6 — throughput over time under a partition |
 //! | `fig7_radar` | Fig. 7 — the radar synthesis of all sensitivities |
 //!
+//! Extension binaries (`ext_*`) go beyond the paper; notably
+//! `ext_chaos` scores every chain under a *composed* adversity
+//! schedule — message loss, a flapping asymmetric partition, a slow
+//! node and an equivocating Byzantine node — with retrying clients.
+//!
 //! Every binary accepts:
 //!
 //! * `--quick <secs>` — scale the 400 s campaign down (useful: 100–150);

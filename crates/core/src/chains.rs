@@ -149,4 +149,30 @@ mod tests {
             assert!(result.panics.is_empty(), "{chain} panicked in baseline");
         }
     }
+
+    #[test]
+    fn every_chain_survives_one_withholding_byzantine_node() {
+        // One mute back node is within every chain's fault budget
+        // (f = 1 ≤ t_B): the wrapper engages, traffic shrinks, but the
+        // client-facing nodes keep committing.
+        for chain in Chain::ALL {
+            let mut config = crate::RunConfig::quick(42);
+            config.byzantine = stabl_sim::ByzantineSpec::new(
+                [stabl_sim::NodeId::new(9)],
+                stabl_sim::ByzantineBehavior::Withhold,
+            );
+            let result = chain.run(&config);
+            let baseline = chain.run(&crate::RunConfig::quick(42));
+            assert!(
+                result.stats.messages_sent < baseline.stats.messages_sent,
+                "{chain}: node 9's outbound traffic must be withheld"
+            );
+            assert!(
+                result.commit_ratio() > 0.9,
+                "{chain}: committed only {:.0}% with one mute node",
+                result.commit_ratio() * 100.0
+            );
+            assert!(!result.lost_liveness, "{chain} lost liveness");
+        }
+    }
 }

@@ -5,8 +5,13 @@
 //! to zero (§3). Stabl's *secure client* instead submits every
 //! transaction to `t_B + 1` nodes and reports it committed only once all
 //! of them responded, deduplication being left to the chain.
+//!
+//! [`RetryPolicy`] adds the robustness layer real SDKs bolt on top:
+//! per-submission timeouts with bounded exponential backoff and
+//! resubmission to alternate nodes, so a client pinned to a crashed or
+//! withholding node eventually routes around it.
 
-use stabl_sim::NodeId;
+use stabl_sim::{NodeId, SimDuration};
 
 /// How clients attach to the blockchain network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -102,6 +107,96 @@ impl ClientMode {
     }
 }
 
+/// Per-submission timeout, bounded exponential backoff and
+/// resubmission to alternate nodes.
+///
+/// After `timeout` without resolution the client waits
+/// `backoff_for(attempt)` and resubmits to the *next* replica set along
+/// the front-node ring, up to `max_retries` resubmissions; after that
+/// the client gives up on the transaction (counted, not silently
+/// dropped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long the client waits for resolution before each retry.
+    pub timeout: SimDuration,
+    /// Maximum resubmissions per transaction.
+    pub max_retries: u32,
+    /// Backoff before the first resubmission.
+    pub backoff_base: SimDuration,
+    /// Per-attempt backoff growth factor, in permille (2000 doubles).
+    pub backoff_factor_permille: u32,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap: SimDuration,
+}
+
+impl RetryPolicy {
+    /// A paper-plausible default: 10 s timeout, 3 retries, 1 s backoff
+    /// doubling up to 8 s.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            timeout: SimDuration::from_secs(10),
+            max_retries: 3,
+            backoff_base: SimDuration::from_secs(1),
+            backoff_factor_permille: 2000,
+            backoff_cap: SimDuration::from_secs(8),
+        }
+    }
+
+    /// The backoff before resubmission number `attempt` (0-based),
+    /// capped at `backoff_cap`. Pure integer arithmetic on microseconds
+    /// so the schedule is exactly reproducible.
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        let cap = self.backoff_cap.as_micros();
+        let mut wait = self.backoff_base.as_micros().min(cap);
+        for _ in 0..attempt {
+            wait = wait
+                .saturating_mul(u64::from(self.backoff_factor_permille))
+                .saturating_div(1000)
+                .min(cap);
+        }
+        SimDuration::from_micros(wait)
+    }
+}
+
+mod serde_impls {
+    use serde::{Content, DeError, Deserialize, Serialize};
+
+    use super::RetryPolicy;
+
+    impl Serialize for RetryPolicy {
+        fn to_content(&self) -> Content {
+            Content::Map(vec![
+                ("timeout".to_owned(), self.timeout.to_content()),
+                (
+                    "max_retries".to_owned(),
+                    Content::U64(u64::from(self.max_retries)),
+                ),
+                ("backoff_base".to_owned(), self.backoff_base.to_content()),
+                (
+                    "backoff_factor_permille".to_owned(),
+                    Content::U64(u64::from(self.backoff_factor_permille)),
+                ),
+                ("backoff_cap".to_owned(), self.backoff_cap.to_content()),
+            ])
+        }
+    }
+
+    impl Deserialize for RetryPolicy {
+        fn from_content(content: &Content) -> Result<RetryPolicy, DeError> {
+            Ok(RetryPolicy {
+                timeout: serde::__private::field(content, "timeout")?,
+                max_retries: serde::__private::field(content, "max_retries")?,
+                backoff_base: serde::__private::field(content, "backoff_base")?,
+                backoff_factor_permille: serde::__private::field(
+                    content,
+                    "backoff_factor_permille",
+                )?,
+                backoff_cap: serde::__private::field(content, "backoff_cap")?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +270,36 @@ mod tests {
             quorum: 4,
         }
         .required_quorum();
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy::standard();
+        assert_eq!(policy.backoff_for(0), SimDuration::from_secs(1));
+        assert_eq!(policy.backoff_for(1), SimDuration::from_secs(2));
+        assert_eq!(policy.backoff_for(2), SimDuration::from_secs(4));
+        assert_eq!(policy.backoff_for(3), SimDuration::from_secs(8));
+        assert_eq!(policy.backoff_for(4), SimDuration::from_secs(8), "capped");
+        assert_eq!(policy.backoff_for(100), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn backoff_base_above_cap_is_clamped() {
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_secs(1),
+            max_retries: 2,
+            backoff_base: SimDuration::from_secs(20),
+            backoff_factor_permille: 2000,
+            backoff_cap: SimDuration::from_secs(5),
+        };
+        assert_eq!(policy.backoff_for(0), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn retry_policy_roundtrips_through_json() {
+        let policy = RetryPolicy::standard();
+        let json = serde_json::to_string(&policy).expect("serialise");
+        let back: RetryPolicy = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, policy);
     }
 }

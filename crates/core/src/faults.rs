@@ -1,4 +1,5 @@
-//! Fault plans: what Stabl's observer processes inject and when.
+//! Fault plans and composable fault schedules: what Stabl's observer
+//! processes inject and when.
 //!
 //! Terminology follows the paper's Table 1:
 //!
@@ -9,12 +10,81 @@
 //! * **Partition** — a communication failure between subsets of nodes
 //!   (the observer installs netfilter drop rules, later removed).
 //!
+//! A [`FaultPlan`] names one such scenario; a [`FaultSchedule`] is an
+//! ordered list of timed [`FaultAction`]s, so message-level degradation
+//! ([`FaultAction::LinkDegrade`]), slowdowns and whole-node faults
+//! compose in a single run — the combinations real outages are made of.
+//! Validation returns a typed [`FaultError`] (use
+//! [`FaultSchedule::apply`]); the panicking [`FaultSchedule::schedule`]
+//! wrapper keeps the old call sites working.
+//!
 //! `f` denotes the number of failures injected; `t_B` the maximum number
 //! of failures blockchain `B` claims to tolerate; `n` the network size.
 
-use stabl_sim::{NodeId, PartitionRule, Protocol, SimDuration, SimTime, Simulation};
+use std::collections::BTreeSet;
+use std::fmt;
 
-/// A declarative failure-injection plan for one run.
+use stabl_sim::{LinkFault, NodeId, PartitionRule, Protocol, SimDuration, SimTime, Simulation};
+
+/// Why a fault schedule failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// A fault's end time precedes its start time. `what` is the
+    /// human-readable description of the inversion.
+    InvertedWindow {
+        /// Which inversion (e.g. "recovery precedes the failure").
+        what: &'static str,
+        /// The window start.
+        start: SimTime,
+        /// The (inverted) window end.
+        end: SimTime,
+    },
+    /// A victim node id does not exist in the simulated network.
+    VictimOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The network size.
+        n: usize,
+    },
+    /// The same node is targeted by more than one action (or twice by
+    /// one action) — ambiguous schedules are rejected rather than
+    /// silently overlapped.
+    DuplicateVictim {
+        /// The node named more than once.
+        node: NodeId,
+    },
+    /// A link-fault probability lies outside `[0, 1]`.
+    InvalidProbability {
+        /// Which probability ("drop", "duplicate" or "reorder").
+        what: &'static str,
+        /// The offending value.
+        p: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvertedWindow { what, start, end } => {
+                write!(f, "{what} (window {start}..{end} is inverted)")
+            }
+            FaultError::VictimOutOfRange { node, n } => {
+                write!(f, "victim {node} outside the {n}-node network")
+            }
+            FaultError::DuplicateVictim { node } => {
+                write!(f, "victim {node} appears in more than one fault action")
+            }
+            FaultError::InvalidProbability { what, p } => {
+                write!(f, "link-fault {what} probability {p} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A declarative failure-injection plan for one run (one named scenario
+/// of the paper). Convert into a [`FaultSchedule`] to compose several.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum FaultPlan {
     /// The baseline: no failures.
@@ -74,55 +144,493 @@ impl FaultPlan {
         }
     }
 
+    /// Validates and schedules the plan's events on a simulation.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultSchedule::apply`].
+    pub fn apply<P: Protocol>(&self, sim: &mut Simulation<P>) -> Result<(), FaultError> {
+        FaultSchedule::from(self.clone()).apply(sim)
+    }
+
     /// Schedules the plan's events on a simulation (the role of Stabl's
-    /// observer processes).
+    /// observer processes). Thin wrapper around [`FaultPlan::apply`].
     ///
     /// # Panics
     ///
     /// Panics if a transient/partition plan recovers before it starts,
     /// or if a victim id is outside the network.
     pub fn schedule<P: Protocol>(&self, sim: &mut Simulation<P>) {
-        let n = sim.n();
-        for node in self.victims() {
-            assert!(
-                node.index() < n,
-                "victim {node} outside the {n}-node network"
-            );
+        self.apply(sim).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// One timed fault injection inside a [`FaultSchedule`].
+///
+/// The first four variants mirror [`FaultPlan`]; `LinkDegrade` adds the
+/// message-level dimension (probabilistic loss, duplication, reordering
+/// and asymmetric partitions — see [`LinkFault`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Crash `nodes` permanently at `at`.
+    Crash {
+        /// The victims.
+        nodes: Vec<NodeId>,
+        /// Injection time.
+        at: SimTime,
+    },
+    /// Halt `nodes` at `at` and restart them at `recover_at`.
+    Transient {
+        /// The victims.
+        nodes: Vec<NodeId>,
+        /// Injection time.
+        at: SimTime,
+        /// Restart time.
+        recover_at: SimTime,
+    },
+    /// Disconnect `nodes` from the rest of the network between `at` and
+    /// `heal_at`.
+    Partition {
+        /// The isolated group.
+        nodes: Vec<NodeId>,
+        /// Partition start.
+        at: SimTime,
+        /// Partition end.
+        heal_at: SimTime,
+    },
+    /// Slow `nodes` down between `at` and `until`.
+    Slowdown {
+        /// The slowed nodes.
+        nodes: Vec<NodeId>,
+        /// Extra outbound delay while slowed.
+        extra: SimDuration,
+        /// Slowdown start.
+        at: SimTime,
+        /// Slowdown end.
+        until: SimTime,
+    },
+    /// Install a message-level link fault between `at` and `until`.
+    LinkDegrade {
+        /// The drop/duplicate/reorder rule.
+        fault: LinkFault,
+        /// Installation time.
+        at: SimTime,
+        /// Removal time.
+        until: SimTime,
+    },
+}
+
+impl FaultAction {
+    /// The whole-node victims of this action (empty for `LinkDegrade`,
+    /// whose targets are directed links, not nodes).
+    pub fn victims(&self) -> &[NodeId] {
+        match self {
+            FaultAction::Crash { nodes, .. }
+            | FaultAction::Transient { nodes, .. }
+            | FaultAction::Partition { nodes, .. }
+            | FaultAction::Slowdown { nodes, .. } => nodes,
+            FaultAction::LinkDegrade { .. } => &[],
+        }
+    }
+
+    /// Every node id this action references (victims, plus the link
+    /// groups of a `LinkDegrade`) — used for range validation.
+    fn referenced_nodes(&self) -> Vec<NodeId> {
+        match self {
+            FaultAction::LinkDegrade { fault, .. } => fault
+                .from_group()
+                .into_iter()
+                .chain(fault.to_group())
+                .flatten()
+                .copied()
+                .collect(),
+            _ => self.victims().to_vec(),
+        }
+    }
+
+    fn validate(&self, n: usize) -> Result<(), FaultError> {
+        for node in self.referenced_nodes() {
+            if node.index() >= n {
+                return Err(FaultError::VictimOutOfRange { node, n });
+            }
         }
         match self {
-            FaultPlan::None => {}
-            FaultPlan::Crash { nodes, at } => {
+            FaultAction::Crash { .. } => {}
+            FaultAction::Transient { at, recover_at, .. } => {
+                if at > recover_at {
+                    return Err(FaultError::InvertedWindow {
+                        what: "recovery precedes the failure",
+                        start: *at,
+                        end: *recover_at,
+                    });
+                }
+            }
+            FaultAction::Partition { at, heal_at, .. } => {
+                if at > heal_at {
+                    return Err(FaultError::InvertedWindow {
+                        what: "heal precedes the partition",
+                        start: *at,
+                        end: *heal_at,
+                    });
+                }
+            }
+            FaultAction::Slowdown { at, until, .. } => {
+                if at > until {
+                    return Err(FaultError::InvertedWindow {
+                        what: "slowdown ends before it starts",
+                        start: *at,
+                        end: *until,
+                    });
+                }
+            }
+            FaultAction::LinkDegrade { fault, at, until } => {
+                if at > until {
+                    return Err(FaultError::InvertedWindow {
+                        what: "link fault lifts before it starts",
+                        start: *at,
+                        end: *until,
+                    });
+                }
+                for (what, p) in [
+                    ("drop", fault.drop_p()),
+                    ("duplicate", fault.dup_p()),
+                    ("reorder", fault.reorder_p()),
+                ] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(FaultError::InvalidProbability { what, p });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn schedule_on<P: Protocol>(&self, sim: &mut Simulation<P>) {
+        let n = sim.n();
+        match self {
+            FaultAction::Crash { nodes, at } => {
                 for node in nodes {
                     sim.schedule_crash(*at, *node);
                 }
             }
-            FaultPlan::Transient {
+            FaultAction::Transient {
                 nodes,
                 at,
                 recover_at,
             } => {
-                assert!(at <= recover_at, "recovery precedes the failure");
                 for node in nodes {
                     sim.schedule_crash(*at, *node);
                     sim.schedule_restart(*recover_at, *node);
                 }
             }
-            FaultPlan::Partition { nodes, at, heal_at } => {
-                assert!(at <= heal_at, "heal precedes the partition");
+            FaultAction::Partition { nodes, at, heal_at } => {
                 let rule = PartitionRule::isolate(nodes.iter().copied(), n);
                 sim.schedule_partition(*at, *heal_at, rule);
+            }
+            FaultAction::Slowdown {
+                nodes,
+                extra,
+                at,
+                until,
+            } => {
+                for node in nodes {
+                    sim.schedule_slowdown(*at, *until, *node, *extra);
+                }
+            }
+            FaultAction::LinkDegrade { fault, at, until } => {
+                sim.schedule_link_fault(*at, *until, fault.clone());
+            }
+        }
+    }
+}
+
+/// An ordered list of timed [`FaultAction`]s injected into one run.
+///
+/// Replaces the closed [`FaultPlan`] dispatch: any number of
+/// whole-node, link-level and slowdown faults compose in one schedule.
+/// The old variants remain available as constructors
+/// ([`FaultSchedule::crash`], [`FaultSchedule::transient`], …) and via
+/// `From<FaultPlan>`.
+///
+/// # Examples
+///
+/// ```
+/// use stabl::{FaultAction, FaultSchedule};
+/// use stabl_sim::{LinkFault, NodeId, SimDuration, SimTime};
+///
+/// // 5 % loss all run long, plus a flapping one-way partition.
+/// let schedule = FaultSchedule::link_degrade(
+///     LinkFault::all().with_drop(0.05),
+///     SimTime::ZERO,
+///     SimTime::from_secs(60),
+/// )
+/// .and(FaultAction::LinkDegrade {
+///     fault: LinkFault::sever([NodeId::new(9)], [NodeId::new(0)]),
+///     at: SimTime::from_secs(20),
+///     until: SimTime::from_secs(30),
+/// });
+/// assert_eq!(schedule.actions().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultSchedule {
+    actions: Vec<FaultAction>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule (the baseline).
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// A schedule made of `actions`, in injection order.
+    pub fn new(actions: Vec<FaultAction>) -> FaultSchedule {
+        FaultSchedule { actions }
+    }
+
+    /// Crash `nodes` permanently at `at` (old `FaultPlan::Crash`).
+    pub fn crash(nodes: Vec<NodeId>, at: SimTime) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultAction::Crash { nodes, at }])
+    }
+
+    /// Halt `nodes` at `at`, restart at `recover_at` (old
+    /// `FaultPlan::Transient`).
+    pub fn transient(nodes: Vec<NodeId>, at: SimTime, recover_at: SimTime) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultAction::Transient {
+            nodes,
+            at,
+            recover_at,
+        }])
+    }
+
+    /// Isolate `nodes` between `at` and `heal_at` (old
+    /// `FaultPlan::Partition`).
+    pub fn partition(nodes: Vec<NodeId>, at: SimTime, heal_at: SimTime) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultAction::Partition { nodes, at, heal_at }])
+    }
+
+    /// Slow `nodes` down between `at` and `until` (old
+    /// `FaultPlan::Slowdown`).
+    pub fn slowdown(
+        nodes: Vec<NodeId>,
+        extra: SimDuration,
+        at: SimTime,
+        until: SimTime,
+    ) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultAction::Slowdown {
+            nodes,
+            extra,
+            at,
+            until,
+        }])
+    }
+
+    /// Install a message-level link fault between `at` and `until`.
+    pub fn link_degrade(fault: LinkFault, at: SimTime, until: SimTime) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultAction::LinkDegrade { fault, at, until }])
+    }
+
+    /// Appends `action`, builder-style.
+    #[must_use]
+    pub fn and(mut self, action: FaultAction) -> FaultSchedule {
+        self.actions.push(action);
+        self
+    }
+
+    /// Appends `action` in place.
+    pub fn push(&mut self, action: FaultAction) {
+        self.actions.push(action);
+    }
+
+    /// The scheduled actions, in injection order.
+    pub fn actions(&self) -> &[FaultAction] {
+        &self.actions
+    }
+
+    /// `true` if the schedule injects nothing (the baseline).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Every whole-node victim across all actions, in action order.
+    pub fn victims(&self) -> Vec<NodeId> {
+        self.actions
+            .iter()
+            .flat_map(|a| a.victims().iter().copied())
+            .collect()
+    }
+
+    /// Checks the schedule against an `n`-node network without
+    /// scheduling anything.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::VictimOutOfRange`] for node ids ≥ `n`,
+    /// [`FaultError::InvertedWindow`] for end-before-start windows,
+    /// [`FaultError::InvalidProbability`] for out-of-range link-fault
+    /// probabilities and [`FaultError::DuplicateVictim`] if a node is
+    /// targeted by more than one action.
+    pub fn validate(&self, n: usize) -> Result<(), FaultError> {
+        for action in &self.actions {
+            action.validate(n)?;
+        }
+        let mut seen = BTreeSet::new();
+        for action in &self.actions {
+            for node in action.victims() {
+                if !seen.insert(*node) {
+                    return Err(FaultError::DuplicateVictim { node: *node });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and schedules every action on the simulation.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultSchedule::validate`]; on error nothing is scheduled.
+    pub fn apply<P: Protocol>(&self, sim: &mut Simulation<P>) -> Result<(), FaultError> {
+        self.validate(sim.n())?;
+        for action in &self.actions {
+            action.schedule_on(sim);
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`FaultSchedule::apply`] for callers
+    /// that treat an invalid schedule as a programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`FaultError`] message on an invalid schedule.
+    pub fn schedule<P: Protocol>(&self, sim: &mut Simulation<P>) {
+        self.apply(sim).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+impl From<FaultPlan> for FaultSchedule {
+    fn from(plan: FaultPlan) -> FaultSchedule {
+        match plan {
+            FaultPlan::None => FaultSchedule::none(),
+            FaultPlan::Crash { nodes, at } => FaultSchedule::crash(nodes, at),
+            FaultPlan::Transient {
+                nodes,
+                at,
+                recover_at,
+            } => FaultSchedule::transient(nodes, at, recover_at),
+            FaultPlan::Partition { nodes, at, heal_at } => {
+                FaultSchedule::partition(nodes, at, heal_at)
             }
             FaultPlan::Slowdown {
                 nodes,
                 extra,
                 at,
                 until,
-            } => {
-                assert!(at <= until, "slowdown ends before it starts");
-                for node in nodes {
-                    sim.schedule_slowdown(*at, *until, *node, *extra);
+            } => FaultSchedule::slowdown(nodes, extra, at, until),
+        }
+    }
+}
+
+mod serde_impls {
+    //! JSON (de)serialisation so campaign cache keys and artifacts can
+    //! carry the full adversity configuration.
+
+    use serde::{Content, DeError, Deserialize, Serialize};
+
+    use super::{FaultAction, FaultSchedule};
+
+    impl Serialize for FaultAction {
+        fn to_content(&self) -> Content {
+            let mut map: Vec<(String, Content)> = Vec::new();
+            let kind = match self {
+                FaultAction::Crash { nodes, at } => {
+                    map.push(("nodes".to_owned(), nodes.to_content()));
+                    map.push(("at".to_owned(), at.to_content()));
+                    "crash"
                 }
+                FaultAction::Transient {
+                    nodes,
+                    at,
+                    recover_at,
+                } => {
+                    map.push(("nodes".to_owned(), nodes.to_content()));
+                    map.push(("at".to_owned(), at.to_content()));
+                    map.push(("recover_at".to_owned(), recover_at.to_content()));
+                    "transient"
+                }
+                FaultAction::Partition { nodes, at, heal_at } => {
+                    map.push(("nodes".to_owned(), nodes.to_content()));
+                    map.push(("at".to_owned(), at.to_content()));
+                    map.push(("heal_at".to_owned(), heal_at.to_content()));
+                    "partition"
+                }
+                FaultAction::Slowdown {
+                    nodes,
+                    extra,
+                    at,
+                    until,
+                } => {
+                    map.push(("nodes".to_owned(), nodes.to_content()));
+                    map.push(("extra".to_owned(), extra.to_content()));
+                    map.push(("at".to_owned(), at.to_content()));
+                    map.push(("until".to_owned(), until.to_content()));
+                    "slowdown"
+                }
+                FaultAction::LinkDegrade { fault, at, until } => {
+                    map.push(("fault".to_owned(), fault.to_content()));
+                    map.push(("at".to_owned(), at.to_content()));
+                    map.push(("until".to_owned(), until.to_content()));
+                    "link-degrade"
+                }
+            };
+            map.insert(0, ("kind".to_owned(), Content::Str(kind.to_owned())));
+            Content::Map(map)
+        }
+    }
+
+    impl Deserialize for FaultAction {
+        fn from_content(content: &Content) -> Result<FaultAction, DeError> {
+            let kind: String = serde::__private::field(content, "kind")?;
+            match kind.as_str() {
+                "crash" => Ok(FaultAction::Crash {
+                    nodes: serde::__private::field(content, "nodes")?,
+                    at: serde::__private::field(content, "at")?,
+                }),
+                "transient" => Ok(FaultAction::Transient {
+                    nodes: serde::__private::field(content, "nodes")?,
+                    at: serde::__private::field(content, "at")?,
+                    recover_at: serde::__private::field(content, "recover_at")?,
+                }),
+                "partition" => Ok(FaultAction::Partition {
+                    nodes: serde::__private::field(content, "nodes")?,
+                    at: serde::__private::field(content, "at")?,
+                    heal_at: serde::__private::field(content, "heal_at")?,
+                }),
+                "slowdown" => Ok(FaultAction::Slowdown {
+                    nodes: serde::__private::field(content, "nodes")?,
+                    extra: serde::__private::field(content, "extra")?,
+                    at: serde::__private::field(content, "at")?,
+                    until: serde::__private::field(content, "until")?,
+                }),
+                "link-degrade" => Ok(FaultAction::LinkDegrade {
+                    fault: serde::__private::field(content, "fault")?,
+                    at: serde::__private::field(content, "at")?,
+                    until: serde::__private::field(content, "until")?,
+                }),
+                other => Err(DeError::custom(format!("unknown fault action {other:?}"))),
             }
+        }
+    }
+
+    impl Serialize for FaultSchedule {
+        fn to_content(&self) -> Content {
+            self.actions.to_content()
+        }
+    }
+
+    impl Deserialize for FaultSchedule {
+        fn from_content(content: &Content) -> Result<FaultSchedule, DeError> {
+            Vec::<FaultAction>::from_content(content).map(FaultSchedule::new)
         }
     }
 }
@@ -247,5 +755,167 @@ mod tests {
             at: SimTime::ZERO,
         }
         .schedule(&mut sim);
+    }
+
+    #[test]
+    fn apply_returns_typed_errors() {
+        let mut sim = Simulation::<Idle>::new(2, 1, ());
+        let inverted = FaultPlan::Transient {
+            nodes: nodes(&[1]),
+            at: SimTime::from_secs(2),
+            recover_at: SimTime::from_secs(1),
+        }
+        .apply(&mut sim);
+        assert!(matches!(
+            inverted,
+            Err(FaultError::InvertedWindow {
+                what: "recovery precedes the failure",
+                ..
+            })
+        ));
+        let out_of_range = FaultPlan::Crash {
+            nodes: nodes(&[5]),
+            at: SimTime::ZERO,
+        }
+        .apply(&mut sim);
+        assert_eq!(
+            out_of_range,
+            Err(FaultError::VictimOutOfRange {
+                node: NodeId::new(5),
+                n: 2
+            })
+        );
+    }
+
+    #[test]
+    fn schedule_composes_multiple_actions() {
+        let mut sim = Simulation::<Idle>::new(6, 1, ());
+        let schedule = FaultSchedule::crash(nodes(&[5]), SimTime::from_secs(1))
+            .and(FaultAction::Slowdown {
+                nodes: nodes(&[4]),
+                extra: SimDuration::from_millis(100),
+                at: SimTime::from_secs(1),
+                until: SimTime::from_secs(3),
+            })
+            .and(FaultAction::LinkDegrade {
+                fault: LinkFault::all().with_drop(0.1),
+                at: SimTime::from_secs(1),
+                until: SimTime::from_secs(3),
+            });
+        assert_eq!(schedule.victims(), nodes(&[5, 4]));
+        schedule.apply(&mut sim).expect("valid schedule");
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.status(NodeId::new(5)), NodeStatus::Crashed);
+        assert!(!sim.network().slowdown(NodeId::new(4)).is_zero());
+        assert_eq!(sim.network().active_link_faults(), 1);
+    }
+
+    #[test]
+    fn duplicate_victims_across_actions_rejected() {
+        let mut sim = Simulation::<Idle>::new(4, 1, ());
+        let schedule =
+            FaultSchedule::crash(nodes(&[3]), SimTime::from_secs(1)).and(FaultAction::Slowdown {
+                nodes: nodes(&[3]),
+                extra: SimDuration::from_millis(100),
+                at: SimTime::from_secs(2),
+                until: SimTime::from_secs(3),
+            });
+        assert_eq!(
+            schedule.apply(&mut sim),
+            Err(FaultError::DuplicateVictim {
+                node: NodeId::new(3)
+            })
+        );
+        // Nothing was scheduled: the node stays up.
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.status(NodeId::new(3)), NodeStatus::Running);
+    }
+
+    #[test]
+    fn duplicate_victims_within_one_action_rejected() {
+        let schedule = FaultSchedule::crash(nodes(&[1, 1]), SimTime::ZERO);
+        assert_eq!(
+            schedule.validate(4),
+            Err(FaultError::DuplicateVictim {
+                node: NodeId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let schedule = FaultSchedule::link_degrade(
+            LinkFault::all().with_drop(1.5),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(
+            schedule.validate(4),
+            Err(FaultError::InvalidProbability {
+                what: "drop",
+                p: 1.5
+            })
+        );
+    }
+
+    #[test]
+    fn link_degrade_group_out_of_range_rejected() {
+        let schedule = FaultSchedule::link_degrade(
+            LinkFault::sever([NodeId::new(9)], [NodeId::new(0)]),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(
+            schedule.validate(4),
+            Err(FaultError::VictimOutOfRange {
+                node: NodeId::new(9),
+                n: 4
+            })
+        );
+    }
+
+    #[test]
+    fn plan_converts_to_schedule() {
+        let plan = FaultPlan::Partition {
+            nodes: nodes(&[1, 2]),
+            at: SimTime::from_secs(1),
+            heal_at: SimTime::from_secs(2),
+        };
+        let schedule: FaultSchedule = plan.into();
+        assert_eq!(schedule.actions().len(), 1);
+        assert_eq!(schedule.victims(), nodes(&[1, 2]));
+        let empty: FaultSchedule = FaultPlan::None.into();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = FaultError::InvertedWindow {
+            what: "heal precedes the partition",
+            start: SimTime::from_secs(2),
+            end: SimTime::from_secs(1),
+        };
+        assert!(err.to_string().contains("heal precedes the partition"));
+        let err = FaultError::VictimOutOfRange {
+            node: NodeId::new(7),
+            n: 4,
+        };
+        assert!(err.to_string().contains("outside the 4-node network"));
+    }
+
+    #[test]
+    fn schedule_roundtrips_through_json() {
+        let schedule =
+            FaultSchedule::transient(nodes(&[1, 2]), SimTime::from_secs(1), SimTime::from_secs(2))
+                .and(FaultAction::LinkDegrade {
+                    fault: LinkFault::all()
+                        .with_drop(0.25)
+                        .with_reorder(0.5, SimDuration::from_millis(40)),
+                    at: SimTime::from_secs(3),
+                    until: SimTime::from_secs(4),
+                });
+        let json = serde_json::to_string(&schedule).expect("serialise");
+        let back: FaultSchedule = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, schedule);
     }
 }

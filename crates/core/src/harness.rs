@@ -1,17 +1,18 @@
 //! The experiment harness: deploys a simulated network, drives the
-//! workload through clients, injects the fault plan and collects the
-//! client-observed latency distribution.
+//! workload through clients, injects the fault schedule and collects
+//! the client-observed latency distribution.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use stabl_sim::{
-    DetRng, LatencyModel, LatencyTopology, NodeId, PanicRecord, Protocol, SimBuilder, SimDuration,
-    SimStats, SimTime,
+    ByzConfig, ByzantineSpec, ByzantineWrapper, DetRng, LatencyModel, LatencyTopology, NodeId,
+    PanicRecord, Protocol, SimBuilder, SimDuration, SimStats, SimTime, Simulation,
 };
 use stabl_types::{Transaction, TxId};
 
+use crate::client::RetryPolicy;
 use crate::metrics::{Ecdf, EcdfError, ThroughputSeries};
-use crate::{ClientMode, FaultPlan, WorkloadSpec};
+use crate::{ClientMode, FaultSchedule, WorkloadSpec};
 
 /// Full description of one experiment run.
 #[derive(Clone, Debug)]
@@ -31,12 +32,21 @@ pub struct RunConfig {
     pub workload: WorkloadSpec,
     /// Client connection strategy.
     pub client_mode: ClientMode,
-    /// Failures to inject.
-    pub faults: FaultPlan,
+    /// Failures to inject (composable: node crashes, partitions,
+    /// slowdowns and message-level link faults in one schedule).
+    pub faults: FaultSchedule,
+    /// Nodes that misbehave at the *protocol* level: their outbound
+    /// messages are mutated, equivocated, delayed or withheld by a
+    /// [`ByzantineWrapper`] around the chain's protocol.
+    pub byzantine: ByzantineSpec,
     /// Byzantine RPC nodes: they process the chain correctly but
     /// *withhold* commit confirmations from their clients (the attack
     /// the secure client defends against, §3/§7).
     pub byzantine_rpc: Vec<NodeId>,
+    /// Client-side robustness: per-submission timeout, bounded
+    /// exponential backoff and resubmission to alternate nodes. `None`
+    /// reproduces the paper's fire-and-forget clients.
+    pub retry: Option<RetryPolicy>,
     /// Liveness rule: the run lost liveness if transactions are left
     /// unresolved and nothing committed in this final window.
     pub stall_grace: SimDuration,
@@ -55,8 +65,10 @@ impl RunConfig {
             horizon,
             workload: WorkloadSpec::paper_standard(SimTime::from_secs(25)),
             client_mode: ClientMode::Single,
-            faults: FaultPlan::None,
+            faults: FaultSchedule::none(),
+            byzantine: ByzantineSpec::none(),
             byzantine_rpc: Vec::new(),
+            retry: None,
             stall_grace: SimDuration::from_secs(10),
         }
     }
@@ -84,6 +96,10 @@ pub struct RunResult {
     pub panics: Vec<PanicRecord>,
     /// Kernel traffic counters.
     pub stats: SimStats,
+    /// Client resubmissions performed under the retry policy.
+    pub retries: u64,
+    /// Transactions whose client exhausted its retries and gave up.
+    pub give_ups: u64,
     /// The run horizon (for throughput binning).
     pub horizon: SimTime,
 }
@@ -115,15 +131,71 @@ impl RunResult {
 /// Runs one experiment over protocol `P`.
 ///
 /// Clients submit per [`ClientMode`]; a transaction counts as committed
-/// when **every** node its client is connected to reported the commit
+/// when a quorum of the nodes its client contacted reported the commit
 /// (for the single mode, exactly the node that received it). The
 /// returned latencies are the client-observed commit delays.
+///
+/// When [`RunConfig::byzantine`] names nodes, the protocol runs inside
+/// a [`ByzantineWrapper`] so those nodes deviate at the message layer;
+/// when [`RunConfig::retry`] is set, unresolved submissions are retried
+/// against alternate nodes with bounded exponential backoff.
 ///
 /// # Panics
 ///
 /// Panics if the workload references more client-facing nodes than the
-/// network has.
+/// network has, or if the fault schedule is invalid.
 pub fn run_protocol<P>(config: &RunConfig, protocol_config: P::Config) -> RunResult
+where
+    P: Protocol<Request = Transaction, Commit = TxId>,
+{
+    if config.byzantine.is_active() {
+        run_inner::<ByzantineWrapper<P>>(
+            config,
+            ByzConfig::new(protocol_config, config.byzantine.clone()),
+        )
+    } else {
+        run_inner::<P>(config, protocol_config)
+    }
+}
+
+/// Moves freshly recorded commits into the `(node, tx) → first commit
+/// instant` index, tracking the latest commit seen anywhere.
+fn drain_commits<P: Protocol<Commit = TxId>>(
+    sim: &mut Simulation<P>,
+    first_commit: &mut HashMap<(u32, TxId), SimTime>,
+    last_commit: &mut SimTime,
+) {
+    for record in sim.take_commits() {
+        first_commit
+            .entry((record.node.as_u32(), record.commit))
+            .or_insert(record.time);
+        *last_commit = (*last_commit).max(record.time);
+    }
+}
+
+/// The instant at which a client with observations from `contacted`
+/// (minus withholding Byzantine RPC nodes) collects its `quorum`-th
+/// commit confirmation, if it has.
+fn resolution(
+    contacted: &[NodeId],
+    byzantine_rpc: &[NodeId],
+    id: TxId,
+    quorum: usize,
+    first_commit: &HashMap<(u32, TxId), SimTime>,
+) -> Option<SimTime> {
+    let mut observed: Vec<SimTime> = contacted
+        .iter()
+        .filter(|node| !byzantine_rpc.contains(node))
+        .filter_map(|node| first_commit.get(&(node.as_u32(), id)).copied())
+        .collect();
+    if observed.len() < quorum {
+        return None;
+    }
+    observed.sort_unstable();
+    Some(observed[quorum - 1])
+}
+
+fn run_inner<P>(config: &RunConfig, protocol_config: P::Config) -> RunResult
 where
     P: Protocol<Request = Transaction, Commit = TxId>,
 {
@@ -140,45 +212,105 @@ where
     // submission pays an independent client-link delay.
     let mut client_rng = DetRng::new(config.seed ^ 0xC11E_17DE_1A75_0000);
     let submissions = config.workload.generate();
-    for submission in &submissions {
-        for node in config.client_mode.nodes_for(submission.client, front_nodes) {
+    // The nodes each submission has been sent to, grown by retries.
+    let mut contacted: Vec<Vec<NodeId>> = submissions
+        .iter()
+        .map(|s| config.client_mode.nodes_for(s.client, front_nodes))
+        .collect();
+    for (i, submission) in submissions.iter().enumerate() {
+        for node in &contacted[i] {
             let delay = config.latency.sample(&mut client_rng);
-            sim.schedule_request(submission.at + delay, node, submission.transaction);
+            sim.schedule_request(submission.at + delay, *node, submission.transaction);
+        }
+    }
+
+    let mut first_commit: HashMap<(u32, TxId), SimTime> = HashMap::new();
+    let mut last_commit = SimTime::ZERO;
+    let mut retries = 0u64;
+    let mut give_ups = 0u64;
+    let quorum = config.client_mode.required_quorum();
+
+    if let Some(policy) = config.retry {
+        // Timeout agenda: at each deadline, run the kernel up to that
+        // instant and decide per pending submission whether to retry.
+        // BTreeMap keeps deadlines in deterministic ascending order.
+        let mut agenda: BTreeMap<SimTime, Vec<(usize, u32)>> = BTreeMap::new();
+        for (i, submission) in submissions.iter().enumerate() {
+            let deadline = submission.at + policy.timeout;
+            if deadline < config.horizon {
+                agenda.entry(deadline).or_default().push((i, 0));
+            }
+        }
+        while let Some((&deadline, _)) = agenda.iter().next() {
+            let batch = agenda.remove(&deadline).expect("peeked key exists");
+            sim.run_until(deadline);
+            drain_commits(&mut sim, &mut first_commit, &mut last_commit);
+            for (i, attempt) in batch {
+                let submission = &submissions[i];
+                let id = submission.transaction.id();
+                if resolution(
+                    &contacted[i],
+                    &config.byzantine_rpc,
+                    id,
+                    quorum,
+                    &first_commit,
+                )
+                .is_some()
+                {
+                    continue;
+                }
+                if attempt >= policy.max_retries {
+                    give_ups += 1;
+                    continue;
+                }
+                retries += 1;
+                let resubmit_at = deadline + policy.backoff_for(attempt);
+                // Walk one replica set further along the front-node
+                // ring each attempt, reaching nodes the original
+                // submission never touched.
+                let shift = (attempt as usize + 1) * config.client_mode.replication();
+                for node in config
+                    .client_mode
+                    .nodes_for(submission.client + shift, front_nodes)
+                {
+                    let delay = config.latency.sample(&mut client_rng);
+                    sim.schedule_request(resubmit_at + delay, node, submission.transaction);
+                    if !contacted[i].contains(&node) {
+                        contacted[i].push(node);
+                    }
+                }
+                let next_deadline = resubmit_at + policy.timeout;
+                if next_deadline < config.horizon {
+                    agenda
+                        .entry(next_deadline)
+                        .or_default()
+                        .push((i, attempt + 1));
+                }
+            }
         }
     }
     sim.run_until(config.horizon);
-
-    // First commit instant per (node, transaction).
-    let mut first_commit: HashMap<(u32, TxId), SimTime> = HashMap::new();
-    let mut last_commit = SimTime::ZERO;
-    for record in sim.commits() {
-        first_commit
-            .entry((record.node.as_u32(), record.commit))
-            .or_insert(record.time);
-        last_commit = last_commit.max(record.time);
-    }
+    drain_commits(&mut sim, &mut first_commit, &mut last_commit);
 
     let mut latencies = Vec::with_capacity(submissions.len());
     let mut commit_times = Vec::with_capacity(submissions.len());
     let mut unresolved = 0usize;
-    let quorum = config.client_mode.required_quorum();
-    for submission in &submissions {
-        let nodes = config.client_mode.nodes_for(submission.client, front_nodes);
+    for (i, submission) in submissions.iter().enumerate() {
         let id = submission.transaction.id();
         // Observations the client can actually collect: Byzantine RPC
         // nodes withhold theirs.
-        let mut observed: Vec<SimTime> = nodes
-            .iter()
-            .filter(|node| !config.byzantine_rpc.contains(node))
-            .filter_map(|node| first_commit.get(&(node.as_u32(), id)).copied())
-            .collect();
-        observed.sort_unstable();
-        if observed.len() >= quorum {
-            let resolved_at = observed[quorum - 1];
-            latencies.push((resolved_at - submission.at).as_secs_f64());
-            commit_times.push(resolved_at);
-        } else {
-            unresolved += 1;
+        match resolution(
+            &contacted[i],
+            &config.byzantine_rpc,
+            id,
+            quorum,
+            &first_commit,
+        ) {
+            Some(resolved_at) => {
+                latencies.push((resolved_at - submission.at).as_secs_f64());
+                commit_times.push(resolved_at);
+            }
+            None => unresolved += 1,
         }
     }
 
@@ -192,6 +324,8 @@ where
         lost_liveness,
         panics: sim.panics().to_vec(),
         stats: sim.stats(),
+        retries,
+        give_ups,
         horizon: config.horizon,
     }
 }
@@ -304,14 +438,118 @@ mod tests {
     #[test]
     fn crashing_every_node_is_a_liveness_violation() {
         let mut config = RunConfig::quick(3);
-        config.faults = FaultPlan::Crash {
-            nodes: NodeId::all(10).collect(),
-            at: SimTime::from_secs(10),
-        };
+        config.faults = FaultSchedule::crash(NodeId::all(10).collect(), SimTime::from_secs(10));
         let result = run_protocol::<Instant>(&config, ());
         assert!(result.unresolved > 0);
         assert!(result.lost_liveness);
         assert!(result.commit_ratio() < 1.0);
+    }
+
+    /// A tight retry policy so retries land well inside the 30 s quick
+    /// horizon.
+    fn tight_retry() -> RetryPolicy {
+        RetryPolicy {
+            timeout: SimDuration::from_secs(2),
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(500),
+            backoff_factor_permille: 2000,
+            backoff_cap: SimDuration::from_secs(4),
+        }
+    }
+
+    #[test]
+    fn retry_is_a_noop_when_everything_resolves() {
+        let mut config = RunConfig::quick(8);
+        config.retry = Some(tight_retry());
+        let with_retry = run_protocol::<Instant>(&config, ());
+        config.retry = None;
+        let without = run_protocol::<Instant>(&config, ());
+        assert_eq!(with_retry.retries, 0);
+        assert_eq!(with_retry.give_ups, 0);
+        assert_eq!(with_retry.latencies, without.latencies);
+        assert_eq!(with_retry.stats, without.stats);
+    }
+
+    #[test]
+    fn retry_routes_around_a_withholding_rpc_node() {
+        // Node 0 withholds its outbound protocol messages AND its RPC
+        // confirmations: without retries, every single-mode submission
+        // pinned to it stays unresolved.
+        let mut config = RunConfig::quick(6);
+        config.byzantine =
+            ByzantineSpec::new([NodeId::new(0)], stabl_sim::ByzantineBehavior::Withhold);
+        config.byzantine_rpc = vec![NodeId::new(0)];
+        let stuck = run_protocol::<Instant>(&config, ());
+        assert!(stuck.unresolved > 0, "client 0 never hears back");
+        assert_eq!(stuck.retries, 0);
+
+        // With retries the client resubmits to the next node along the
+        // ring and resolves everything.
+        config.retry = Some(tight_retry());
+        let retried = run_protocol::<Instant>(&config, ());
+        assert!(retried.retries > 0, "timeouts trigger resubmission");
+        assert_eq!(retried.unresolved, 0, "alternate nodes resolve all");
+        assert_eq!(retried.give_ups, 0);
+        // Retried transactions pay timeout + backoff before resolving.
+        let slowest = retried.latencies.iter().copied().fold(0.0f64, f64::max);
+        assert!(slowest > 2.0, "retried latencies include the timeout");
+    }
+
+    #[test]
+    fn exhausted_retries_count_as_give_ups() {
+        let mut config = RunConfig::quick(9);
+        config.faults = FaultSchedule::crash(NodeId::all(10).collect(), SimTime::from_secs(5));
+        config.retry = Some(tight_retry());
+        let result = run_protocol::<Instant>(&config, ());
+        assert!(result.retries > 0, "clients retry the dead network");
+        assert!(result.give_ups > 0, "then give up after max_retries");
+        assert!(result.lost_liveness);
+    }
+
+    #[test]
+    fn byzantine_withholder_suppresses_traffic() {
+        let mut config = RunConfig::quick(11);
+        let baseline = run_protocol::<Instant>(&config, ());
+        config.byzantine =
+            ByzantineSpec::new([NodeId::new(0)], stabl_sim::ByzantineBehavior::Withhold);
+        let withheld = run_protocol::<Instant>(&config, ());
+        assert!(
+            withheld.stats.messages_sent < baseline.stats.messages_sent,
+            "node 0's broadcasts are withheld: {} vs {}",
+            withheld.stats.messages_sent,
+            baseline.stats.messages_sent
+        );
+        // Single-mode clients of node 0 still resolve: the node commits
+        // locally, it just never tells the rest of the network.
+        assert_eq!(withheld.unresolved, 0);
+    }
+
+    #[test]
+    fn composed_adversity_is_deterministic() {
+        let mut config = RunConfig::quick(12);
+        config.faults = FaultSchedule::link_degrade(
+            stabl_sim::LinkFault::all().with_drop(0.05),
+            SimTime::from_secs(2),
+            SimTime::from_secs(20),
+        )
+        .and(crate::FaultAction::Slowdown {
+            nodes: vec![NodeId::new(8)],
+            extra: SimDuration::from_millis(50),
+            at: SimTime::from_secs(5),
+            until: SimTime::from_secs(15),
+        });
+        config.byzantine =
+            ByzantineSpec::new([NodeId::new(9)], stabl_sim::ByzantineBehavior::Equivocate);
+        config.retry = Some(tight_retry());
+        let a = run_protocol::<Instant>(&config, ());
+        let b = run_protocol::<Instant>(&config, ());
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.give_ups, b.give_ups);
+        let json_a = serde_json::to_string(&a).expect("serialise");
+        let json_b = serde_json::to_string(&b).expect("serialise");
+        assert_eq!(json_a, json_b, "byte-identical artifacts");
     }
 
     #[test]
@@ -334,5 +572,54 @@ mod tests {
         let b = run_protocol::<Instant>(&config, ());
         assert_eq!(a.latencies, b.latencies);
         assert_eq!(a.stats, b.stats);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any composed fault schedule replayed with the same seed
+        /// yields a byte-identical serialised RunResult, and the link
+        /// drop/duplication counters match the network's book-keeping.
+        #[test]
+        fn any_schedule_replays_byte_identically(
+            (seed, crash_node, slow_node) in (0u64..1_000, 6u32..8, 8u32..10),
+            (drop_pct, dup_pct, with_retry) in (0u8..50, 0u8..50, 0u8..2),
+        ) {
+            let mut config = RunConfig::quick(seed);
+            // A small run keeps the 24 cases fast.
+            config.horizon = SimTime::from_secs(8);
+            config.workload.end = SimTime::from_secs(6);
+            config.workload.tps_per_client = 10;
+            config.stall_grace = SimDuration::from_secs(3);
+            config.faults = FaultSchedule::crash(
+                vec![NodeId::new(crash_node)],
+                SimTime::from_secs(2),
+            )
+            .and(crate::FaultAction::Slowdown {
+                nodes: vec![NodeId::new(slow_node)],
+                extra: SimDuration::from_millis(100),
+                at: SimTime::from_secs(1),
+                until: SimTime::from_secs(5),
+            })
+            .and(crate::FaultAction::LinkDegrade {
+                fault: stabl_sim::LinkFault::all()
+                    .with_drop(f64::from(drop_pct) / 100.0)
+                    .with_duplicate(f64::from(dup_pct) / 100.0),
+                at: SimTime::from_secs(1),
+                until: SimTime::from_secs(6),
+            });
+            if with_retry == 1 {
+                config.retry = Some(tight_retry());
+            }
+            let a = run_protocol::<Instant>(&config, ());
+            let b = run_protocol::<Instant>(&config, ());
+            let json_a = serde_json::to_string(&a).expect("serialise");
+            let json_b = serde_json::to_string(&b).expect("serialise");
+            prop_assert_eq!(json_a, json_b, "same seed must replay byte-identically");
+            prop_assert!(drop_pct == 0 || a.stats.messages_dropped_link > 0);
+            prop_assert!(dup_pct == 0 || a.stats.messages_duplicated_link > 0);
+        }
     }
 }

@@ -40,8 +40,12 @@ mod scenario;
 mod workload;
 
 pub use chains::Chain;
-pub use client::ClientMode;
-pub use faults::FaultPlan;
+pub use client::{ClientMode, RetryPolicy};
+pub use faults::{FaultAction, FaultError, FaultPlan, FaultSchedule};
 pub use harness::{run_protocol, RunConfig, RunResult};
 pub use scenario::{report_from_runs, PaperSetup, ScenarioKind};
 pub use workload::{Submission, WorkloadShape, WorkloadSpec};
+
+// The message-level adversity surface, re-exported so campaign configs
+// can be written against one crate.
+pub use stabl_sim::{ByzantineBehavior, ByzantineSpec, LinkFault};

@@ -13,7 +13,7 @@
 //!
 //! Failures always hit the validators that serve no client (ids 5–9).
 
-use stabl_sim::{LatencyModel, NodeId, SimDuration, SimTime};
+use stabl_sim::{ByzantineSpec, LatencyModel, NodeId, SimDuration, SimTime};
 
 use crate::harness::{RunConfig, RunResult};
 use crate::metrics::Sensitivity;
@@ -159,8 +159,10 @@ impl PaperSetup {
             horizon: self.horizon,
             workload: WorkloadSpec::paper_standard(self.submit_until),
             client_mode,
-            faults,
+            faults: faults.into(),
+            byzantine: ByzantineSpec::none(),
             byzantine_rpc: Vec::new(),
+            retry: None,
             stall_grace: self.stall_grace,
         }
     }
@@ -251,7 +253,7 @@ mod tests {
         assert_eq!(transient.faults.victims().len(), 4, "f = t + 1");
         let secure = setup.run_config(Chain::Solana, ScenarioKind::SecureClient);
         assert_eq!(secure.client_mode, ClientMode::paper_secure());
-        assert_eq!(secure.faults, FaultPlan::None);
+        assert!(secure.faults.is_empty());
     }
 
     #[test]

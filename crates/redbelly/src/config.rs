@@ -81,3 +81,16 @@ mod tests {
         assert!(cfg.max_proposal_txs > 0);
     }
 }
+
+impl RedbellyConfig {
+    /// Pairs this config with a Byzantine spec, producing the config of
+    /// [`ByzantineRedbellyNode`](crate::ByzantineRedbellyNode): the named
+    /// nodes run the same protocol but mutate, equivocate, delay or
+    /// withhold their outbound messages.
+    pub fn with_byzantine(
+        self,
+        spec: stabl_sim::ByzantineSpec,
+    ) -> stabl_sim::ByzConfig<RedbellyConfig> {
+        stabl_sim::ByzConfig::new(self, spec)
+    }
+}

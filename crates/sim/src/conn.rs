@@ -184,11 +184,15 @@ impl ConnectionManager {
                     backoff,
                 } => {
                     if now >= next_attempt {
+                        // Wait out the *current* backoff before growing it:
+                        // the first retry gap honours `backoff_base`, later
+                        // gaps grow by the factor up to `backoff_cap`.
+                        let wait = backoff.min(self.config.backoff_cap);
                         let grown = backoff
                             .mul_f64(self.config.backoff_factor_permille as f64 / 1000.0)
                             .min(self.config.backoff_cap);
                         *link = LinkState::Disconnected {
-                            next_attempt: now + grown,
+                            next_attempt: now + wait,
                             backoff: grown,
                         };
                         actions.push(ConnAction::SendDial(peer));
@@ -373,8 +377,43 @@ mod tests {
                 }
             }
         }
-        // Delays: base 2 doubling to cap 16 → dials at 13, 17(+4), 25(+8), 41(+16), 57, 73, ...
-        assert_eq!(&dial_times[..6], &[13, 17, 25, 41, 57, 73]);
+        // Delays: base 2 doubling to cap 16 → dials at 13, 15(+2),
+        // 19(+4), 27(+8), 43(+16), 59(+16 — capped), ...
+        assert_eq!(&dial_times[..6], &[13, 15, 19, 27, 43, 59]);
+    }
+
+    #[test]
+    fn backoff_resets_after_reconnect_under_flapping() {
+        // Partition → dials back off to the cap; heal → traffic
+        // reconnects the link; re-partition → the dial schedule restarts
+        // from the base, not from the capped delay.
+        let mut cm = ConnectionManager::new(NodeId::new(0), 2, cfg());
+        let dials_between = |cm: &mut ConnectionManager, from: u64, to: u64| -> Vec<u64> {
+            let mut dials = Vec::new();
+            for s in from..to {
+                for a in cm.tick(t(s)) {
+                    if matches!(a, ConnAction::SendDial(_)) {
+                        dials.push(s);
+                    }
+                }
+            }
+            dials
+        };
+        // First partition: silence from t=0 tears the link at 11.
+        let first = dials_between(&mut cm, 0, 60);
+        assert_eq!(&first[..5], &[13, 15, 19, 27, 43]);
+        // Heal at 60: the peer is heard again, link re-established.
+        assert!(cm.on_heard(NodeId::new(1), t(60)));
+        assert!(cm.is_connected(NodeId::new(1)));
+        // Re-partition: silence again; teardown at 71 (60 + idle 10,
+        // strictly exceeded at the next whole-second tick), and the
+        // backoff schedule starts over at the 2 s base.
+        let second = dials_between(&mut cm, 60, 120);
+        assert_eq!(
+            &second[..5],
+            &[73, 75, 79, 87, 103],
+            "recovery schedule must restart from the base after a reconnect"
+        );
     }
 
     #[test]

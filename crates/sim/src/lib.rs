@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod byzantine;
 mod conn;
 mod net;
 mod protocol;
@@ -52,8 +53,12 @@ mod sim;
 mod stats;
 mod time;
 
+pub use byzantine::{ByzConfig, ByzantineBehavior, ByzantineSpec, ByzantineWrapper};
 pub use conn::{ConnAction, ConnConfig, ConnectionManager};
-pub use net::{LatencyModel, LatencyTopology, Network, NodeId, PartitionId, PartitionRule};
+pub use net::{
+    LatencyModel, LatencyTopology, LinkFault, LinkFaultId, LinkVerdict, Network, NodeId,
+    PartitionId, PartitionRule,
+};
 pub use protocol::{Ctx, Protocol, TimerId};
 pub use resource::CpuMeter;
 pub use rng::DetRng;
@@ -89,10 +94,37 @@ mod kernel_prop_tests {
 
     #[derive(Clone, Debug)]
     enum Op {
-        Request { at_ms: u64, node: u32, value: u64 },
-        Crash { at_ms: u64, node: u32 },
-        Restart { at_ms: u64, node: u32 },
-        Partition { at_ms: u64, len_ms: u64, node: u32 },
+        Request {
+            at_ms: u64,
+            node: u32,
+            value: u64,
+        },
+        Crash {
+            at_ms: u64,
+            node: u32,
+        },
+        Restart {
+            at_ms: u64,
+            node: u32,
+        },
+        Partition {
+            at_ms: u64,
+            len_ms: u64,
+            node: u32,
+        },
+        LinkFault {
+            at_ms: u64,
+            len_ms: u64,
+            node: u32,
+            drop_pct: u8,
+            dup_pct: u8,
+            reorder_pct: u8,
+        },
+        Sever {
+            at_ms: u64,
+            len_ms: u64,
+            node: u32,
+        },
     }
 
     fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
@@ -102,6 +134,25 @@ mod kernel_prop_tests {
             (0u64..5_000, 0..n).prop_map(|(at_ms, node)| Op::Crash { at_ms, node }),
             (0u64..5_000, 0..n).prop_map(|(at_ms, node)| Op::Restart { at_ms, node }),
             (0u64..5_000, 1u64..2_000, 0..n).prop_map(|(at_ms, len_ms, node)| Op::Partition {
+                at_ms,
+                len_ms,
+                node
+            }),
+            (
+                (0u64..5_000, 1u64..2_000, 0..n),
+                (0u8..101, 0u8..101, 0u8..101)
+            )
+                .prop_map(
+                    |((at_ms, len_ms, node), (drop_pct, dup_pct, reorder_pct))| Op::LinkFault {
+                        at_ms,
+                        len_ms,
+                        node,
+                        drop_pct,
+                        dup_pct,
+                        reorder_pct,
+                    }
+                ),
+            (0u64..5_000, 1u64..2_000, 0..n).prop_map(|(at_ms, len_ms, node)| Op::Sever {
                 at_ms,
                 len_ms,
                 node
@@ -132,6 +183,40 @@ mod kernel_prop_tests {
                         PartitionRule::isolate([NodeId::new(node)], n),
                     );
                 }
+                Op::LinkFault {
+                    at_ms,
+                    len_ms,
+                    node,
+                    drop_pct,
+                    dup_pct,
+                    reorder_pct,
+                } => {
+                    sim.schedule_link_fault(
+                        SimTime::from_millis(at_ms),
+                        SimTime::from_millis(at_ms + len_ms),
+                        LinkFault::between([NodeId::new(node)], NodeId::all(n))
+                            .with_drop(f64::from(drop_pct) / 100.0)
+                            .with_duplicate(f64::from(dup_pct) / 100.0)
+                            .with_reorder(
+                                f64::from(reorder_pct) / 100.0,
+                                SimDuration::from_millis(50),
+                            ),
+                    );
+                }
+                Op::Sever {
+                    at_ms,
+                    len_ms,
+                    node,
+                } => {
+                    sim.schedule_link_fault(
+                        SimTime::from_millis(at_ms),
+                        SimTime::from_millis(at_ms + len_ms),
+                        LinkFault::sever(
+                            NodeId::all(n).filter(|id| *id != NodeId::new(node)),
+                            [NodeId::new(node)],
+                        ),
+                    );
+                }
             }
         }
     }
@@ -151,13 +236,19 @@ mod kernel_prop_tests {
                 apply(&mut sim, ops, 4);
                 sim.run_until(SimTime::from_secs(10));
                 let stats = sim.stats();
-                // Accounting: every sent message is delivered or dropped.
+                // Accounting: every sent message (plus every duplicate
+                // copy injected by link faults) is delivered or dropped.
                 prop_assert_eq!(
-                    stats.messages_sent,
+                    stats.messages_sent + stats.messages_duplicated_link,
                     stats.messages_delivered
                         + stats.messages_dropped_dead
                         + stats.messages_dropped_partition
+                        + stats.messages_dropped_link
                 );
+                // The kernel's counters mirror the network's book-keeping.
+                prop_assert_eq!(stats.messages_dropped_link, sim.network().link_drops());
+                prop_assert_eq!(stats.messages_duplicated_link, sim.network().link_dups());
+                prop_assert_eq!(stats.messages_reordered_link, sim.network().link_reorders());
                 // Commits only ever come from deliveries.
                 prop_assert!(sim.commits().len() as u64 <= stats.messages_delivered);
                 // Clock finishes at the horizon and the queue drained to it.
@@ -422,6 +513,125 @@ mod kernel_tests {
             late_gaps.iter().all(|g| (80..=120).contains(g)),
             "gaps after expiry: {late_gaps:?}"
         );
+    }
+
+    #[test]
+    fn lossy_link_fault_drops_messages() {
+        let mut sim = pinger_sim(3, 21);
+        sim.schedule_link_fault(
+            SimTime::from_millis(0),
+            SimTime::from_secs(2),
+            LinkFault::all().with_drop(0.5),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let stats = sim.stats();
+        assert!(stats.messages_dropped_link > 0, "loss must bite");
+        assert!(stats.messages_delivered > 0, "but not everything dies");
+        assert_eq!(stats.messages_dropped_link, sim.network().link_drops());
+    }
+
+    #[test]
+    fn asymmetric_partition_kills_one_direction_only() {
+        let mut sim = pinger_sim(2, 22);
+        // node1 -> node0 dies; node0 -> node1 stays up.
+        sim.schedule_link_fault(
+            SimTime::from_millis(0),
+            SimTime::from_secs(2),
+            LinkFault::sever([NodeId::new(1)], [NodeId::new(0)]),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let from1 = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(0))
+            .count();
+        let from0 = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(1))
+            .count();
+        assert_eq!(from1, 0, "nothing flows node1 -> node0");
+        assert!(from0 > 0, "node0 -> node1 unaffected");
+    }
+
+    #[test]
+    fn link_fault_lifts_at_end_of_window() {
+        let mut sim = pinger_sim(2, 23);
+        sim.schedule_link_fault(
+            SimTime::from_millis(0),
+            SimTime::from_secs(1),
+            LinkFault::sever([NodeId::new(1)], [NodeId::new(0)]),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.network().active_link_faults(), 0, "fault removed");
+        let late = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(0) && c.time > SimTime::from_millis(1200))
+            .count();
+        assert!(late > 0, "traffic resumes after the window");
+    }
+
+    #[test]
+    fn duplicating_fault_delivers_extra_copies() {
+        let mut sim = pinger_sim(2, 24);
+        sim.schedule_link_fault(
+            SimTime::from_millis(0),
+            SimTime::from_secs(2),
+            LinkFault::all().with_duplicate(1.0),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let stats = sim.stats();
+        assert!(stats.messages_duplicated_link > 0);
+        assert!(
+            stats.messages_delivered > stats.messages_sent,
+            "copies land"
+        );
+        assert_eq!(stats.messages_duplicated_link, sim.network().link_dups());
+    }
+
+    #[test]
+    fn reordering_fault_breaks_fifo_order() {
+        // With a heavy reorder fault the per-link FIFO guarantee must
+        // break: some ping sequence numbers arrive out of order.
+        let mut sim = pinger_sim(2, 25);
+        sim.schedule_link_fault(
+            SimTime::from_millis(0),
+            SimTime::from_secs(5),
+            LinkFault::all().with_reorder(0.5, SimDuration::from_millis(400)),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.stats().messages_reordered_link > 0);
+        let seqs: Vec<u64> = sim
+            .commits()
+            .iter()
+            .filter(|c| c.node == NodeId::new(0) && c.commit.0 == 1)
+            .map(|c| c.commit.1)
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_ne!(seqs, sorted, "reordering must be observable");
+    }
+
+    #[test]
+    fn link_faults_are_deterministic() {
+        let run = |seed| {
+            let mut sim = pinger_sim(4, seed);
+            sim.schedule_link_fault(
+                SimTime::from_millis(100),
+                SimTime::from_secs(2),
+                LinkFault::all()
+                    .with_drop(0.2)
+                    .with_duplicate(0.1)
+                    .with_reorder(0.3, SimDuration::from_millis(80)),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            sim.commits()
+                .iter()
+                .map(|c| (c.time.as_micros(), c.node.as_u32(), c.commit))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
     }
 
     #[test]

@@ -258,8 +258,196 @@ impl PartitionRule {
     }
 }
 
-/// The network fabric of a simulation: latency plus active partitions
-/// and per-node slowdowns.
+/// Handle to an installed link-fault rule, used to remove it again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkFaultId(u64);
+
+/// A message-level fault rule on a set of directed links.
+///
+/// Where a [`PartitionRule`] severs links symmetrically and completely,
+/// a `LinkFault` degrades them: each matching packet is independently
+/// dropped with probability `drop_p`, duplicated with probability
+/// `dup_p` (the copy arrives later, like a retransmit), or held back by
+/// an extra uniformly-sampled delay with probability `reorder_p` — so
+/// packets sent afterwards can overtake it, modelling UDP-style
+/// reordering on an otherwise FIFO link. A rule with `drop_p = 1.0` is
+/// an *asymmetric partition*: traffic dies in one direction while the
+/// reverse direction stays up (the half-open links real netfilter
+/// misconfigurations produce).
+///
+/// Rules match directionally: a packet from `a` to `b` matches if `a`
+/// is in the source group (or the group is `None` = every node) and
+/// `b` is in the destination group.
+///
+/// All randomness is drawn from the kernel's deterministic network RNG,
+/// so runs stay bit-identical per seed.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_sim::{LinkFault, NodeId, SimDuration};
+///
+/// // 5 % loss on every link.
+/// let lossy = LinkFault::all().with_drop(0.05);
+/// assert!(lossy.matches(NodeId::new(0), NodeId::new(1)));
+///
+/// // node0 can talk to node1, but nothing flows back.
+/// let half_open = LinkFault::sever([NodeId::new(1)], [NodeId::new(0)]);
+/// assert!(half_open.matches(NodeId::new(1), NodeId::new(0)));
+/// assert!(!half_open.matches(NodeId::new(0), NodeId::new(1)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkFault {
+    from: Option<BTreeSet<NodeId>>,
+    to: Option<BTreeSet<NodeId>>,
+    drop_p: f64,
+    dup_p: f64,
+    reorder_p: f64,
+    reorder_extra: SimDuration,
+}
+
+impl LinkFault {
+    /// A rule matching every directed link, with no effects until a
+    /// `with_*` builder arms one.
+    pub fn all() -> LinkFault {
+        LinkFault {
+            from: None,
+            to: None,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            reorder_extra: SimDuration::ZERO,
+        }
+    }
+
+    /// A rule matching only packets from a node in `from` to a node in
+    /// `to` (one direction).
+    pub fn between<A, B>(from: A, to: B) -> LinkFault
+    where
+        A: IntoIterator<Item = NodeId>,
+        B: IntoIterator<Item = NodeId>,
+    {
+        LinkFault {
+            from: Some(from.into_iter().collect()),
+            to: Some(to.into_iter().collect()),
+            ..LinkFault::all()
+        }
+    }
+
+    /// An asymmetric partition: every packet from `from` to `to` is
+    /// dropped; the reverse direction is untouched.
+    pub fn sever<A, B>(from: A, to: B) -> LinkFault
+    where
+        A: IntoIterator<Item = NodeId>,
+        B: IntoIterator<Item = NodeId>,
+    {
+        LinkFault::between(from, to).with_drop(1.0)
+    }
+
+    /// Sets the per-packet drop probability.
+    pub fn with_drop(mut self, p: f64) -> LinkFault {
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the per-packet duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> LinkFault {
+        self.dup_p = p;
+        self
+    }
+
+    /// Sets the per-packet reordering probability and the maximum extra
+    /// delay a reordered packet is held back by (sampled uniformly in
+    /// `[0, extra]`).
+    pub fn with_reorder(mut self, p: f64, extra: SimDuration) -> LinkFault {
+        self.reorder_p = p;
+        self.reorder_extra = extra;
+        self
+    }
+
+    /// The drop probability.
+    pub fn drop_p(&self) -> f64 {
+        self.drop_p
+    }
+
+    /// The duplication probability.
+    pub fn dup_p(&self) -> f64 {
+        self.dup_p
+    }
+
+    /// The reordering probability.
+    pub fn reorder_p(&self) -> f64 {
+        self.reorder_p
+    }
+
+    /// The maximum extra delay of a reordered packet.
+    pub fn reorder_extra(&self) -> SimDuration {
+        self.reorder_extra
+    }
+
+    /// The source group (`None` = every node).
+    pub fn from_group(&self) -> Option<&BTreeSet<NodeId>> {
+        self.from.as_ref()
+    }
+
+    /// The destination group (`None` = every node).
+    pub fn to_group(&self) -> Option<&BTreeSet<NodeId>> {
+        self.to.as_ref()
+    }
+
+    /// Rebuilds a rule from its serialised parts (used by the serde
+    /// support; prefer the builders above).
+    pub fn from_parts(
+        from: Option<Vec<NodeId>>,
+        to: Option<Vec<NodeId>>,
+        drop_p: f64,
+        dup_p: f64,
+        reorder_p: f64,
+        reorder_extra: SimDuration,
+    ) -> LinkFault {
+        LinkFault {
+            from: from.map(|v| v.into_iter().collect()),
+            to: to.map(|v| v.into_iter().collect()),
+            drop_p,
+            dup_p,
+            reorder_p,
+            reorder_extra,
+        }
+    }
+
+    /// `true` if every armed probability lies in `[0, 1]`.
+    pub fn probabilities_valid(&self) -> bool {
+        [self.drop_p, self.dup_p, self.reorder_p]
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p))
+    }
+
+    /// `true` if a packet from `from` to `to` matches this rule.
+    pub fn matches(&self, from: NodeId, to: NodeId) -> bool {
+        self.from.as_ref().is_none_or(|g| g.contains(&from))
+            && self.to.as_ref().is_none_or(|g| g.contains(&to))
+    }
+
+    /// `true` if this rule deterministically kills matching packets
+    /// (an asymmetric partition rather than probabilistic loss).
+    pub fn is_total_drop(&self) -> bool {
+        self.drop_p >= 1.0
+    }
+}
+
+/// What the active link faults decided for one packet.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkVerdict {
+    /// The packet is dropped before delivery.
+    pub drop: bool,
+    /// A duplicate copy is delivered as well.
+    pub duplicate: bool,
+    /// Extra hold-back delay (reordering); zero if none.
+    pub extra: SimDuration,
+}
+
+/// The network fabric of a simulation: latency plus active partitions,
+/// message-level link faults and per-node slowdowns.
 #[derive(Clone, Debug)]
 pub struct Network {
     latency: LatencyModel,
@@ -267,6 +455,11 @@ pub struct Network {
     rules: Vec<(PartitionId, PartitionRule)>,
     next_rule: u64,
     dropped_by_partition: u64,
+    link_faults: Vec<(LinkFaultId, LinkFault)>,
+    next_link_fault: u64,
+    link_drops: u64,
+    link_dups: u64,
+    link_reorders: u64,
     /// Extra delay added to every message a node sends (a slow but
     /// correct node: overloaded CPU, congested uplink).
     slowdowns: std::collections::HashMap<NodeId, SimDuration>,
@@ -281,6 +474,11 @@ impl Network {
             rules: Vec::new(),
             next_rule: 0,
             dropped_by_partition: 0,
+            link_faults: Vec::new(),
+            next_link_fault: 0,
+            link_drops: 0,
+            link_dups: 0,
+            link_reorders: 0,
             slowdowns: std::collections::HashMap::new(),
         }
     }
@@ -335,6 +533,102 @@ impl Network {
     /// Number of active rules.
     pub fn active_rules(&self) -> usize {
         self.rules.len()
+    }
+
+    /// Installs a message-level link fault; returns its handle.
+    pub fn install_link_fault(&mut self, fault: LinkFault) -> LinkFaultId {
+        let id = LinkFaultId(self.next_link_fault);
+        self.next_link_fault += 1;
+        self.link_faults.push((id, fault));
+        id
+    }
+
+    /// Removes a link fault; `true` if it was present.
+    pub fn remove_link_fault(&mut self, id: LinkFaultId) -> bool {
+        let before = self.link_faults.len();
+        self.link_faults.retain(|(fid, _)| *fid != id);
+        self.link_faults.len() != before
+    }
+
+    /// Number of active link faults.
+    pub fn active_link_faults(&self) -> usize {
+        self.link_faults.len()
+    }
+
+    /// `true` if an active *total-drop* link fault (asymmetric
+    /// partition) kills packets from `from` to `to`. Probabilistic
+    /// rules are decided per packet by [`Network`] internals instead.
+    pub fn link_severed(&self, from: NodeId, to: NodeId) -> bool {
+        self.link_faults
+            .iter()
+            .any(|(_, f)| f.is_total_drop() && f.matches(from, to))
+    }
+
+    /// Decides the fate of one packet under the active link faults,
+    /// drawing from `rng` only for matching probabilistic rules (so
+    /// fault-free runs consume no extra randomness). Effects of
+    /// multiple matching rules combine: any drop wins, any duplication
+    /// duplicates, reorder delays add up. Book-keeping counters are
+    /// updated here.
+    pub(crate) fn link_verdict(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut DetRng,
+    ) -> LinkVerdict {
+        let mut verdict = LinkVerdict::default();
+        for (_, fault) in &self.link_faults {
+            if !fault.matches(from, to) {
+                continue;
+            }
+            if fault.drop_p > 0.0 && (fault.is_total_drop() || rng.chance(fault.drop_p)) {
+                verdict.drop = true;
+            }
+            if fault.dup_p > 0.0 && rng.chance(fault.dup_p) {
+                verdict.duplicate = true;
+            }
+            if fault.reorder_p > 0.0
+                && !fault.reorder_extra.is_zero()
+                && rng.chance(fault.reorder_p)
+            {
+                verdict.extra += rng.duration_between(SimDuration::ZERO, fault.reorder_extra);
+            }
+        }
+        if verdict.drop {
+            // A dropped packet is neither duplicated nor delayed.
+            verdict.duplicate = false;
+            verdict.extra = SimDuration::ZERO;
+            self.link_drops += 1;
+        } else {
+            if verdict.duplicate {
+                self.link_dups += 1;
+            }
+            if !verdict.extra.is_zero() {
+                self.link_reorders += 1;
+            }
+        }
+        verdict
+    }
+
+    /// Records a link-fault drop decided at delivery time (a packet
+    /// already in flight when an asymmetric partition was installed).
+    pub(crate) fn note_link_drop(&mut self) {
+        self.link_drops += 1;
+    }
+
+    /// Packets dropped by link faults so far.
+    pub fn link_drops(&self) -> u64 {
+        self.link_drops
+    }
+
+    /// Packets duplicated by link faults so far.
+    pub fn link_dups(&self) -> u64 {
+        self.link_dups
+    }
+
+    /// Packets held back (reordered) by link faults so far.
+    pub fn link_reorders(&self) -> u64 {
+        self.link_reorders
     }
 
     /// Samples a one-way delay for a packet from `from` to `to`.
@@ -507,6 +801,104 @@ mod tests {
         assert!(net.remove(id));
         assert!(!net.blocked(a, b));
         assert!(!net.remove(id), "double remove reports absence");
+    }
+
+    #[test]
+    fn link_fault_matches_directionally() {
+        let fault = LinkFault::between(ids(&[0, 1]), ids(&[2]));
+        assert!(fault.matches(NodeId::new(0), NodeId::new(2)));
+        assert!(fault.matches(NodeId::new(1), NodeId::new(2)));
+        assert!(!fault.matches(NodeId::new(2), NodeId::new(0)), "one-way");
+        assert!(!fault.matches(NodeId::new(0), NodeId::new(1)));
+        assert!(LinkFault::all().matches(NodeId::new(7), NodeId::new(9)));
+    }
+
+    #[test]
+    fn sever_is_total_drop() {
+        let fault = LinkFault::sever(ids(&[0]), ids(&[1]));
+        assert!(fault.is_total_drop());
+        assert!(fault.probabilities_valid());
+        assert!(!LinkFault::all().with_drop(0.5).is_total_drop());
+        assert!(!LinkFault::all().with_drop(1.5).probabilities_valid());
+    }
+
+    #[test]
+    fn link_fault_install_and_remove() {
+        let mut net = Network::default();
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        assert!(!net.link_severed(a, b));
+        let id = net.install_link_fault(LinkFault::sever([a], [b]));
+        assert!(net.link_severed(a, b));
+        assert!(!net.link_severed(b, a), "reverse direction stays up");
+        assert_eq!(net.active_link_faults(), 1);
+        assert!(net.remove_link_fault(id));
+        assert!(!net.link_severed(a, b));
+        assert!(!net.remove_link_fault(id), "double remove reports absence");
+    }
+
+    #[test]
+    fn probabilistic_loss_is_not_severed() {
+        let mut net = Network::default();
+        net.install_link_fault(LinkFault::all().with_drop(0.99));
+        assert!(
+            !net.link_severed(NodeId::new(0), NodeId::new(1)),
+            "only drop_p = 1.0 kills in-flight packets"
+        );
+    }
+
+    #[test]
+    fn verdict_counts_and_respects_probabilities() {
+        let mut net = Network::default();
+        net.install_link_fault(LinkFault::all().with_drop(0.5));
+        let mut rng = DetRng::new(11);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mut dropped = 0u64;
+        for _ in 0..1_000 {
+            if net.link_verdict(a, b, &mut rng).drop {
+                dropped += 1;
+            }
+        }
+        assert_eq!(net.link_drops(), dropped);
+        assert!((300..=700).contains(&dropped), "dropped = {dropped}");
+        assert_eq!(net.link_dups(), 0);
+        assert_eq!(net.link_reorders(), 0);
+    }
+
+    #[test]
+    fn dropped_packet_is_neither_duplicated_nor_delayed() {
+        let mut net = Network::default();
+        net.install_link_fault(
+            LinkFault::all()
+                .with_drop(1.0)
+                .with_duplicate(1.0)
+                .with_reorder(1.0, SimDuration::from_millis(100)),
+        );
+        let mut rng = DetRng::new(3);
+        let verdict = net.link_verdict(NodeId::new(0), NodeId::new(1), &mut rng);
+        assert!(verdict.drop);
+        assert!(!verdict.duplicate);
+        assert!(verdict.extra.is_zero());
+        assert_eq!(net.link_dups(), 0);
+    }
+
+    #[test]
+    fn verdict_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = Network::default();
+            net.install_link_fault(
+                LinkFault::all()
+                    .with_drop(0.3)
+                    .with_duplicate(0.2)
+                    .with_reorder(0.4, SimDuration::from_millis(50)),
+            );
+            let mut rng = DetRng::new(seed);
+            (0..200)
+                .map(|_| net.link_verdict(NodeId::new(0), NodeId::new(1), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 
 use serde::{Content, DeError, Deserialize, Serialize};
 
-use crate::{NodeId, PanicRecord, SimDuration, SimStats, SimTime};
+use crate::{
+    ByzantineBehavior, ByzantineSpec, LinkFault, NodeId, PanicRecord, SimDuration, SimStats,
+    SimTime,
+};
 
 impl Serialize for SimTime {
     fn to_content(&self) -> Content {
@@ -85,6 +88,18 @@ impl Serialize for SimStats {
                 "messages_dropped_partition".to_owned(),
                 self.messages_dropped_partition.to_content(),
             ),
+            (
+                "messages_dropped_link".to_owned(),
+                self.messages_dropped_link.to_content(),
+            ),
+            (
+                "messages_duplicated_link".to_owned(),
+                self.messages_duplicated_link.to_content(),
+            ),
+            (
+                "messages_reordered_link".to_owned(),
+                self.messages_reordered_link.to_content(),
+            ),
             ("timers_fired".to_owned(), self.timers_fired.to_content()),
             ("timers_stale".to_owned(), self.timers_stale.to_content()),
             (
@@ -113,12 +128,102 @@ impl Deserialize for SimStats {
                 content,
                 "messages_dropped_partition",
             )?,
+            messages_dropped_link: serde::__private::field(content, "messages_dropped_link")?,
+            messages_duplicated_link: serde::__private::field(content, "messages_duplicated_link")?,
+            messages_reordered_link: serde::__private::field(content, "messages_reordered_link")?,
             timers_fired: serde::__private::field(content, "timers_fired")?,
             timers_stale: serde::__private::field(content, "timers_stale")?,
             requests_delivered: serde::__private::field(content, "requests_delivered")?,
             requests_dropped: serde::__private::field(content, "requests_dropped")?,
             events_processed: serde::__private::field(content, "events_processed")?,
         })
+    }
+}
+
+impl Serialize for LinkFault {
+    fn to_content(&self) -> Content {
+        let group = |g: Option<&std::collections::BTreeSet<NodeId>>| match g {
+            None => Content::Null,
+            Some(set) => Content::Seq(set.iter().map(Serialize::to_content).collect()),
+        };
+        Content::Map(vec![
+            ("from".to_owned(), group(self.from_group())),
+            ("to".to_owned(), group(self.to_group())),
+            ("drop_p".to_owned(), Content::F64(self.drop_p())),
+            ("dup_p".to_owned(), Content::F64(self.dup_p())),
+            ("reorder_p".to_owned(), Content::F64(self.reorder_p())),
+            (
+                "reorder_extra".to_owned(),
+                self.reorder_extra().to_content(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for LinkFault {
+    fn from_content(content: &Content) -> Result<LinkFault, DeError> {
+        Ok(LinkFault::from_parts(
+            serde::__private::field::<Option<Vec<NodeId>>>(content, "from")?,
+            serde::__private::field::<Option<Vec<NodeId>>>(content, "to")?,
+            serde::__private::field(content, "drop_p")?,
+            serde::__private::field(content, "dup_p")?,
+            serde::__private::field(content, "reorder_p")?,
+            serde::__private::field(content, "reorder_extra")?,
+        ))
+    }
+}
+
+impl Serialize for ByzantineBehavior {
+    fn to_content(&self) -> Content {
+        match self {
+            ByzantineBehavior::Mutate => Content::Str("mutate".to_owned()),
+            ByzantineBehavior::Equivocate => Content::Str("equivocate".to_owned()),
+            ByzantineBehavior::Withhold => Content::Str("withhold".to_owned()),
+            ByzantineBehavior::Delay(extra) => Content::Map(vec![(
+                "delay_micros".to_owned(),
+                Content::U64(extra.as_micros()),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for ByzantineBehavior {
+    fn from_content(content: &Content) -> Result<ByzantineBehavior, DeError> {
+        match content {
+            Content::Str(s) => match s.as_str() {
+                "mutate" => Ok(ByzantineBehavior::Mutate),
+                "equivocate" => Ok(ByzantineBehavior::Equivocate),
+                "withhold" => Ok(ByzantineBehavior::Withhold),
+                other => Err(DeError::custom(format!(
+                    "unknown byzantine behavior {other:?}"
+                ))),
+            },
+            Content::Map(_) => {
+                let micros: u64 = serde::__private::field(content, "delay_micros")?;
+                Ok(ByzantineBehavior::Delay(SimDuration::from_micros(micros)))
+            }
+            _ => Err(DeError::custom("expected byzantine behavior string or map")),
+        }
+    }
+}
+
+impl Serialize for ByzantineSpec {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                "nodes".to_owned(),
+                Content::Seq(self.nodes().iter().map(Serialize::to_content).collect()),
+            ),
+            ("behavior".to_owned(), self.behavior().to_content()),
+        ])
+    }
+}
+
+impl Deserialize for ByzantineSpec {
+    fn from_content(content: &Content) -> Result<ByzantineSpec, DeError> {
+        let nodes: Vec<NodeId> = serde::__private::field(content, "nodes")?;
+        let behavior: ByzantineBehavior = serde::__private::field(content, "behavior")?;
+        Ok(ByzantineSpec::new(nodes, behavior))
     }
 }
 
@@ -153,12 +258,45 @@ mod tests {
     }
 
     #[test]
+    fn link_fault_roundtrips() {
+        let fault = LinkFault::between([NodeId::new(1), NodeId::new(2)], [NodeId::new(0)])
+            .with_drop(0.25)
+            .with_duplicate(0.5)
+            .with_reorder(0.75, SimDuration::from_millis(40));
+        assert_eq!(roundtrip(&fault), fault);
+        // An unconstrained rule keeps its None groups distinct from
+        // empty groups.
+        let all = LinkFault::all().with_drop(1.0);
+        let back = roundtrip(&all);
+        assert_eq!(back, all);
+        assert!(back.from_group().is_none());
+    }
+
+    #[test]
+    fn byzantine_spec_roundtrips() {
+        for behavior in [
+            ByzantineBehavior::Mutate,
+            ByzantineBehavior::Equivocate,
+            ByzantineBehavior::Withhold,
+            ByzantineBehavior::Delay(SimDuration::from_millis(750)),
+        ] {
+            let spec = ByzantineSpec::new([NodeId::new(8), NodeId::new(9)], behavior);
+            assert_eq!(roundtrip(&spec), spec);
+        }
+        let none = ByzantineSpec::none();
+        assert_eq!(roundtrip(&none), none);
+    }
+
+    #[test]
     fn stats_roundtrip() {
         let stats = SimStats {
             messages_sent: 1,
             messages_delivered: 2,
             messages_dropped_dead: 3,
             messages_dropped_partition: 4,
+            messages_dropped_link: 10,
+            messages_duplicated_link: 11,
+            messages_reordered_link: 12,
             timers_fired: 5,
             timers_stale: 6,
             requests_delivered: 7,

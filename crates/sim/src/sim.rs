@@ -6,8 +6,8 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use crate::protocol::Effect;
 use crate::stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
 use crate::{
-    Ctx, DetRng, LatencyModel, Network, NodeId, PartitionId, PartitionRule, Protocol, SimDuration,
-    SimTime, TimerId,
+    Ctx, DetRng, LatencyModel, LinkFault, LinkFaultId, Network, NodeId, PartitionId, PartitionRule,
+    Protocol, SimDuration, SimTime, TimerId,
 };
 
 /// Liveness state of a simulated node.
@@ -131,6 +131,13 @@ enum EventKind<P: Protocol> {
     PartitionEnd {
         handle: u64,
     },
+    LinkFaultStart {
+        handle: u64,
+        fault: LinkFault,
+    },
+    LinkFaultEnd {
+        handle: u64,
+    },
     SetSlowdown {
         node: NodeId,
         extra: SimDuration,
@@ -183,6 +190,8 @@ pub struct Simulation<P: Protocol> {
     cancelled_timers: HashSet<u64>,
     partition_handles: HashMap<u64, PartitionId>,
     next_partition_handle: u64,
+    link_fault_handles: HashMap<u64, LinkFaultId>,
+    next_link_fault_handle: u64,
     fifo_links: bool,
     link_clock: HashMap<(u32, u32), SimTime>,
     commits: Vec<CommitRecord<P::Commit>>,
@@ -219,6 +228,8 @@ impl<P: Protocol> Simulation<P> {
             cancelled_timers: HashSet::new(),
             partition_handles: HashMap::new(),
             next_partition_handle: 0,
+            link_fault_handles: HashMap::new(),
+            next_link_fault_handle: 0,
             fifo_links: b.fifo_links,
             link_clock: HashMap::new(),
             commits: Vec::new(),
@@ -370,6 +381,21 @@ impl<P: Protocol> Simulation<P> {
         self.push(end, EventKind::PartitionEnd { handle });
     }
 
+    /// Schedules a message-level link fault installed at `start` and
+    /// lifted at `end` (see [`LinkFault`] for the drop / duplicate /
+    /// reorder semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn schedule_link_fault(&mut self, start: SimTime, end: SimTime, fault: LinkFault) {
+        assert!(start <= end, "link fault must end after it starts");
+        let handle = self.next_link_fault_handle;
+        self.next_link_fault_handle += 1;
+        self.push(start, EventKind::LinkFaultStart { handle, fault });
+        self.push(end, EventKind::LinkFaultEnd { handle });
+    }
+
     /// Runs the simulation until no event at or before `horizon` remains;
     /// the clock finishes at `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
@@ -399,6 +425,14 @@ impl<P: Protocol> Simulation<P> {
                 if self.net.blocked(from, to) {
                     self.net.note_partition_drop();
                     self.stats.messages_dropped_partition += 1;
+                    return;
+                }
+                if self.net.link_severed(from, to) {
+                    // Packets already in flight when an asymmetric
+                    // partition was installed die at delivery time, just
+                    // like in-flight packets under a symmetric partition.
+                    self.net.note_link_drop();
+                    self.stats.messages_dropped_link += 1;
                     return;
                 }
                 if self.nodes[to.index()].status != NodeStatus::Running {
@@ -460,6 +494,15 @@ impl<P: Protocol> Simulation<P> {
                     self.net.remove(id);
                 }
             }
+            EventKind::LinkFaultStart { handle, fault } => {
+                let id = self.net.install_link_fault(fault);
+                self.link_fault_handles.insert(handle, id);
+            }
+            EventKind::LinkFaultEnd { handle } => {
+                if let Some(id) = self.link_fault_handles.remove(&handle) {
+                    self.net.remove_link_fault(id);
+                }
+            }
             EventKind::SetSlowdown { node, extra } => {
                 self.net.set_slowdown(node, extra);
             }
@@ -497,6 +540,15 @@ impl<P: Protocol> Simulation<P> {
                         self.stats.messages_dropped_partition += 1;
                         continue;
                     }
+                    let verdict = if self.net.active_link_faults() > 0 {
+                        self.net.link_verdict(from, to, &mut self.net_rng)
+                    } else {
+                        crate::LinkVerdict::default()
+                    };
+                    if verdict.drop {
+                        self.stats.messages_dropped_link += 1;
+                        continue;
+                    }
                     let delay = self.net.sample_delay(from, to, &mut self.net_rng)
                         + self.net.slowdown(from);
                     let mut deliver_at = self.now + delay;
@@ -505,6 +557,26 @@ impl<P: Protocol> Simulation<P> {
                         let last = self.link_clock.entry(key).or_insert(SimTime::ZERO);
                         deliver_at = deliver_at.max(*last);
                         *last = deliver_at;
+                    }
+                    if !verdict.extra.is_zero() {
+                        // Hold the packet back *after* the FIFO clock was
+                        // advanced, so packets sent later can overtake it.
+                        self.stats.messages_reordered_link += 1;
+                        deliver_at += verdict.extra;
+                    }
+                    if verdict.duplicate {
+                        self.stats.messages_duplicated_link += 1;
+                        let dup_delay = self.net.sample_delay(from, to, &mut self.net_rng)
+                            + self.net.slowdown(from);
+                        let dup_at = (self.now + dup_delay).max(deliver_at);
+                        self.push(
+                            dup_at,
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                msg: msg.clone(),
+                            },
+                        );
                     }
                     self.push(deliver_at, EventKind::Deliver { from, to, msg });
                 }

@@ -52,6 +52,15 @@ pub struct SimStats {
     pub messages_dropped_dead: u64,
     /// Messages dropped by partition rules.
     pub messages_dropped_partition: u64,
+    /// Messages dropped by probabilistic link faults or asymmetric
+    /// partitions.
+    pub messages_dropped_link: u64,
+    /// Extra message copies injected by duplicating link faults (each
+    /// one adds a delivery on top of `messages_sent`).
+    pub messages_duplicated_link: u64,
+    /// Messages held back by reordering link faults (delivered late,
+    /// possibly overtaken by packets sent after them).
+    pub messages_reordered_link: u64,
     /// Timers that fired and were dispatched.
     pub timers_fired: u64,
     /// Timers skipped because they were cancelled or invalidated by a

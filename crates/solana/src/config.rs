@@ -105,3 +105,16 @@ mod tests {
         assert!(cfg.forward_lookahead >= 1);
     }
 }
+
+impl SolanaConfig {
+    /// Pairs this config with a Byzantine spec, producing the config of
+    /// [`ByzantineSolanaNode`](crate::ByzantineSolanaNode): the named
+    /// nodes run the same protocol but mutate, equivocate, delay or
+    /// withhold their outbound messages.
+    pub fn with_byzantine(
+        self,
+        spec: stabl_sim::ByzantineSpec,
+    ) -> stabl_sim::ByzConfig<SolanaConfig> {
+        stabl_sim::ByzConfig::new(self, spec)
+    }
+}

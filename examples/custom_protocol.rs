@@ -12,7 +12,7 @@
 //! ```
 
 use stabl_suite::stabl::metrics::Sensitivity;
-use stabl_suite::stabl::{run_protocol, FaultPlan, RunConfig};
+use stabl_suite::stabl::{run_protocol, FaultSchedule, RunConfig};
 use stabl_suite::stabl_sim::{Ctx, NodeId, Protocol, SimTime};
 use stabl_suite::stabl_types::{Ledger, Transaction, TxId};
 
@@ -94,10 +94,7 @@ fn main() {
     // Now the same test every chain in the paper takes: crash one node.
     // We crash the primary, of course.
     let mut altered_config = RunConfig::quick(13);
-    altered_config.faults = FaultPlan::Crash {
-        nodes: vec![NodeId::new(0)],
-        at: SimTime::from_secs(10),
-    };
+    altered_config.faults = FaultSchedule::crash(vec![NodeId::new(0)], SimTime::from_secs(10));
     let altered = run_protocol::<PrimaryBackup>(&altered_config, ());
     let sensitivity = match altered.ecdf() {
         Ok(ecdf) if !altered.lost_liveness => Sensitivity::from_ecdfs(&baseline_ecdf, &ecdf),

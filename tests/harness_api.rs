@@ -2,7 +2,7 @@
 //! fault plans, client modes and metric plumbing working together.
 
 use stabl_suite::stabl::metrics::{Ecdf, Sensitivity};
-use stabl_suite::stabl::{Chain, ClientMode, FaultPlan, PaperSetup, RunConfig, ScenarioKind};
+use stabl_suite::stabl::{Chain, ClientMode, FaultSchedule, PaperSetup, RunConfig, ScenarioKind};
 use stabl_suite::stabl_sim::{NodeId, SimDuration, SimTime};
 
 #[test]
@@ -67,10 +67,7 @@ fn fault_plan_on_client_nodes_loses_their_transactions() {
     // checks the harness handles the opposite case gracefully: requests
     // to a crashed node are dropped and counted unresolved.
     let mut config = RunConfig::quick(24);
-    config.faults = FaultPlan::Crash {
-        nodes: vec![NodeId::new(0)],
-        at: SimTime::from_secs(5),
-    };
+    config.faults = FaultSchedule::crash(vec![NodeId::new(0)], SimTime::from_secs(5));
     let result = Chain::Redbelly.run(&config);
     assert!(
         result.unresolved > 0,
@@ -134,11 +131,11 @@ fn longer_partitions_delay_more_transactions() {
         config.horizon = SimTime::from_secs(220);
         config.workload.end = SimTime::from_secs(200);
         config.stall_grace = SimDuration::from_secs(15);
-        config.faults = FaultPlan::Partition {
-            nodes: (6..10).map(NodeId::new).collect(),
-            at: SimTime::from_secs(20),
-            heal_at: SimTime::from_secs(heal_secs),
-        };
+        config.faults = FaultSchedule::partition(
+            (6..10).map(NodeId::new).collect(),
+            SimTime::from_secs(20),
+            SimTime::from_secs(heal_secs),
+        );
         Chain::Redbelly.run(&config)
     };
     let short = run(30);
