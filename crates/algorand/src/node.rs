@@ -175,6 +175,7 @@ impl AlgorandNode {
     }
 
     fn enter_round(&mut self, round: u64, ctx: &mut Ctx<'_, Self>) {
+        ctx.span("ba-round");
         self.round = round;
         self.attempt = 0;
         self.round_start = ctx.now();
@@ -190,6 +191,7 @@ impl AlgorandNode {
     }
 
     fn start_attempt(&mut self, ctx: &mut Ctx<'_, Self>) {
+        ctx.span("sortition");
         let (round, attempt) = (self.round, self.attempt);
         if sortition::is_proposer(
             self.seed,
@@ -291,6 +293,7 @@ impl AlgorandNode {
             return;
         }
         self.soft_voted_attempt = Some(self.attempt);
+        ctx.span("soft-vote");
         let round = self.round;
         ctx.multicast(
             self.conn.connected_peers(),
@@ -307,6 +310,7 @@ impl AlgorandNode {
             // most one block per round, which keeps two quorums from
             // forming on different blocks.
             self.cert_voted = Some(hash);
+            ctx.span("cert-vote");
             let round = self.round;
             ctx.multicast(
                 self.conn.connected_peers(),

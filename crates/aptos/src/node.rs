@@ -182,6 +182,7 @@ impl AptosNode {
     }
 
     fn enter_round(&mut self, height: u64, round: u64, ctx: &mut Ctx<'_, Self>) {
+        ctx.span("bft-round");
         self.height = height;
         self.round = round;
         self.proposal = None;
@@ -200,6 +201,7 @@ impl AptosNode {
     }
 
     fn propose(&mut self, ctx: &mut Ctx<'_, Self>) {
+        ctx.span("propose");
         let txs = self.pool.take_ready(self.config.max_block_txs);
         let parent = self.chain.last().map(Block::hash).unwrap_or(Hash32::ZERO);
         let block = Block::new(parent, self.height, self.id, txs);

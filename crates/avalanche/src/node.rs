@@ -360,6 +360,7 @@ impl AvalancheNode {
                 let height = self.current_height();
                 let block = Block::new(parent, height, self.id, txs);
                 let hash = block.hash();
+                ctx.span("propose");
                 self.throttler.charge_local(
                     ctx.now(),
                     self.config.cost_proposal_base
@@ -393,6 +394,7 @@ impl AvalancheNode {
         if self.outstanding.values().any(|p| p.height == current) {
             return;
         }
+        ctx.span("snowball-poll");
         let id = self.next_poll;
         self.next_poll += 1;
         let peers = self.sample_peers(ctx, self.k_eff);

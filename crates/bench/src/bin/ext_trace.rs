@@ -1,0 +1,86 @@
+//! Observability extension: export the structured event stream of one
+//! crash-scenario run per chain as Perfetto-loadable Chrome-trace JSON
+//! and a greppable JSON-Lines event dump, plus the per-transaction
+//! latency decomposition (queueing / consensus / delivery).
+//!
+//! Artefacts per chain (under `--out`, default `results/`):
+//!
+//! * `trace_<chain>.json` — Chrome trace-event JSON; drop it onto
+//!   <https://ui.perfetto.dev> for a per-validator timeline of
+//!   consensus-phase spans, fault windows, crashes and commits;
+//! * `events_<chain>.jsonl` — every recorded event, one JSON object per
+//!   line;
+//! * `trace_summary.json` — event counters and stage-latency
+//!   decompositions for all chains (deterministic: no wall-clock data).
+//!
+//! The binary also re-runs each cell untraced and asserts the
+//! [`RunResult`]s are byte-identical — tracing must observe, never
+//! steer.
+
+use stabl::{CaptureLevel, Chain, RunResult, ScenarioKind};
+use stabl_bench::{engine::scenario_cores, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let kind = ScenarioKind::Crash;
+    let cores = scenario_cores(kind);
+    let mut summary = Vec::new();
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>8}  stage decomposition (mean)",
+        "chain", "events", "dropped", "commits", "spans"
+    );
+    for chain in Chain::ALL {
+        let config = opts.setup.run_config(chain, kind);
+        let traced = chain.run_traced_with_cpu(&config, cores, CaptureLevel::Full);
+        let untraced: RunResult = chain.run_with_cpu(&config, cores);
+        assert_eq!(
+            serde_json::to_string(&traced.result).expect("serialise traced result"),
+            serde_json::to_string(&untraced).expect("serialise untraced result"),
+            "{chain}: Full-capture run diverged from the untraced run"
+        );
+
+        let lower = chain.name().to_lowercase();
+        opts.write_text(
+            &format!("trace_{lower}.json"),
+            &stabl::observe::chrome_trace_json(&traced.trace, chain.name()),
+        );
+        opts.write_text(
+            &format!("events_{lower}.jsonl"),
+            &stabl::observe::events_jsonl(&traced.trace),
+        );
+
+        let counters = &traced.trace.counters;
+        let stages = &traced.result.stages;
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>8}  {}",
+            chain.name(),
+            traced.trace.events.len(),
+            traced.trace.dropped_events,
+            counters.commits,
+            counters.phase_marks,
+            stages.summary(),
+        );
+        let stage = |h: &stabl::metrics::LatencyHistogram| {
+            serde_json::json!({
+                "samples": h.count(),
+                "mean_s": h.mean_secs(),
+                "p50_upper_s": h.quantile_upper_micros(0.5) as f64 / 1e6,
+                "p99_upper_s": h.quantile_upper_micros(0.99) as f64 / 1e6,
+                "max_s": h.max_micros as f64 / 1e6,
+            })
+        };
+        summary.push(serde_json::json!({
+            "chain": chain.name(),
+            "scenario": kind.name(),
+            "capture": traced.trace.capture.name(),
+            "events_recorded": traced.trace.events.len() as u64,
+            "events_dropped": traced.trace.dropped_events,
+            "counters": serde_json::to_value(counters),
+            "queueing": stage(&stages.queueing),
+            "consensus": stage(&stages.consensus),
+            "delivery": stage(&stages.delivery),
+        }));
+    }
+    opts.write_json("trace_summary.json", &summary);
+    println!("\ntraces verified byte-neutral: Full capture and Off produced identical results");
+}

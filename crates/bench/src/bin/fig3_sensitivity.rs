@@ -6,7 +6,7 @@
 
 use stabl::report::{ScenarioReport, SensitivityRecord};
 use stabl::ScenarioKind;
-use stabl_bench::{run_campaign, sensitivity_table, BenchOpts};
+use stabl_bench::{run_campaign_with_telemetry, sensitivity_table, BenchOpts};
 
 #[derive(serde::Serialize)]
 struct Fig3Row {
@@ -20,7 +20,7 @@ struct Fig3Row {
 fn main() {
     let opts = BenchOpts::from_args();
     eprintln!("Fig. 3: full sensitivity campaign ({})", opts.setup.horizon);
-    let reports = run_campaign(&opts.engine(), &opts.setup);
+    let (reports, telemetry) = run_campaign_with_telemetry(&opts.engine(), &opts.setup);
 
     for (part, kind, title) in [
         ('a', ScenarioKind::Crash, "Fig. 3a — f = t crashes"),
@@ -57,4 +57,7 @@ fn main() {
         })
         .collect();
     opts.write_json("fig3_sensitivity.json", &rows);
+    // Wall-clock data goes to its own artefact: fig3_sensitivity.json
+    // stays byte-identical across machines, jobs counts and cache state.
+    opts.write_json("fig3_telemetry.json", &telemetry);
 }

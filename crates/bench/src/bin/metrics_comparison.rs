@@ -59,8 +59,10 @@ fn main() {
                 &altered.throughput(),
                 fault_s,
                 end_s,
-            );
-            let downtime = downtime_seconds(&altered.throughput(), 10, fault_s, end_s);
+            )
+            .expect("fault window fits the run horizon");
+            let downtime = downtime_seconds(&altered.throughput(), 10, fault_s, end_s)
+                .expect("fault window fits the run horizon");
             let recovery = if kind == ScenarioKind::Transient {
                 RecoveryReport::measure(
                     &altered.throughput(),
@@ -68,6 +70,7 @@ fn main() {
                     setup.recover_at,
                     200,
                 )
+                .expect("fault/recovery marks fit the run horizon")
                 .recovery_seconds
             } else {
                 None

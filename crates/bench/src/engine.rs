@@ -35,8 +35,10 @@ use stabl_types::Sha256;
 /// Bumped whenever the serialised [`RunResult`] layout changes, so stale
 /// cache entries miss instead of misparsing. v2: `RunResult` gained
 /// retry counters; `RunConfig` gained the adversity surface (fault
-/// schedules, Byzantine specs, retry policies).
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// schedules, Byzantine specs, retry policies). v3: `RunResult` gained
+/// the per-stage latency decomposition (`stages`); `SimStats` gained
+/// `dropped_trace_lines`.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// One simulation run the engine can schedule: a display label, the
 /// material its cache key is derived from, and the work itself.
@@ -179,6 +181,54 @@ pub struct EngineSummary {
     pub wall_ms: u128,
 }
 
+/// How one cell of a batch was answered: from the cache or by actually
+/// simulating, and how long that took on its worker.
+///
+/// Wall-clock numbers are machine-dependent by nature, so telemetry is
+/// written to its *own* artefact (`*_telemetry.json`) and never mixed
+/// into the determinism-gated campaign JSON.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CellTelemetry {
+    /// The cell's display label (`chain/scenario[@cores]`).
+    pub label: String,
+    /// Whether the cache answered (no simulation ran).
+    pub cached: bool,
+    /// Time the cell occupied its worker, milliseconds (cache probes
+    /// included).
+    pub wall_ms: u64,
+}
+
+/// Wall-clock telemetry for one whole [`Engine::run_with_telemetry`]
+/// batch: per-cell timings plus pool-level utilisation.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineTelemetry {
+    /// Per-cell outcomes, in submission order.
+    pub cells: Vec<CellTelemetry>,
+    /// Cells answered from the cache.
+    pub cache_hits: u64,
+    /// Cells actually simulated.
+    pub executed: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Wall-clock time of the whole batch, milliseconds.
+    pub wall_ms: u64,
+    /// Fraction of the pool's capacity (`workers × wall_ms`) that was
+    /// busy running cells: 1.0 means no worker ever idled, low values
+    /// mean the batch was starved by stragglers or too few cells.
+    pub utilization: f64,
+}
+
+impl EngineTelemetry {
+    /// The slowest executed cells, most expensive first — the ones worth
+    /// caching, splitting or scheduling early.
+    pub fn slowest(&self, top: usize) -> Vec<&CellTelemetry> {
+        let mut executed: Vec<&CellTelemetry> = self.cells.iter().filter(|c| !c.cached).collect();
+        executed.sort_by(|a, b| b.wall_ms.cmp(&a.wall_ms).then(a.label.cmp(&b.label)));
+        executed.truncate(top);
+        executed
+    }
+}
+
 /// Executes [`Job`]s on a bounded worker pool with an optional
 /// content-addressed result cache.
 #[derive(Clone, Debug)]
@@ -220,6 +270,22 @@ impl Engine {
     /// batch summary, and prints per-cell progress lines and a final
     /// wall-clock/cache-hit summary to stderr.
     pub fn run_all(&self, jobs: Vec<Job>) -> (Vec<RunResult>, EngineSummary) {
+        let (results, telemetry) = self.run_with_telemetry(jobs);
+        let summary = EngineSummary {
+            cells: telemetry.cells.len(),
+            cache_hits: telemetry.cache_hits as usize,
+            executed: telemetry.executed as usize,
+            workers: telemetry.workers as usize,
+            wall_ms: u128::from(telemetry.wall_ms),
+        };
+        (results, summary)
+    }
+
+    /// Runs every job, returning results in submission order plus full
+    /// wall-clock telemetry (per-cell timings, cache hit/miss, worker
+    /// utilisation). Prints per-cell progress lines and a final summary
+    /// to stderr.
+    pub fn run_with_telemetry(&self, jobs: Vec<Job>) -> (Vec<RunResult>, EngineTelemetry) {
         let total = jobs.len();
         let workers = self.workers.min(total).max(1);
         let width = jobs
@@ -228,10 +294,10 @@ impl Engine {
             .max()
             .unwrap_or(0);
         let started = Instant::now();
-        let slots: Vec<OnceLock<RunResult>> = (0..total).map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<(RunResult, bool, u64)>> =
+            (0..total).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let hits = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -242,45 +308,62 @@ impl Engine {
                     let job = &jobs[index];
                     let cell_started = Instant::now();
                     let (result, cached) = self.run_one(job);
-                    if cached {
-                        hits.fetch_add(1, Ordering::Relaxed);
-                    }
+                    let cell_ms = cell_started.elapsed().as_millis() as u64;
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     let status = if cached {
                         "cached".to_owned()
                     } else {
-                        format!("{:.1}s", cell_started.elapsed().as_secs_f64())
+                        format!("{:.1}s", cell_ms as f64 / 1e3)
                     };
                     eprintln!(
                         "[{finished:>3}/{total}] {:<width$}  {status}",
                         job.label,
                         width = width
                     );
-                    assert!(slots[index].set(result).is_ok(), "cell executed twice");
+                    assert!(
+                        slots[index].set((result, cached, cell_ms)).is_ok(),
+                        "cell executed twice"
+                    );
                 });
             }
         });
-        let results: Vec<RunResult> = slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every cell completed"))
-            .collect();
-        let cache_hits = hits.into_inner();
-        let summary = EngineSummary {
-            cells: total,
+        let mut results = Vec::with_capacity(total);
+        let mut cells = Vec::with_capacity(total);
+        for (slot, job) in slots.into_iter().zip(&jobs) {
+            let (result, cached, wall_ms) = slot.into_inner().expect("every cell completed");
+            results.push(result);
+            cells.push(CellTelemetry {
+                label: job.label.clone(),
+                cached,
+                wall_ms,
+            });
+        }
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let cache_hits = cells.iter().filter(|c| c.cached).count() as u64;
+        let busy_ms: u64 = cells.iter().map(|c| c.wall_ms).sum();
+        let capacity_ms = (workers as u64) * wall_ms;
+        let telemetry = EngineTelemetry {
             cache_hits,
-            executed: total - cache_hits,
-            workers,
-            wall_ms: started.elapsed().as_millis(),
+            executed: total as u64 - cache_hits,
+            workers: workers as u64,
+            wall_ms,
+            utilization: if capacity_ms == 0 {
+                1.0
+            } else {
+                (busy_ms as f64 / capacity_ms as f64).min(1.0)
+            },
+            cells,
         };
         eprintln!(
-            "engine: {} cells in {:.1}s — {} cached, {} executed, {} worker(s)",
-            summary.cells,
-            summary.wall_ms as f64 / 1e3,
-            summary.cache_hits,
-            summary.executed,
-            summary.workers,
+            "engine: {} cells in {:.1}s — {} cached, {} executed, {} worker(s), {:.0}% busy",
+            total,
+            telemetry.wall_ms as f64 / 1e3,
+            telemetry.cache_hits,
+            telemetry.executed,
+            telemetry.workers,
+            telemetry.utilization * 100.0,
         );
-        (results, summary)
+        (results, telemetry)
     }
 
     /// Runs (or replays) one job; the flag reports a cache hit.
@@ -400,8 +483,19 @@ impl CampaignCell {
 /// deterministic chain-major, scenario-minor order (the same order the
 /// serial implementation produced).
 pub fn run_campaign(engine: &Engine, setup: &PaperSetup) -> Vec<ScenarioReport> {
+    run_campaign_with_telemetry(engine, setup).0
+}
+
+/// [`run_campaign`], also returning the batch's wall-clock telemetry so
+/// binaries can write it as a *separate* artefact (telemetry is
+/// machine-dependent and must stay out of determinism-gated JSON).
+pub fn run_campaign_with_telemetry(
+    engine: &Engine,
+    setup: &PaperSetup,
+) -> (Vec<ScenarioReport>, EngineTelemetry) {
     let cells = campaign_cells();
-    let results = engine.run(cells.iter().map(|cell| cell.job(setup)).collect());
+    let (results, telemetry) =
+        engine.run_with_telemetry(cells.iter().map(|cell| cell.job(setup)).collect());
     let mut reports = Vec::new();
     for (i, &chain) in Chain::ALL.iter().enumerate() {
         let base = &results[i * CELLS_PER_CHAIN];
@@ -416,7 +510,7 @@ pub fn run_campaign(engine: &Engine, setup: &PaperSetup) -> Vec<ScenarioReport> 
             reports.push(report_from_runs(chain, kind, reference, altered));
         }
     }
-    reports
+    (reports, telemetry)
 }
 
 /// Runs baseline + one altered scenario for every chain and returns the

@@ -36,7 +36,10 @@ pub mod engine;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-pub use engine::{run_campaign, run_part, CampaignCell, Engine, EngineSummary, Job};
+pub use engine::{
+    run_campaign, run_campaign_with_telemetry, run_part, CampaignCell, CellTelemetry, Engine,
+    EngineSummary, EngineTelemetry, Job,
+};
 
 use stabl::report::{RadarRow, ScenarioReport, SensitivityRecord};
 use stabl::{Chain, PaperSetup, RunResult, ScenarioKind};

@@ -2,11 +2,12 @@
 
 use std::fmt;
 
-use crate::harness::{run_protocol, RunConfig, RunResult};
+use crate::harness::{run_protocol_traced, RunConfig, RunResult, TracedRun};
 use stabl_algorand::{AlgorandConfig, AlgorandNode};
 use stabl_aptos::{AptosConfig, AptosNode};
 use stabl_avalanche::{AvalancheConfig, AvalancheNode};
 use stabl_redbelly::{RedbellyConfig, RedbellyNode};
+use stabl_sim::CaptureLevel;
 use stabl_solana::{SolanaConfig, SolanaNode};
 
 /// One of the five blockchains the paper evaluates.
@@ -68,13 +69,36 @@ impl Chain {
     ///
     /// Panics if `cores` is not positive.
     pub fn run_with_cpu(&self, config: &RunConfig, cores: f64) -> RunResult {
+        self.run_traced_with_cpu(config, cores, CaptureLevel::Off)
+            .result
+    }
+
+    /// Runs an experiment recording the structured event stream at
+    /// `capture` (the [`TracedRun::result`] is identical to an untraced
+    /// run's).
+    pub fn run_traced(&self, config: &RunConfig, capture: CaptureLevel) -> TracedRun {
+        self.run_traced_with_cpu(config, 1.0, capture)
+    }
+
+    /// The traced, CPU-scaled general form behind [`Chain::run`],
+    /// [`Chain::run_with_cpu`] and [`Chain::run_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive.
+    pub fn run_traced_with_cpu(
+        &self,
+        config: &RunConfig,
+        cores: f64,
+        capture: CaptureLevel,
+    ) -> TracedRun {
         assert!(cores > 0.0, "cores factor must be positive");
         match self {
             Chain::Algorand => {
                 let mut c = AlgorandConfig::default();
                 c.exec_per_tx = c.exec_per_tx.mul_f64(1.0 / cores);
                 c.exec_per_block = c.exec_per_block.mul_f64(1.0 / cores);
-                run_protocol::<AlgorandNode>(config, c)
+                run_protocol_traced::<AlgorandNode>(config, c, capture)
             }
             Chain::Aptos => {
                 let mut c = AptosConfig::default();
@@ -82,23 +106,23 @@ impl Chain {
                 c.exec_per_block = c.exec_per_block.mul_f64(1.0 / cores);
                 c.validation_cost = c.validation_cost.mul_f64(1.0 / cores);
                 c.stale_exec_cost = c.stale_exec_cost.mul_f64(1.0 / cores);
-                run_protocol::<AptosNode>(config, c)
+                run_protocol_traced::<AptosNode>(config, c, capture)
             }
             Chain::Avalanche => {
                 let mut c = AvalancheConfig::default();
                 c.cpu_quota *= cores;
-                run_protocol::<AvalancheNode>(config, c)
+                run_protocol_traced::<AvalancheNode>(config, c, capture)
             }
             Chain::Redbelly => {
                 let mut c = RedbellyConfig::default();
                 c.exec_per_tx = c.exec_per_tx.mul_f64(1.0 / cores);
                 c.exec_per_block = c.exec_per_block.mul_f64(1.0 / cores);
-                run_protocol::<RedbellyNode>(config, c)
+                run_protocol_traced::<RedbellyNode>(config, c, capture)
             }
             Chain::Solana => {
                 let mut c = SolanaConfig::default();
                 c.exec_per_tx = c.exec_per_tx.mul_f64(1.0 / cores);
-                run_protocol::<SolanaNode>(config, c)
+                run_protocol_traced::<SolanaNode>(config, c, capture)
             }
         }
     }

@@ -5,13 +5,14 @@
 use std::collections::{BTreeMap, HashMap};
 
 use stabl_sim::{
-    ByzConfig, ByzantineSpec, ByzantineWrapper, DetRng, LatencyModel, LatencyTopology, NodeId,
-    PanicRecord, Protocol, SimBuilder, SimDuration, SimStats, SimTime, Simulation,
+    ByzConfig, ByzantineSpec, ByzantineWrapper, CaptureLevel, DetRng, EventCounters, LatencyModel,
+    LatencyTopology, NodeId, PanicRecord, Protocol, SimBuilder, SimDuration, SimEvent, SimStats,
+    SimTime, Simulation, TimedEvent,
 };
 use stabl_types::{Transaction, TxId};
 
 use crate::client::RetryPolicy;
-use crate::metrics::{Ecdf, EcdfError, ThroughputSeries};
+use crate::metrics::{Ecdf, EcdfError, StageLatencies, ThroughputSeries};
 use crate::{ClientMode, FaultSchedule, WorkloadSpec};
 
 /// Full description of one experiment run.
@@ -102,6 +103,11 @@ pub struct RunResult {
     pub give_ups: u64,
     /// The run horizon (for throughput binning).
     pub horizon: SimTime,
+    /// Per-stage latency decomposition of the committed transactions
+    /// (queueing / consensus / delivery). Always computed — it derives
+    /// from harness bookkeeping, not from event capture, so it is part
+    /// of the deterministic artifact at every capture level.
+    pub stages: StageLatencies,
 }
 
 impl RunResult {
@@ -148,27 +154,79 @@ pub fn run_protocol<P>(config: &RunConfig, protocol_config: P::Config) -> RunRes
 where
     P: Protocol<Request = Transaction, Commit = TxId>,
 {
+    run_protocol_traced::<P>(config, protocol_config, CaptureLevel::Off).result
+}
+
+/// One traced experiment: the deterministic [`RunResult`] plus the
+/// captured observability side-channel.
+///
+/// The trace is *observational only*: `result` is byte-identical across
+/// capture levels (the determinism gate tests this), so traced reruns
+/// of a cached campaign cell reproduce the exact cached artifact.
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// What the run measured (identical at every capture level).
+    pub result: RunResult,
+    /// The structured event stream and counters recorded alongside.
+    pub trace: RunTrace,
+}
+
+/// The observability side-channel of one run.
+#[derive(Clone, Debug)]
+pub struct RunTrace {
+    /// The capture level the run recorded at.
+    pub capture: CaptureLevel,
+    /// Number of validator nodes (exporters need the pid/tid layout).
+    pub n: usize,
+    /// The run horizon.
+    pub horizon: SimTime,
+    /// The recorded events, in `(time, seq)` order after sorting —
+    /// kernel events interleaved with harness client events.
+    pub events: Vec<TimedEvent>,
+    /// Per-kind event counts (also maintained at
+    /// [`CaptureLevel::Counters`], where `events` stays empty).
+    pub counters: EventCounters,
+    /// Events evicted from the bounded recorder ring.
+    pub dropped_events: u64,
+}
+
+/// Runs one experiment like [`run_protocol`], additionally recording
+/// the structured event stream at `capture`.
+pub fn run_protocol_traced<P>(
+    config: &RunConfig,
+    protocol_config: P::Config,
+    capture: CaptureLevel,
+) -> TracedRun
+where
+    P: Protocol<Request = Transaction, Commit = TxId>,
+{
     if config.byzantine.is_active() {
         run_inner::<ByzantineWrapper<P>>(
             config,
             ByzConfig::new(protocol_config, config.byzantine.clone()),
+            capture,
         )
     } else {
-        run_inner::<P>(config, protocol_config)
+        run_inner::<P>(config, protocol_config, capture)
     }
 }
 
 /// Moves freshly recorded commits into the `(node, tx) → first commit
-/// instant` index, tracking the latest commit seen anywhere.
+/// instant` index, tracking the latest commit seen anywhere and each
+/// transaction's first commit *anywhere* (the consensus/delivery stage
+/// boundary).
 fn drain_commits<P: Protocol<Commit = TxId>>(
     sim: &mut Simulation<P>,
     first_commit: &mut HashMap<(u32, TxId), SimTime>,
+    earliest_commit: &mut HashMap<TxId, SimTime>,
     last_commit: &mut SimTime,
 ) {
     for record in sim.take_commits() {
         first_commit
             .entry((record.node.as_u32(), record.commit))
             .or_insert(record.time);
+        // Commits drain in kernel time order, so the first insert wins.
+        earliest_commit.entry(record.commit).or_insert(record.time);
         *last_commit = (*last_commit).max(record.time);
     }
 }
@@ -195,13 +253,14 @@ fn resolution(
     Some(observed[quorum - 1])
 }
 
-fn run_inner<P>(config: &RunConfig, protocol_config: P::Config) -> RunResult
+fn run_inner<P>(config: &RunConfig, protocol_config: P::Config, capture: CaptureLevel) -> TracedRun
 where
     P: Protocol<Request = Transaction, Commit = TxId>,
 {
     let front_nodes = config.workload.clients.min(config.n);
     let mut builder = SimBuilder::new(config.n, config.seed);
     builder.latency(config.latency);
+    builder.capture(capture);
     if let Some(topology) = config.topology.clone() {
         builder.topology(topology);
     }
@@ -217,14 +276,27 @@ where
         .iter()
         .map(|s| config.client_mode.nodes_for(s.client, front_nodes))
         .collect();
+    // Earliest instant each submission's request reaches any validator:
+    // the queueing/consensus stage boundary.
+    let mut first_arrival: Vec<SimTime> = vec![SimTime::MAX; submissions.len()];
     for (i, submission) in submissions.iter().enumerate() {
         for node in &contacted[i] {
             let delay = config.latency.sample(&mut client_rng);
-            sim.schedule_request(submission.at + delay, *node, submission.transaction);
+            let arrives = submission.at + delay;
+            first_arrival[i] = first_arrival[i].min(arrives);
+            sim.schedule_request(arrives, *node, submission.transaction);
+            sim.record_event(
+                submission.at,
+                SimEvent::ClientSubmitted {
+                    client: submission.client as u64,
+                    node: *node,
+                },
+            );
         }
     }
 
     let mut first_commit: HashMap<(u32, TxId), SimTime> = HashMap::new();
+    let mut earliest_commit: HashMap<TxId, SimTime> = HashMap::new();
     let mut last_commit = SimTime::ZERO;
     let mut retries = 0u64;
     let mut give_ups = 0u64;
@@ -244,7 +316,12 @@ where
         while let Some((&deadline, _)) = agenda.iter().next() {
             let batch = agenda.remove(&deadline).expect("peeked key exists");
             sim.run_until(deadline);
-            drain_commits(&mut sim, &mut first_commit, &mut last_commit);
+            drain_commits(
+                &mut sim,
+                &mut first_commit,
+                &mut earliest_commit,
+                &mut last_commit,
+            );
             for (i, attempt) in batch {
                 let submission = &submissions[i];
                 let id = submission.transaction.id();
@@ -261,6 +338,12 @@ where
                 }
                 if attempt >= policy.max_retries {
                     give_ups += 1;
+                    sim.record_event(
+                        deadline,
+                        SimEvent::ClientGaveUp {
+                            client: submission.client as u64,
+                        },
+                    );
                     continue;
                 }
                 retries += 1;
@@ -274,7 +357,16 @@ where
                     .nodes_for(submission.client + shift, front_nodes)
                 {
                     let delay = config.latency.sample(&mut client_rng);
-                    sim.schedule_request(resubmit_at + delay, node, submission.transaction);
+                    let arrives = resubmit_at + delay;
+                    first_arrival[i] = first_arrival[i].min(arrives);
+                    sim.schedule_request(arrives, node, submission.transaction);
+                    sim.record_event(
+                        resubmit_at,
+                        SimEvent::ClientRetried {
+                            client: submission.client as u64,
+                            node,
+                        },
+                    );
                     if !contacted[i].contains(&node) {
                         contacted[i].push(node);
                     }
@@ -290,11 +382,17 @@ where
         }
     }
     sim.run_until(config.horizon);
-    drain_commits(&mut sim, &mut first_commit, &mut last_commit);
+    drain_commits(
+        &mut sim,
+        &mut first_commit,
+        &mut earliest_commit,
+        &mut last_commit,
+    );
 
     let mut latencies = Vec::with_capacity(submissions.len());
     let mut commit_times = Vec::with_capacity(submissions.len());
     let mut unresolved = 0usize;
+    let mut stages = StageLatencies::new();
     for (i, submission) in submissions.iter().enumerate() {
         let id = submission.transaction.id();
         // Observations the client can actually collect: Byzantine RPC
@@ -309,6 +407,17 @@ where
             Some(resolved_at) => {
                 latencies.push((resolved_at - submission.at).as_secs_f64());
                 commit_times.push(resolved_at);
+                // Stage split: submit → first arrival → first commit
+                // anywhere → the client's quorum resolution. Saturating
+                // since a commit can only follow some arrival, but the
+                // *observed* earliest pair may interleave under retries.
+                let arrived = first_arrival[i];
+                let committed = earliest_commit.get(&id).copied().unwrap_or(resolved_at);
+                stages.record(
+                    arrived.saturating_since(submission.at),
+                    committed.saturating_since(arrived),
+                    resolved_at.saturating_since(committed),
+                );
             }
             None => unresolved += 1,
         }
@@ -316,7 +425,7 @@ where
 
     let lost_liveness = unresolved > 0 && last_commit + config.stall_grace < config.horizon;
 
-    RunResult {
+    let result = RunResult {
         latencies,
         commit_times,
         submitted: submissions.len(),
@@ -327,6 +436,25 @@ where
         retries,
         give_ups,
         horizon: config.horizon,
+        stages,
+    };
+    let dropped_events = sim.recorder().dropped_events();
+    let counters = sim.event_counters();
+    let mut events = sim.take_events();
+    // Harness client events were recorded at scheduling time, before
+    // the kernel events they precede on the simulated clock: re-sort
+    // into timeline order (seq breaks ties deterministically).
+    events.sort_by_key(|e| (e.time, e.seq));
+    TracedRun {
+        result,
+        trace: RunTrace {
+            capture,
+            n: config.n,
+            horizon: config.horizon,
+            events,
+            counters,
+            dropped_events,
+        },
     }
 }
 
@@ -620,6 +748,48 @@ mod tests {
             prop_assert_eq!(json_a, json_b, "same seed must replay byte-identically");
             prop_assert!(drop_pct == 0 || a.stats.messages_dropped_link > 0);
             prop_assert!(dup_pct == 0 || a.stats.messages_duplicated_link > 0);
+        }
+
+        /// Tracing observes, never steers: across every capture level
+        /// the serialised RunResult is byte-identical for arbitrary
+        /// fault schedules, while the recorder's own output grows
+        /// monotonically with the level.
+        #[test]
+        fn capture_level_never_changes_the_result(
+            (seed, crash_node, drop_pct) in (0u64..1_000, 5u32..10, 0u8..50),
+            (crash_at, heal_at) in (1u64..4, 4u64..7),
+        ) {
+            let mut config = RunConfig::quick(seed);
+            config.horizon = SimTime::from_secs(8);
+            config.workload.end = SimTime::from_secs(6);
+            config.workload.tps_per_client = 10;
+            config.stall_grace = SimDuration::from_secs(3);
+            config.faults = FaultSchedule::crash(
+                vec![NodeId::new(crash_node)],
+                SimTime::from_secs(crash_at),
+            )
+            .and(crate::FaultAction::LinkDegrade {
+                fault: stabl_sim::LinkFault::all().with_drop(f64::from(drop_pct) / 100.0),
+                at: SimTime::from_secs(crash_at),
+                until: SimTime::from_secs(heal_at),
+            });
+            config.retry = Some(tight_retry());
+            let off = run_protocol_traced::<Instant>(&config, (), CaptureLevel::Off);
+            let events = run_protocol_traced::<Instant>(&config, (), CaptureLevel::Events);
+            let full = run_protocol_traced::<Instant>(&config, (), CaptureLevel::Full);
+            let json_off = serde_json::to_string(&off.result).expect("serialise");
+            let json_events = serde_json::to_string(&events.result).expect("serialise");
+            let json_full = serde_json::to_string(&full.result).expect("serialise");
+            prop_assert_eq!(&json_off, &json_events, "Events capture steered the run");
+            prop_assert_eq!(&json_off, &json_full, "Full capture steered the run");
+            prop_assert!(off.trace.events.is_empty(), "Off must record nothing");
+            prop_assert_eq!(off.trace.counters.total(), 0);
+            prop_assert!(
+                events.trace.events.len() + events.trace.dropped_events as usize
+                    <= full.trace.events.len() + full.trace.dropped_events as usize,
+                "Full must record at least what Events records"
+            );
+            prop_assert!(full.trace.counters.commits > 0, "the run commits");
         }
     }
 }

@@ -35,6 +35,7 @@ mod client;
 mod faults;
 mod harness;
 pub mod metrics;
+pub mod observe;
 pub mod report;
 mod scenario;
 mod workload;
@@ -42,10 +43,10 @@ mod workload;
 pub use chains::Chain;
 pub use client::{ClientMode, RetryPolicy};
 pub use faults::{FaultAction, FaultError, FaultPlan, FaultSchedule};
-pub use harness::{run_protocol, RunConfig, RunResult};
+pub use harness::{run_protocol, run_protocol_traced, RunConfig, RunResult, RunTrace, TracedRun};
 pub use scenario::{report_from_runs, PaperSetup, ScenarioKind};
 pub use workload::{Submission, WorkloadShape, WorkloadSpec};
 
 // The message-level adversity surface, re-exported so campaign configs
 // can be written against one crate.
-pub use stabl_sim::{ByzantineBehavior, ByzantineSpec, LinkFault};
+pub use stabl_sim::{ByzantineBehavior, ByzantineSpec, CaptureLevel, LinkFault, SimEvent};

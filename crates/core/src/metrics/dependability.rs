@@ -8,51 +8,116 @@
 //! subsumes both amplitude and duration; implementing the classics makes
 //! that comparison runnable (`metrics_comparison` in `stabl-bench`).
 
+use std::fmt;
+
 use stabl_sim::SimTime;
 
 use crate::metrics::ThroughputSeries;
 
+/// A window argument that does not fit the throughput series it is
+/// applied to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowError {
+    /// `from_sec >= to_sec`: the window selects no seconds.
+    Empty {
+        /// The window's start second.
+        from_sec: usize,
+        /// The window's (exclusive) end second.
+        to_sec: usize,
+    },
+    /// The window reaches past the end of the series.
+    OutOfRange {
+        /// The window's (exclusive) end second.
+        to_sec: usize,
+        /// The series length in seconds.
+        len: usize,
+    },
+    /// Fault/recovery marks that are not ordered strictly inside the
+    /// series (`fault < recover < len` is required).
+    BadMarks {
+        /// The fault injection second.
+        fault_sec: usize,
+        /// The recovery second.
+        recover_sec: usize,
+        /// The series length in seconds.
+        len: usize,
+    },
+}
+
+impl fmt::Display for WindowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowError::Empty { from_sec, to_sec } => {
+                write!(f, "empty window [{from_sec}, {to_sec})")
+            }
+            WindowError::OutOfRange { to_sec, len } => {
+                write!(f, "window ends at {to_sec}s but the series has {len}s")
+            }
+            WindowError::BadMarks {
+                fault_sec,
+                recover_sec,
+                len,
+            } => write!(
+                f,
+                "marks fault={fault_sec}s recover={recover_sec}s outside the {len}s series"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
+/// Validates `[from_sec, to_sec)` against a series of `len` seconds.
+fn check_window(from_sec: usize, to_sec: usize, len: usize) -> Result<(), WindowError> {
+    if from_sec >= to_sec {
+        return Err(WindowError::Empty { from_sec, to_sec });
+    }
+    if to_sec > len {
+        return Err(WindowError::OutOfRange { to_sec, len });
+    }
+    Ok(())
+}
+
 /// Seconds with throughput below `threshold_tps` inside the window
 /// `[from_sec, to_sec)` — the classic *downtime* metric.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the window is empty or out of range.
+/// Fails if the window is empty or out of range.
 pub fn downtime_seconds(
     series: &ThroughputSeries,
     threshold_tps: u32,
     from_sec: usize,
     to_sec: usize,
-) -> usize {
-    assert!(
-        from_sec < to_sec && to_sec <= series.bins().len(),
-        "bad window"
-    );
-    series.bins()[from_sec..to_sec]
+) -> Result<usize, WindowError> {
+    check_window(from_sec, to_sec, series.bins().len())?;
+    Ok(series.bins()[from_sec..to_sec]
         .iter()
         .filter(|tps| **tps < threshold_tps)
-        .count()
+        .count())
 }
 
 /// Relative mean-throughput drop of the altered run versus the baseline
 /// over `[from_sec, to_sec)`: `1 − altered/baseline`, clamped at zero —
 /// the classic *throughput* metric (positive = the alteration hurt).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the window is empty or out of range for either series.
+/// Fails if the window is empty or out of range for either series.
 pub fn throughput_drop(
     baseline: &ThroughputSeries,
     altered: &ThroughputSeries,
     from_sec: usize,
     to_sec: usize,
-) -> f64 {
+) -> Result<f64, WindowError> {
+    check_window(from_sec, to_sec, baseline.bins().len())?;
+    check_window(from_sec, to_sec, altered.bins().len())?;
     let base = baseline.mean_over(from_sec, to_sec);
     let alt = altered.mean_over(from_sec, to_sec);
     if base <= 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
-    (1.0 - alt / base).max(0.0)
+    Ok((1.0 - alt / base).max(0.0))
 }
 
 /// Recovery accounting of one altered run around a fault window.
@@ -73,22 +138,25 @@ impl RecoveryReport {
     /// recovered at `recover_at`, against an offered rate of
     /// `offered_tps`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `fault_at < recover_at < horizon` of the series.
+    /// Fails unless `fault_at < recover_at < horizon` of the series.
     pub fn measure(
         series: &ThroughputSeries,
         fault_at: SimTime,
         recover_at: SimTime,
         offered_tps: u32,
-    ) -> RecoveryReport {
+    ) -> Result<RecoveryReport, WindowError> {
         let fault_s = (fault_at.as_micros() / 1_000_000) as usize;
         let recover_s = (recover_at.as_micros() / 1_000_000) as usize;
         let end = series.bins().len();
-        assert!(
-            fault_s < recover_s && recover_s < end,
-            "marks outside the series"
-        );
+        if fault_s >= recover_s || recover_s >= end {
+            return Err(WindowError::BadMarks {
+                fault_sec: fault_s,
+                recover_sec: recover_s,
+                len: end,
+            });
+        }
         // "Near zero": below 5% of the offered rate.
         let floor = (offered_tps / 20).max(1);
         let outage_seconds = series.bins()[fault_s..recover_s]
@@ -98,11 +166,11 @@ impl RecoveryReport {
         let recovery_seconds = series
             .first_at_least(recover_s, offered_tps)
             .map(|s| s - recover_s);
-        RecoveryReport {
+        Ok(RecoveryReport {
             outage_seconds,
             recovery_seconds,
             catchup_peak_tps: series.peak_over(recover_s, end),
-        }
+        })
     }
 }
 
@@ -124,24 +192,26 @@ mod tests {
     #[test]
     fn downtime_counts_quiet_seconds() {
         let s = series(&[200, 200, 0, 0, 5, 200]);
-        assert_eq!(downtime_seconds(&s, 10, 0, 6), 3);
-        assert_eq!(downtime_seconds(&s, 10, 0, 2), 0);
+        assert_eq!(downtime_seconds(&s, 10, 0, 6), Ok(3));
+        assert_eq!(downtime_seconds(&s, 10, 0, 2), Ok(0));
     }
 
     #[test]
     fn throughput_drop_is_relative_and_clamped() {
         let base = series(&[200, 200, 200, 200]);
         let half = series(&[100, 100, 100, 100]);
-        assert!((throughput_drop(&base, &half, 0, 4) - 0.5).abs() < 1e-9);
+        let drop = throughput_drop(&base, &half, 0, 4).expect("valid window");
+        assert!((drop - 0.5).abs() < 1e-9);
         // An improvement clamps to zero rather than going negative.
-        assert_eq!(throughput_drop(&half, &base, 0, 4), 0.0);
+        assert_eq!(throughput_drop(&half, &base, 0, 4), Ok(0.0));
     }
 
     #[test]
     fn recovery_report_reads_the_timeline() {
         // Fault at 2 s, recovery at 5 s, catch-up burst then steady.
         let s = series(&[200, 200, 0, 0, 0, 0, 900, 200, 200, 200]);
-        let report = RecoveryReport::measure(&s, SimTime::from_secs(2), SimTime::from_secs(5), 200);
+        let report = RecoveryReport::measure(&s, SimTime::from_secs(2), SimTime::from_secs(5), 200)
+            .expect("valid marks");
         assert_eq!(report.outage_seconds, 3);
         assert_eq!(
             report.recovery_seconds,
@@ -154,15 +224,35 @@ mod tests {
     #[test]
     fn recovery_never_happening_is_none() {
         let s = series(&[200, 200, 0, 0, 0, 0, 0, 0]);
-        let report = RecoveryReport::measure(&s, SimTime::from_secs(2), SimTime::from_secs(5), 200);
+        let report = RecoveryReport::measure(&s, SimTime::from_secs(2), SimTime::from_secs(5), 200)
+            .expect("valid marks");
         assert_eq!(report.recovery_seconds, None);
         assert_eq!(report.catchup_peak_tps, 0);
     }
 
     #[test]
-    #[should_panic(expected = "marks outside")]
-    fn bad_marks_rejected() {
+    fn bad_windows_are_typed_errors() {
         let s = series(&[200, 200]);
-        let _ = RecoveryReport::measure(&s, SimTime::from_secs(1), SimTime::from_secs(5), 200);
+        assert_eq!(
+            downtime_seconds(&s, 10, 1, 1),
+            Err(WindowError::Empty {
+                from_sec: 1,
+                to_sec: 1
+            })
+        );
+        assert_eq!(
+            downtime_seconds(&s, 10, 0, 5),
+            Err(WindowError::OutOfRange { to_sec: 5, len: 2 })
+        );
+        assert_eq!(
+            RecoveryReport::measure(&s, SimTime::from_secs(1), SimTime::from_secs(5), 200),
+            Err(WindowError::BadMarks {
+                fault_sec: 1,
+                recover_sec: 5,
+                len: 2
+            })
+        );
+        let msg = WindowError::OutOfRange { to_sec: 5, len: 2 }.to_string();
+        assert!(msg.contains("5s"), "{msg}");
     }
 }

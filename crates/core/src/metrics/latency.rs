@@ -1,0 +1,305 @@
+//! Per-transaction latency decomposition: fixed log-scale histograms
+//! and the queueing/consensus/delivery stage split.
+//!
+//! The paper's sensitivity score compares whole-latency distributions;
+//! this module splits each committed transaction's latency into the
+//! pipeline stage that produced it, so a sensitivity spike can be
+//! attributed to *where* time was spent:
+//!
+//! * **queueing** — submission to the first arrival of the request at a
+//!   validator (client link + retry backoff time),
+//! * **consensus** — first arrival to the first commit anywhere in the
+//!   network (the protocol's agreement latency),
+//! * **delivery** — first commit to the client's resolution instant
+//!   (commit propagation to the client's quorum).
+//!
+//! Histograms use fixed power-of-two buckets in integer microseconds,
+//! so aggregation is exact, deterministic and serialisation-stable —
+//! no floating-point binning that could differ across platforms.
+
+use stabl_sim::SimDuration;
+
+/// Number of power-of-two buckets: bucket `i` covers `[2^i, 2^(i+1))`
+/// microseconds, so the histogram spans 1 µs to ~4295 s — wider than
+/// any simulated run.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed log-scale latency histogram (see [`HISTOGRAM_BUCKETS`]).
+///
+/// # Examples
+///
+/// ```
+/// use stabl::metrics::LatencyHistogram;
+/// use stabl_sim::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// h.record(SimDuration::from_millis(3));
+/// h.record(SimDuration::from_millis(200));
+/// assert_eq!(h.count(), 2);
+/// assert!(h.quantile_upper_micros(0.5) >= 3_000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts (`buckets[i]` covers `[2^i, 2^(i+1))` µs;
+    /// sub-microsecond samples land in bucket 0).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all recorded samples, microseconds.
+    pub total_micros: u64,
+    /// The largest recorded sample, microseconds.
+    pub max_micros: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    /// The bucket index a span of `micros` microseconds falls into.
+    pub fn bucket_index(micros: u64) -> usize {
+        if micros == 0 {
+            return 0;
+        }
+        ((63 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The `[low, high)` microsecond bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= HISTOGRAM_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            (0, 2)
+        } else {
+            (1u64 << i, 1u64 << (i + 1))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        let micros = sample.as_micros();
+        self.buckets[Self::bucket_index(micros)] += 1;
+        self.count += 1;
+        self.total_micros = self.total_micros.saturating_add(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the recorded samples, seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_micros as f64 / self.count as f64 / 1e6
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile sample —
+    /// a conservative estimate accurate to one power of two. Clamps `q`
+    /// into `[0, 1]`; returns 0 when empty.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_bounds(i).1;
+            }
+        }
+        Self::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_micros = self.total_micros.saturating_add(other.total_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// The per-stage latency decomposition of one run's committed
+/// transactions (see the module docs for the stage boundaries).
+///
+/// Computed for every run regardless of capture level — the stages come
+/// from bookkeeping the harness already does, so they are part of the
+/// deterministic [`RunResult`] artifact.
+///
+/// [`RunResult`]: crate::RunResult
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StageLatencies {
+    /// Submission → first request arrival at a validator.
+    pub queueing: LatencyHistogram,
+    /// First arrival → first commit anywhere.
+    pub consensus: LatencyHistogram,
+    /// First commit → the client's resolution instant.
+    pub delivery: LatencyHistogram,
+}
+
+impl StageLatencies {
+    /// An empty decomposition.
+    pub fn new() -> StageLatencies {
+        StageLatencies::default()
+    }
+
+    /// Records one committed transaction's stage split.
+    pub fn record(&mut self, queueing: SimDuration, consensus: SimDuration, delivery: SimDuration) {
+        self.queueing.record(queueing);
+        self.consensus.record(consensus);
+        self.delivery.record(delivery);
+    }
+
+    /// Transactions decomposed (every stage histogram has this count).
+    pub fn samples(&self) -> u64 {
+        self.queueing.count()
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &StageLatencies) {
+        self.queueing.merge(&other.queueing);
+        self.consensus.merge(&other.consensus);
+        self.delivery.merge(&other.delivery);
+    }
+
+    /// One human-readable summary line per stage: mean and p99 upper
+    /// bound, e.g. for EXPERIMENTS.md tables.
+    pub fn summary(&self) -> String {
+        let line = |name: &str, h: &LatencyHistogram| {
+            format!(
+                "{name}: mean {:.4}s p99<={:.4}s max {:.4}s",
+                h.mean_secs(),
+                h.quantile_upper_micros(0.99) as f64 / 1e6,
+                h.max_micros as f64 / 1e6,
+            )
+        };
+        format!(
+            "{} | {} | {}",
+            line("queueing", &self.queueing),
+            line("consensus", &self.consensus),
+            line("delivery", &self.delivery),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(1_000_000), 19);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 31);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_axis() {
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let (low, high) = LatencyHistogram::bucket_bounds(i);
+            assert_eq!(LatencyHistogram::bucket_index(low), i);
+            assert_eq!(LatencyHistogram::bucket_index(high - 1), i);
+            assert_eq!(LatencyHistogram::bucket_index(high), i + 1);
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_and_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_millis(1));
+        h.record(SimDuration::from_millis(4));
+        h.record(SimDuration::from_secs(2));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total_micros, 1_000 + 4_000 + 2_000_000);
+        assert_eq!(h.max_micros, 2_000_000);
+        assert!((h.mean_secs() - 0.668_333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_the_sample() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(SimDuration::from_millis(1)); // 1000 µs → bucket 9 ([512, 1024))
+        }
+        h.record(SimDuration::from_secs(10));
+        // p50 sits among the 1 ms samples.
+        let p50 = h.quantile_upper_micros(0.5);
+        assert!((1_000..=2_048).contains(&p50), "p50 bound {p50}");
+        // p100 must cover the 10 s outlier.
+        assert!(h.quantile_upper_micros(1.0) >= 10_000_000);
+        assert_eq!(LatencyHistogram::new().quantile_upper_micros(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_samplewise_union() {
+        let mut a = LatencyHistogram::new();
+        a.record(SimDuration::from_millis(2));
+        let mut b = LatencyHistogram::new();
+        b.record(SimDuration::from_secs(1));
+        b.record(SimDuration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_micros, 1_000_000);
+        assert_eq!(a.total_micros, 1_004_000);
+    }
+
+    #[test]
+    fn stage_latencies_record_and_summarise() {
+        let mut stages = StageLatencies::new();
+        stages.record(
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(8),
+        );
+        assert_eq!(stages.samples(), 1);
+        let summary = stages.summary();
+        assert!(summary.contains("queueing"), "{summary}");
+        assert!(summary.contains("consensus"), "{summary}");
+        assert!(summary.contains("delivery"), "{summary}");
+    }
+
+    #[test]
+    fn stage_latencies_roundtrip_through_json() {
+        let mut stages = StageLatencies::new();
+        stages.record(
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(10),
+        );
+        let json = serde_json::to_string(&stages).expect("serialise");
+        let back: StageLatencies = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, stages);
+    }
+}

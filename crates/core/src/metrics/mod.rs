@@ -3,8 +3,10 @@
 
 mod dependability;
 mod ecdf;
+mod latency;
 mod throughput;
 
-pub use dependability::{downtime_seconds, throughput_drop, RecoveryReport};
+pub use dependability::{downtime_seconds, throughput_drop, RecoveryReport, WindowError};
 pub use ecdf::{Ecdf, EcdfError, Sensitivity};
+pub use latency::{LatencyHistogram, StageLatencies, HISTOGRAM_BUCKETS};
 pub use throughput::ThroughputSeries;

@@ -196,6 +196,7 @@ impl RedbellyNode {
     }
 
     fn enter_height(&mut self, height: u64, ctx: &mut Ctx<'_, Self>) {
+        ctx.span("dbft-height");
         self.height = height;
         self.heights.retain(|h, _| *h >= height);
         let now = ctx.now();
@@ -243,6 +244,7 @@ impl RedbellyNode {
     }
 
     fn start_instance(&mut self, height: u64, slot: u32, est: bool, ctx: &mut Ctx<'_, Self>) {
+        ctx.span("binary-consensus");
         let me = self.id;
         let state = self.height_state(height);
         let actions = state.instances[slot as usize].start(me, est);

@@ -210,6 +210,7 @@ impl<P: Protocol> ByzantineWrapper<P> {
                 effects: &mut effects,
                 next_timer: &mut *ctx.next_timer,
                 tracing: ctx.tracing,
+                capture: ctx.capture,
             };
             f(&mut self.inner, &mut inner_ctx);
         }
@@ -261,6 +262,7 @@ impl<P: Protocol> ByzantineWrapper<P> {
                 Effect::Commit(commit) => ctx.effects.push(Effect::Commit(commit)),
                 Effect::Panic(reason) => ctx.effects.push(Effect::Panic(reason)),
                 Effect::Log(line) => ctx.effects.push(Effect::Log(line)),
+                Effect::Span(phase) => ctx.effects.push(Effect::Span(phase)),
             }
         }
         if let Some(msg) = fresh {
@@ -287,6 +289,7 @@ impl<P: Protocol> Protocol for ByzantineWrapper<P> {
                 effects: &mut effects,
                 next_timer: &mut *ctx.next_timer,
                 tracing: ctx.tracing,
+                capture: ctx.capture,
             };
             P::new(id, n, &config.inner, &mut inner_ctx)
         };

@@ -52,6 +52,7 @@ mod serde_support;
 mod sim;
 mod stats;
 mod time;
+mod trace;
 
 pub use byzantine::{ByzConfig, ByzantineBehavior, ByzantineSpec, ByzantineWrapper};
 pub use conn::{ConnAction, ConnConfig, ConnectionManager};
@@ -62,9 +63,13 @@ pub use net::{
 pub use protocol::{Ctx, Protocol, TimerId};
 pub use resource::CpuMeter;
 pub use rng::DetRng;
-pub use sim::{millis, secs, NodeStatus, SimBuilder, Simulation};
+pub use sim::{millis, secs, NodeStatus, SimBuilder, Simulation, DEFAULT_TRACE_CAP};
 pub use stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    CaptureLevel, DropCause, EventCounters, EventRecorder, FaultKind, SimEvent, TimedEvent,
+    DEFAULT_EVENT_CAP,
+};
 
 #[cfg(test)]
 mod kernel_prop_tests {

@@ -3,7 +3,7 @@
 
 use std::fmt::Debug;
 
-use crate::{DetRng, NodeId, SimDuration, SimTime};
+use crate::{CaptureLevel, DetRng, NodeId, SimDuration, SimTime};
 
 /// Handle to a pending timer, usable to cancel it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,6 +72,7 @@ pub(crate) enum Effect<P: Protocol> {
     Commit(P::Commit),
     Panic(String),
     Log(String),
+    Span(&'static str),
 }
 
 /// The execution context passed to every [`Protocol`] callback.
@@ -87,6 +88,7 @@ pub struct Ctx<'a, P: Protocol> {
     pub(crate) effects: &'a mut Vec<Effect<P>>,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) tracing: bool,
+    pub(crate) capture: CaptureLevel,
 }
 
 impl<'a, P: Protocol> Ctx<'a, P> {
@@ -170,11 +172,29 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         self.effects.push(Effect::Panic(reason.into()));
     }
 
-    /// Records a diagnostic line in the simulation trace (only retained
-    /// when tracing is enabled on the simulation).
+    /// Records a diagnostic line in the simulation trace (retained when
+    /// tracing is enabled on the simulation, and recorded as a typed
+    /// [`SimEvent::Log`] under [`CaptureLevel::Full`]).
+    ///
+    /// [`SimEvent::Log`]: crate::SimEvent::Log
     pub fn log(&mut self, line: impl AsRef<str>) {
-        if self.tracing {
+        if self.tracing || self.capture == CaptureLevel::Full {
             self.effects.push(Effect::Log(line.as_ref().to_owned()));
+        }
+    }
+
+    /// Marks this node entering the consensus phase `phase` (e.g.
+    /// `"sortition"`, `"snowball_poll"`, `"leader_slot"`), recorded as a
+    /// typed [`SimEvent::Phase`] from [`CaptureLevel::Events`] up.
+    ///
+    /// A no-op below that level, so protocols can mark phases
+    /// unconditionally without string formatting or hot-loop cost; the
+    /// mark never perturbs determinism (it only records).
+    ///
+    /// [`SimEvent::Phase`]: crate::SimEvent::Phase
+    pub fn span(&mut self, phase: &'static str) {
+        if self.capture >= CaptureLevel::Events {
+            self.effects.push(Effect::Span(phase));
         }
     }
 }

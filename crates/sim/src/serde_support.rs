@@ -12,8 +12,8 @@
 use serde::{Content, DeError, Deserialize, Serialize};
 
 use crate::{
-    ByzantineBehavior, ByzantineSpec, LinkFault, NodeId, PanicRecord, SimDuration, SimStats,
-    SimTime,
+    ByzantineBehavior, ByzantineSpec, CaptureLevel, EventCounters, LinkFault, NodeId, PanicRecord,
+    SimDuration, SimEvent, SimStats, SimTime, TimedEvent,
 };
 
 impl Serialize for SimTime {
@@ -114,6 +114,10 @@ impl Serialize for SimStats {
                 "events_processed".to_owned(),
                 self.events_processed.to_content(),
             ),
+            (
+                "dropped_trace_lines".to_owned(),
+                self.dropped_trace_lines.to_content(),
+            ),
         ])
     }
 }
@@ -136,6 +140,167 @@ impl Deserialize for SimStats {
             requests_delivered: serde::__private::field(content, "requests_delivered")?,
             requests_dropped: serde::__private::field(content, "requests_dropped")?,
             events_processed: serde::__private::field(content, "events_processed")?,
+            dropped_trace_lines: serde::__private::field(content, "dropped_trace_lines")?,
+        })
+    }
+}
+
+impl Serialize for CaptureLevel {
+    fn to_content(&self) -> Content {
+        Content::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for CaptureLevel {
+    fn from_content(content: &Content) -> Result<CaptureLevel, DeError> {
+        match content {
+            Content::Str(s) => CaptureLevel::ALL
+                .into_iter()
+                .find(|level| level.name() == s.as_str())
+                .ok_or_else(|| DeError::custom(format!("unknown capture level {s:?}"))),
+            _ => Err(DeError::custom("expected capture level string")),
+        }
+    }
+}
+
+impl Serialize for SimEvent {
+    /// One flat map per event, tagged by `kind`, so a JSON-Lines dump is
+    /// self-describing: `{"kind":"message_dropped","from":0,"to":3,
+    /// "cause":"partition"}`.
+    fn to_content(&self) -> Content {
+        let mut fields = vec![("kind".to_owned(), Content::Str(self.kind().to_owned()))];
+        match self {
+            SimEvent::NodeCrashed { node }
+            | SimEvent::NodeRestarted { node }
+            | SimEvent::NodePanicked { node }
+            | SimEvent::TimerFired { node }
+            | SimEvent::TimerStale { node }
+            | SimEvent::RequestDelivered { node }
+            | SimEvent::RequestDropped { node }
+            | SimEvent::Committed { node } => {
+                fields.push(("node".to_owned(), node.to_content()));
+            }
+            SimEvent::MessageSent { from, to } | SimEvent::MessageDelivered { from, to } => {
+                fields.push(("from".to_owned(), from.to_content()));
+                fields.push(("to".to_owned(), to.to_content()));
+            }
+            SimEvent::MessageDropped { from, to, cause } => {
+                fields.push(("from".to_owned(), from.to_content()));
+                fields.push(("to".to_owned(), to.to_content()));
+                fields.push(("cause".to_owned(), Content::Str(cause.name().to_owned())));
+            }
+            SimEvent::FaultActivated { kind } | SimEvent::FaultCleared { kind } => {
+                fields.push(("fault".to_owned(), Content::Str(kind.name().to_owned())));
+            }
+            SimEvent::ClientSubmitted { client, node }
+            | SimEvent::ClientRetried { client, node } => {
+                fields.push(("client".to_owned(), client.to_content()));
+                fields.push(("node".to_owned(), node.to_content()));
+            }
+            SimEvent::ClientGaveUp { client } => {
+                fields.push(("client".to_owned(), client.to_content()));
+            }
+            SimEvent::Phase { node, phase } => {
+                fields.push(("node".to_owned(), node.to_content()));
+                fields.push(("phase".to_owned(), Content::Str((*phase).to_owned())));
+            }
+            SimEvent::Log { node, line } => {
+                fields.push(("node".to_owned(), node.to_content()));
+                fields.push(("line".to_owned(), line.to_content()));
+            }
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Serialize for TimedEvent {
+    /// Flattened alongside the event's own fields: `{"t_us":…,"seq":…,
+    /// "kind":…,…}`.
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("t_us".to_owned(), self.time.to_content()),
+            ("seq".to_owned(), self.seq.to_content()),
+        ];
+        if let Content::Map(event_fields) = self.event.to_content() {
+            fields.extend(event_fields);
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Serialize for EventCounters {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("node_crashes".to_owned(), self.node_crashes.to_content()),
+            ("node_restarts".to_owned(), self.node_restarts.to_content()),
+            ("node_panics".to_owned(), self.node_panics.to_content()),
+            ("messages_sent".to_owned(), self.messages_sent.to_content()),
+            (
+                "messages_delivered".to_owned(),
+                self.messages_delivered.to_content(),
+            ),
+            (
+                "messages_dropped".to_owned(),
+                self.messages_dropped.to_content(),
+            ),
+            ("timers_fired".to_owned(), self.timers_fired.to_content()),
+            ("timers_stale".to_owned(), self.timers_stale.to_content()),
+            (
+                "requests_delivered".to_owned(),
+                self.requests_delivered.to_content(),
+            ),
+            (
+                "requests_dropped".to_owned(),
+                self.requests_dropped.to_content(),
+            ),
+            (
+                "faults_activated".to_owned(),
+                self.faults_activated.to_content(),
+            ),
+            (
+                "faults_cleared".to_owned(),
+                self.faults_cleared.to_content(),
+            ),
+            (
+                "client_submits".to_owned(),
+                self.client_submits.to_content(),
+            ),
+            (
+                "client_retries".to_owned(),
+                self.client_retries.to_content(),
+            ),
+            (
+                "client_give_ups".to_owned(),
+                self.client_give_ups.to_content(),
+            ),
+            ("commits".to_owned(), self.commits.to_content()),
+            ("phase_marks".to_owned(), self.phase_marks.to_content()),
+            ("log_lines".to_owned(), self.log_lines.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for EventCounters {
+    fn from_content(content: &Content) -> Result<EventCounters, DeError> {
+        Ok(EventCounters {
+            node_crashes: serde::__private::field(content, "node_crashes")?,
+            node_restarts: serde::__private::field(content, "node_restarts")?,
+            node_panics: serde::__private::field(content, "node_panics")?,
+            messages_sent: serde::__private::field(content, "messages_sent")?,
+            messages_delivered: serde::__private::field(content, "messages_delivered")?,
+            messages_dropped: serde::__private::field(content, "messages_dropped")?,
+            timers_fired: serde::__private::field(content, "timers_fired")?,
+            timers_stale: serde::__private::field(content, "timers_stale")?,
+            requests_delivered: serde::__private::field(content, "requests_delivered")?,
+            requests_dropped: serde::__private::field(content, "requests_dropped")?,
+            faults_activated: serde::__private::field(content, "faults_activated")?,
+            faults_cleared: serde::__private::field(content, "faults_cleared")?,
+            client_submits: serde::__private::field(content, "client_submits")?,
+            client_retries: serde::__private::field(content, "client_retries")?,
+            client_give_ups: serde::__private::field(content, "client_give_ups")?,
+            commits: serde::__private::field(content, "commits")?,
+            phase_marks: serde::__private::field(content, "phase_marks")?,
+            log_lines: serde::__private::field(content, "log_lines")?,
         })
     }
 }
@@ -230,6 +395,7 @@ impl Deserialize for ByzantineSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DropCause, FaultKind};
 
     fn roundtrip<T: Serialize + Deserialize>(value: &T) -> T {
         T::from_content(&value.to_content()).expect("roundtrip")
@@ -302,7 +468,81 @@ mod tests {
             requests_delivered: 7,
             requests_dropped: 8,
             events_processed: 9,
+            dropped_trace_lines: 13,
         };
         assert_eq!(roundtrip(&stats), stats);
+    }
+
+    #[test]
+    fn capture_level_roundtrips() {
+        for level in CaptureLevel::ALL {
+            assert_eq!(roundtrip(&level), level);
+        }
+    }
+
+    #[test]
+    fn sim_events_serialise_tagged_by_kind() {
+        let dropped = SimEvent::MessageDropped {
+            from: NodeId::new(0),
+            to: NodeId::new(3),
+            cause: DropCause::Partition,
+        };
+        let Content::Map(fields) = dropped.to_content() else {
+            panic!("expected map");
+        };
+        assert_eq!(
+            fields[0],
+            (
+                "kind".to_owned(),
+                Content::Str("message_dropped".to_owned())
+            )
+        );
+        assert!(fields.contains(&("cause".to_owned(), Content::Str("partition".to_owned()))));
+
+        let phase = SimEvent::Phase {
+            node: NodeId::new(2),
+            phase: "sortition",
+        };
+        let Content::Map(fields) = phase.to_content() else {
+            panic!("expected map");
+        };
+        assert!(fields.contains(&("phase".to_owned(), Content::Str("sortition".to_owned()))));
+
+        let fault = SimEvent::FaultActivated {
+            kind: FaultKind::Slowdown,
+        };
+        let Content::Map(fields) = fault.to_content() else {
+            panic!("expected map");
+        };
+        assert!(fields.contains(&("fault".to_owned(), Content::Str("slowdown".to_owned()))));
+    }
+
+    #[test]
+    fn timed_event_flattens_time_and_seq() {
+        let timed = TimedEvent {
+            time: SimTime::from_millis(5),
+            seq: 9,
+            event: SimEvent::Committed {
+                node: NodeId::new(1),
+            },
+        };
+        let Content::Map(fields) = timed.to_content() else {
+            panic!("expected map");
+        };
+        assert_eq!(fields[0], ("t_us".to_owned(), Content::U64(5_000)));
+        assert_eq!(fields[1], ("seq".to_owned(), Content::U64(9)));
+        assert_eq!(
+            fields[2],
+            ("kind".to_owned(), Content::Str("committed".to_owned()))
+        );
+    }
+
+    #[test]
+    fn event_counters_roundtrip() {
+        let mut counters = EventCounters::default();
+        counters.commits = 42;
+        counters.phase_marks = 7;
+        counters.log_lines = 1;
+        assert_eq!(roundtrip(&counters), counters);
     }
 }

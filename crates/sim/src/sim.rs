@@ -1,14 +1,22 @@
 //! The discrete-event simulation kernel.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use crate::protocol::Effect;
 use crate::stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
+use crate::trace::{
+    CaptureLevel, DropCause, EventCounters, EventRecorder, FaultKind, SimEvent, TimedEvent,
+    DEFAULT_EVENT_CAP,
+};
 use crate::{
     Ctx, DetRng, LatencyModel, LinkFault, LinkFaultId, Network, NodeId, PartitionId, PartitionRule,
     Protocol, SimDuration, SimTime, TimerId,
 };
+
+/// Default bound on the retained [`TraceLine`] ring (see
+/// [`SimBuilder::trace_cap`]).
+pub const DEFAULT_TRACE_CAP: usize = 1 << 16;
 
 /// Liveness state of a simulated node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,6 +53,9 @@ pub struct SimBuilder {
     topology: Option<crate::LatencyTopology>,
     fifo_links: bool,
     tracing: bool,
+    trace_cap: usize,
+    capture: CaptureLevel,
+    event_cap: usize,
 }
 
 impl SimBuilder {
@@ -62,6 +73,9 @@ impl SimBuilder {
             topology: None,
             fifo_links: true,
             tracing: false,
+            trace_cap: DEFAULT_TRACE_CAP,
+            capture: CaptureLevel::Off,
+            event_cap: DEFAULT_EVENT_CAP,
         }
     }
 
@@ -88,6 +102,30 @@ impl SimBuilder {
     /// Enables retention of [`Ctx::log`] lines (default: off).
     pub fn tracing(&mut self, tracing: bool) -> &mut Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Caps the retained [`Ctx::log`] ring (default:
+    /// [`DEFAULT_TRACE_CAP`]). When full, the oldest line is evicted and
+    /// [`SimStats::dropped_trace_lines`] counts the loss, so unbounded
+    /// chaos runs cannot balloon memory.
+    pub fn trace_cap(&mut self, cap: usize) -> &mut Self {
+        self.trace_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the structured-event capture level (default:
+    /// [`CaptureLevel::Off`]). Capture is deterministic-neutral: it
+    /// never changes what a run computes, only what it records.
+    pub fn capture(&mut self, level: CaptureLevel) -> &mut Self {
+        self.capture = level;
+        self
+    }
+
+    /// Caps the structured-event ring (default: [`DEFAULT_EVENT_CAP`]);
+    /// see [`EventRecorder`] for the eviction semantics.
+    pub fn event_cap(&mut self, cap: usize) -> &mut Self {
+        self.event_cap = cap.max(1);
         self
     }
 
@@ -196,8 +234,10 @@ pub struct Simulation<P: Protocol> {
     link_clock: HashMap<(u32, u32), SimTime>,
     commits: Vec<CommitRecord<P::Commit>>,
     panics: Vec<PanicRecord>,
-    trace: Vec<TraceLine>,
+    trace: VecDeque<TraceLine>,
     tracing: bool,
+    trace_cap: usize,
+    recorder: EventRecorder,
     stats: SimStats,
     config: P::Config,
 }
@@ -234,8 +274,10 @@ impl<P: Protocol> Simulation<P> {
             link_clock: HashMap::new(),
             commits: Vec::new(),
             panics: Vec::new(),
-            trace: Vec::new(),
+            trace: VecDeque::new(),
             tracing: b.tracing,
+            trace_cap: b.trace_cap,
+            recorder: EventRecorder::new(b.capture, b.event_cap),
             stats: SimStats::default(),
             config,
         };
@@ -250,6 +292,7 @@ impl<P: Protocol> Simulation<P> {
                 effects: &mut effects,
                 next_timer: &mut sim.next_timer,
                 tracing: sim.tracing,
+                capture: sim.recorder.level(),
             };
             let proto = P::new(id, b.n, &sim.config, &mut ctx);
             sim.nodes.push(NodeSlot {
@@ -308,9 +351,38 @@ impl<P: Protocol> Simulation<P> {
         &self.panics
     }
 
-    /// Diagnostic lines recorded while tracing was enabled.
-    pub fn trace(&self) -> &[TraceLine] {
-        &self.trace
+    /// Diagnostic lines recorded while tracing was enabled, oldest
+    /// first (a bounded ring: see [`SimBuilder::trace_cap`]).
+    pub fn trace(&self) -> impl Iterator<Item = &TraceLine> + '_ {
+        self.trace.iter()
+    }
+
+    /// Drains the retained trace lines, oldest first.
+    pub fn take_trace(&mut self) -> Vec<TraceLine> {
+        self.trace.drain(..).collect()
+    }
+
+    /// The structured-event recorder (capture level, counters, stream).
+    pub fn recorder(&self) -> &EventRecorder {
+        &self.recorder
+    }
+
+    /// Drains the recorded structured events, oldest first.
+    pub fn take_events(&mut self) -> Vec<TimedEvent> {
+        self.recorder.take_events()
+    }
+
+    /// The per-kind event counters (zero at [`CaptureLevel::Off`]).
+    pub fn event_counters(&self) -> EventCounters {
+        self.recorder.counters()
+    }
+
+    /// Records a harness-level event (client submissions, retries,
+    /// give-ups) into the same stream as the kernel's own events. The
+    /// exporters sort by `(time, seq)`, so harness events scheduled
+    /// ahead of the run still land in timeline order.
+    pub fn record_event(&mut self, time: SimTime, event: SimEvent) {
+        self.recorder.record(time, event);
     }
 
     /// Aggregate traffic counters.
@@ -425,6 +497,14 @@ impl<P: Protocol> Simulation<P> {
                 if self.net.blocked(from, to) {
                     self.net.note_partition_drop();
                     self.stats.messages_dropped_partition += 1;
+                    self.recorder.record(
+                        self.now,
+                        SimEvent::MessageDropped {
+                            from,
+                            to,
+                            cause: DropCause::Partition,
+                        },
+                    );
                     return;
                 }
                 if self.net.link_severed(from, to) {
@@ -433,13 +513,31 @@ impl<P: Protocol> Simulation<P> {
                     // like in-flight packets under a symmetric partition.
                     self.net.note_link_drop();
                     self.stats.messages_dropped_link += 1;
+                    self.recorder.record(
+                        self.now,
+                        SimEvent::MessageDropped {
+                            from,
+                            to,
+                            cause: DropCause::LinkFault,
+                        },
+                    );
                     return;
                 }
                 if self.nodes[to.index()].status != NodeStatus::Running {
                     self.stats.messages_dropped_dead += 1;
+                    self.recorder.record(
+                        self.now,
+                        SimEvent::MessageDropped {
+                            from,
+                            to,
+                            cause: DropCause::DeadNode,
+                        },
+                    );
                     return;
                 }
                 self.stats.messages_delivered += 1;
+                self.recorder
+                    .record(self.now, SimEvent::MessageDelivered { from, to });
                 let effects = self.with_ctx(to, |proto, ctx| proto.on_message(from, msg, ctx));
                 self.apply_effects(to, effects);
             }
@@ -455,18 +553,26 @@ impl<P: Protocol> Simulation<P> {
                     || self.cancelled_timers.remove(&id.0)
                 {
                     self.stats.timers_stale += 1;
+                    self.recorder
+                        .record(self.now, SimEvent::TimerStale { node });
                     return;
                 }
                 self.stats.timers_fired += 1;
+                self.recorder
+                    .record(self.now, SimEvent::TimerFired { node });
                 let effects = self.with_ctx(node, |proto, ctx| proto.on_timer(token, ctx));
                 self.apply_effects(node, effects);
             }
             EventKind::Request { node, request } => {
                 if self.nodes[node.index()].status != NodeStatus::Running {
                     self.stats.requests_dropped += 1;
+                    self.recorder
+                        .record(self.now, SimEvent::RequestDropped { node });
                     return;
                 }
                 self.stats.requests_delivered += 1;
+                self.recorder
+                    .record(self.now, SimEvent::RequestDelivered { node });
                 let effects = self.with_ctx(node, |proto, ctx| proto.on_request(request, ctx));
                 self.apply_effects(node, effects);
             }
@@ -475,12 +581,16 @@ impl<P: Protocol> Simulation<P> {
                 if slot.status == NodeStatus::Running {
                     slot.status = NodeStatus::Crashed;
                     slot.epoch += 1;
+                    self.recorder
+                        .record(self.now, SimEvent::NodeCrashed { node });
                 }
             }
             EventKind::Restart(node) => {
                 if self.nodes[node.index()].status == NodeStatus::Crashed {
                     self.nodes[node.index()].status = NodeStatus::Running;
                     self.nodes[node.index()].epoch += 1;
+                    self.recorder
+                        .record(self.now, SimEvent::NodeRestarted { node });
                     let effects = self.with_ctx(node, |proto, ctx| proto.on_restart(ctx));
                     self.apply_effects(node, effects);
                 }
@@ -488,23 +598,56 @@ impl<P: Protocol> Simulation<P> {
             EventKind::PartitionStart { handle, rule } => {
                 let id = self.net.install(rule);
                 self.partition_handles.insert(handle, id);
+                self.recorder.record(
+                    self.now,
+                    SimEvent::FaultActivated {
+                        kind: FaultKind::Partition,
+                    },
+                );
             }
             EventKind::PartitionEnd { handle } => {
                 if let Some(id) = self.partition_handles.remove(&handle) {
                     self.net.remove(id);
+                    self.recorder.record(
+                        self.now,
+                        SimEvent::FaultCleared {
+                            kind: FaultKind::Partition,
+                        },
+                    );
                 }
             }
             EventKind::LinkFaultStart { handle, fault } => {
                 let id = self.net.install_link_fault(fault);
                 self.link_fault_handles.insert(handle, id);
+                self.recorder.record(
+                    self.now,
+                    SimEvent::FaultActivated {
+                        kind: FaultKind::LinkFault,
+                    },
+                );
             }
             EventKind::LinkFaultEnd { handle } => {
                 if let Some(id) = self.link_fault_handles.remove(&handle) {
                     self.net.remove_link_fault(id);
+                    self.recorder.record(
+                        self.now,
+                        SimEvent::FaultCleared {
+                            kind: FaultKind::LinkFault,
+                        },
+                    );
                 }
             }
             EventKind::SetSlowdown { node, extra } => {
                 self.net.set_slowdown(node, extra);
+                let kind = FaultKind::Slowdown;
+                self.recorder.record(
+                    self.now,
+                    if extra.is_zero() {
+                        SimEvent::FaultCleared { kind }
+                    } else {
+                        SimEvent::FaultActivated { kind }
+                    },
+                );
             }
         }
     }
@@ -524,6 +667,7 @@ impl<P: Protocol> Simulation<P> {
             effects: &mut effects,
             next_timer: &mut self.next_timer,
             tracing: self.tracing,
+            capture: self.recorder.level(),
         };
         f(&mut slot.proto, &mut ctx);
         effects
@@ -535,9 +679,19 @@ impl<P: Protocol> Simulation<P> {
             match effect {
                 Effect::Send { to, msg } => {
                     self.stats.messages_sent += 1;
+                    self.recorder
+                        .record(self.now, SimEvent::MessageSent { from, to });
                     if self.net.blocked(from, to) {
                         self.net.note_partition_drop();
                         self.stats.messages_dropped_partition += 1;
+                        self.recorder.record(
+                            self.now,
+                            SimEvent::MessageDropped {
+                                from,
+                                to,
+                                cause: DropCause::Partition,
+                            },
+                        );
                         continue;
                     }
                     let verdict = if self.net.active_link_faults() > 0 {
@@ -547,6 +701,14 @@ impl<P: Protocol> Simulation<P> {
                     };
                     if verdict.drop {
                         self.stats.messages_dropped_link += 1;
+                        self.recorder.record(
+                            self.now,
+                            SimEvent::MessageDropped {
+                                from,
+                                to,
+                                cause: DropCause::LinkFault,
+                            },
+                        );
                         continue;
                     }
                     let delay = self.net.sample_delay(from, to, &mut self.net_rng)
@@ -601,6 +763,8 @@ impl<P: Protocol> Simulation<P> {
                         node: from,
                         commit,
                     });
+                    self.recorder
+                        .record(self.now, SimEvent::Committed { node: from });
                 }
                 Effect::Panic(reason) => {
                     let slot = &mut self.nodes[from.index()];
@@ -613,10 +777,27 @@ impl<P: Protocol> Simulation<P> {
                         node: from,
                         reason,
                     });
+                    self.recorder
+                        .record(self.now, SimEvent::NodePanicked { node: from });
+                }
+                Effect::Span(phase) => {
+                    self.recorder
+                        .record(self.now, SimEvent::Phase { node: from, phase });
                 }
                 Effect::Log(line) => {
+                    self.recorder.record(
+                        self.now,
+                        SimEvent::Log {
+                            node: from,
+                            line: line.clone(),
+                        },
+                    );
                     if self.tracing {
-                        self.trace.push(TraceLine {
+                        if self.trace.len() >= self.trace_cap {
+                            self.trace.pop_front();
+                            self.stats.dropped_trace_lines += 1;
+                        }
+                        self.trace.push_back(TraceLine {
                             time: self.now,
                             node: from,
                             line,

@@ -72,4 +72,7 @@ pub struct SimStats {
     pub requests_dropped: u64,
     /// Total events processed by the kernel.
     pub events_processed: u64,
+    /// [`TraceLine`]s evicted from the bounded trace ring after it
+    /// filled (long runs keep the newest lines; this counts the loss).
+    pub dropped_trace_lines: u64,
 }

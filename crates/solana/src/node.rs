@@ -142,6 +142,7 @@ impl SolanaNode {
         // Leader duty: produce the slot's block three quarters in, after
         // forwarded transactions had time to arrive.
         if self.leader_for(slot) == self.id {
+            ctx.span("leader-slot");
             let produce_at = self.config.slot_duration.mul_f64(0.75);
             ctx.set_timer(produce_at, SolanaTimer::Produce { slot });
         }
@@ -210,6 +211,7 @@ impl SolanaNode {
     }
 
     fn produce_block(&mut self, slot: u64, ctx: &mut Ctx<'_, Self>) {
+        ctx.span("produce");
         let txs = self.buffer.take_ready(self.config.max_block_txs);
         let parent = self
             .blocks
