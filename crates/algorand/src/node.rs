@@ -1,7 +1,7 @@
 //! The simulated Algorand validator: BA★ rounds driven by cryptographic
 //! sortition, soft/cert vote steps, dynamic round time and gossip.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use stabl_sim::{ConnAction, ConnectionManager, Ctx, NodeId, Protocol, SimDuration, SimTime};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
@@ -115,11 +115,11 @@ pub struct AlgorandNode {
     /// Dynamic round time: the current filter timeout.
     dyn_filter: SimDuration,
     best_proposal: Option<(u64, Hash32)>,
-    blocks_by_hash: HashMap<Hash32, Block>,
+    blocks_by_hash: BTreeMap<Hash32, Block>,
     soft_voted_attempt: Option<u64>,
-    soft_votes: HashMap<Hash32, BTreeSet<NodeId>>,
+    soft_votes: BTreeMap<Hash32, BTreeSet<NodeId>>,
     cert_voted: Option<Hash32>,
-    cert_votes: HashMap<Hash32, BTreeSet<NodeId>>,
+    cert_votes: BTreeMap<Hash32, BTreeSet<NodeId>>,
     /// Rounds after which the fast proposal path is re-enabled.
     conservative_until: u64,
     /// Number of rounds that needed a recovery attempt or missed their
@@ -466,11 +466,11 @@ impl Protocol for AlgorandNode {
             round_start: SimTime::ZERO,
             dyn_filter: config.default_filter,
             best_proposal: None,
-            blocks_by_hash: HashMap::new(),
+            blocks_by_hash: BTreeMap::new(),
             soft_voted_attempt: None,
-            soft_votes: HashMap::new(),
+            soft_votes: BTreeMap::new(),
             cert_voted: None,
-            cert_votes: HashMap::new(),
+            cert_votes: BTreeMap::new(),
             conservative_until: 0,
             slow_rounds: 0,
             exec_busy_until: SimTime::ZERO,

@@ -2,7 +2,7 @@
 //! leader-based, quadratic view change), shared mempool, Block-STM
 //! executor timing and Aptos' fast-recovery connection management.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use stabl_sim::{ConnAction, ConnectionManager, Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
@@ -106,8 +106,8 @@ pub struct AptosNode {
     proposal: Option<Block>,
     voted: bool,
     commit_voted: bool,
-    votes: HashMap<Hash32, BTreeSet<NodeId>>,
-    commit_votes: HashMap<Hash32, BTreeSet<NodeId>>,
+    votes: BTreeMap<Hash32, BTreeSet<NodeId>>,
+    commit_votes: BTreeMap<Hash32, BTreeSet<NodeId>>,
     timeouts: BTreeSet<NodeId>,
     // Leader reputation.
     strikes: Vec<u32>,
@@ -490,8 +490,8 @@ impl Protocol for AptosNode {
             proposal: None,
             voted: false,
             commit_voted: false,
-            votes: HashMap::new(),
-            commit_votes: HashMap::new(),
+            votes: BTreeMap::new(),
+            commit_votes: BTreeMap::new(),
             timeouts: BTreeSet::new(),
             strikes: vec![0; n],
             excluded_until: vec![SimTime::ZERO; n],

@@ -1,7 +1,7 @@
 //! The simulated Avalanche validator: Snowball polling over block
 //! proposals, randomised transaction gossip and the inbound throttler.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use stabl_sim::{Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
@@ -105,20 +105,20 @@ pub struct AvalancheNode {
     chain: Vec<Block>,
     ledger: Ledger,
     // Current-height consensus.
-    proposals: HashMap<Hash32, Block>,
+    proposals: BTreeMap<Hash32, Block>,
     snowball: Snowball,
     proposed: Option<Hash32>,
     pending_decided: Option<Hash32>,
     // Transaction gossip.
     pool: AccountPool,
-    pending: HashMap<TxId, (Transaction, SimTime)>,
+    pending: BTreeMap<TxId, (Transaction, SimTime)>,
     announce_queue: Vec<Transaction>,
     // Throttling.
     throttler: InboundThrottler,
     parked: VecDeque<(NodeId, AvalancheMsg)>,
     drain_armed: bool,
     // Polling.
-    outstanding: HashMap<u64, Poll>,
+    outstanding: BTreeMap<u64, Poll>,
     next_poll: u64,
 }
 
@@ -488,12 +488,12 @@ impl Protocol for AvalancheNode {
             alpha_eff,
             chain: Vec::new(),
             ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
-            proposals: HashMap::new(),
+            proposals: BTreeMap::new(),
             snowball: Snowball::new(alpha_eff, config.beta),
             proposed: None,
             pending_decided: None,
             pool: AccountPool::new(config.pool_capacity),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             announce_queue: Vec::new(),
             throttler: InboundThrottler::new(
                 config.cpu_half_life,
@@ -502,7 +502,7 @@ impl Protocol for AvalancheNode {
             ),
             parked: VecDeque::new(),
             drain_armed: false,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             next_poll: 0,
         };
         ctx.set_timer(node.config.block_interval, AvalancheTimer::BlockTick);

@@ -10,7 +10,7 @@
 //! fraction of reachable stake (≥ 80 %).
 
 use stabl_types::Hash32;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One Snowball instance deciding the block of one height.
 #[derive(Clone, Debug)]
@@ -20,7 +20,7 @@ pub struct Snowball {
     preference: Option<Hash32>,
     last_majority: Option<Hash32>,
     confidence: u32,
-    strength: HashMap<Hash32, u32>,
+    strength: BTreeMap<Hash32, u32>,
     decided: Option<Hash32>,
     polls: u64,
     failed_polls: u64,
@@ -41,7 +41,7 @@ impl Snowball {
             preference: None,
             last_majority: None,
             confidence: 0,
-            strength: HashMap::new(),
+            strength: BTreeMap::new(),
             decided: None,
             polls: 0,
             failed_polls: 0,
@@ -89,7 +89,7 @@ impl Snowball {
             return self.decided;
         }
         self.polls += 1;
-        let mut counts: HashMap<Hash32, usize> = HashMap::new();
+        let mut counts: BTreeMap<Hash32, usize> = BTreeMap::new();
         for r in responses {
             *counts.entry(*r).or_insert(0) += 1;
         }

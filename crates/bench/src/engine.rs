@@ -40,6 +40,19 @@ use stabl_types::Sha256;
 /// `dropped_trace_lines`.
 pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
+// The cache-schema manifest: every type with a `Serialize` impl in the
+// `RunResult`-reachable crates must be listed here, and `stabl-lint`
+// (rule S-001/S-002) fails the build when the list drifts from the
+// sources. Adding a name here is the reviewed moment to ask whether
+// CACHE_SCHEMA_VERSION needs a bump.
+// stabl-lint: cache-schema: RunResult, RunSummary, SensitivityRecord, RadarRow
+// stabl-lint: cache-schema: LatencyHistogram, StageLatencies
+// stabl-lint: cache-schema: CellTelemetry, EngineTelemetry
+// stabl-lint: cache-schema: RetryPolicy, FaultAction, FaultSchedule
+// stabl-lint: cache-schema: SimTime, SimDuration, NodeId, PanicRecord, SimStats
+// stabl-lint: cache-schema: CaptureLevel, SimEvent, TimedEvent, EventCounters
+// stabl-lint: cache-schema: LinkFault, ByzantineBehavior, ByzantineSpec
+
 /// One simulation run the engine can schedule: a display label, the
 /// material its cache key is derived from, and the work itself.
 pub struct Job {

@@ -161,6 +161,7 @@ impl FaultPlan {
     /// Panics if a transient/partition plan recovers before it starts,
     /// or if a victim id is outside the network.
     pub fn schedule<P: Protocol>(&self, sim: &mut Simulation<P>) {
+        // stabl-lint: allow(R-003, documented panicking wrapper preserving the legacy FaultPlan::schedule message contract; apply() is the typed-error path)
         self.apply(sim).unwrap_or_else(|e| panic!("{e}"));
     }
 }
@@ -504,6 +505,7 @@ impl FaultSchedule {
     ///
     /// Panics with the [`FaultError`] message on an invalid schedule.
     pub fn schedule<P: Protocol>(&self, sim: &mut Simulation<P>) {
+        // stabl-lint: allow(R-003, documented panicking wrapper preserving the legacy FaultPlan::schedule message contract; apply() is the typed-error path)
         self.apply(sim).unwrap_or_else(|e| panic!("{e}"));
     }
 }

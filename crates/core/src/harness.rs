@@ -313,8 +313,7 @@ where
                 agenda.entry(deadline).or_default().push((i, 0));
             }
         }
-        while let Some((&deadline, _)) = agenda.iter().next() {
-            let batch = agenda.remove(&deadline).expect("peeked key exists");
+        while let Some((deadline, batch)) = agenda.pop_first() {
             sim.run_until(deadline);
             drain_commits(
                 &mut sim,

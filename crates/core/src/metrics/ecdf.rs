@@ -69,7 +69,7 @@ impl Ecdf {
         if sorted.iter().any(|x| !x.is_finite() || *x < 0.0) {
             return Err(EcdfError::InvalidSample);
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Ecdf { sorted })
     }
 
@@ -96,7 +96,8 @@ impl Ecdf {
 
     /// The largest sample (the paper's `b`).
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        // Non-empty by construction (`new` rejects empty input).
+        self.sorted.last().copied().unwrap_or(f64::NAN)
     }
 
     /// The sample mean.

@@ -27,6 +27,7 @@ use crate::harness::RunTrace;
 pub fn events_jsonl(trace: &RunTrace) -> String {
     let mut out = String::new();
     for event in &trace.events {
+        // stabl-lint: allow(R-002, in-memory serialisation of SimEvent is infallible and a Result signature would push an impossible branch onto every exporter caller)
         out.push_str(&serde_json::to_string(event).expect("event serialisation cannot fail"));
         out.push('\n');
     }
@@ -154,6 +155,7 @@ pub fn chrome_trace_json(trace: &RunTrace, label: &str) -> String {
         "traceEvents": events,
         "displayTimeUnit": "ms",
     }))
+    // stabl-lint: allow(R-002, in-memory serialisation of the Chrome trace value is infallible and a Result signature would push an impossible branch onto every exporter caller)
     .expect("trace serialisation cannot fail")
 }
 

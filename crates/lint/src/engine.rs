@@ -1,0 +1,300 @@
+//! Workspace walking, scope resolution, manifest diffing and output.
+
+use crate::config::Config;
+use crate::lexer::lex;
+use crate::rules::{scan_file, Diagnostic, FileScope, Severity};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The engine: a root directory plus a [`Config`].
+pub struct Engine {
+    root: PathBuf,
+    config: Config,
+}
+
+/// Everything one lint run produced.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule); suppressed
+    /// findings are included and marked.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Unsuppressed error-severity findings — what fails the build.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.suppressed.is_none() && d.severity == Severity::Error)
+    }
+
+    /// Unsuppressed warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.suppressed.is_none() && d.severity == Severity::Warning)
+    }
+
+    /// Suppressed findings.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_some())
+    }
+
+    /// `file:line:col: severity [rule] message` lines, one per
+    /// unsuppressed finding, plus a summary line.
+    pub fn human(&self, show_suppressed: bool) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            match &d.suppressed {
+                None => {
+                    out.push_str(&format!(
+                        "{}:{}:{}: {} [{}] {}\n    hint: {}\n",
+                        d.file,
+                        d.line,
+                        d.col,
+                        d.severity.name(),
+                        d.rule,
+                        d.message,
+                        d.hint
+                    ));
+                }
+                Some(reason) if show_suppressed => {
+                    out.push_str(&format!(
+                        "{}:{}:{}: suppressed [{}] {} (reason: {})\n",
+                        d.file, d.line, d.col, d.rule, d.message, reason
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        out.push_str(&format!(
+            "stabl-lint: {} files scanned, {} errors, {} warnings, {} suppressed\n",
+            self.files_scanned,
+            self.errors().count(),
+            self.warnings().count(),
+            self.suppressed().count(),
+        ));
+        out
+    }
+
+    /// The full report as a JSON document (hand-emitted; the linter is
+    /// dependency-free by design).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors().count()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings().count()));
+        out.push_str(&format!(
+            "  \"suppressed\": {},\n",
+            self.suppressed().count()
+        ));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+            out.push_str(&format!("\"severity\": {}, ", json_str(d.severity.name())));
+            out.push_str(&format!("\"file\": {}, ", json_str(&d.file)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"col\": {}, ", d.col));
+            out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+            out.push_str(&format!("\"hint\": {}, ", json_str(d.hint)));
+            match &d.suppressed {
+                Some(reason) => out.push_str(&format!("\"suppressed\": {}}}", json_str(reason))),
+                None => out.push_str("\"suppressed\": null}"),
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Engine {
+    /// Creates an engine for `root` with the given config.
+    pub fn new(root: impl Into<PathBuf>, config: Config) -> Engine {
+        Engine {
+            root: root.into(),
+            config,
+        }
+    }
+
+    /// Creates an engine for `root`, loading `lint.toml` from it when
+    /// present and falling back to [`Config::default`].
+    pub fn from_root(root: impl Into<PathBuf>) -> Result<Engine, String> {
+        let root = root.into();
+        let config_path = root.join("lint.toml");
+        let config = match fs::read_to_string(&config_path) {
+            Ok(src) => Config::parse(&src).map_err(|e| e.to_string())?,
+            Err(_) => Config::default(),
+        };
+        Ok(Engine::new(root, config))
+    }
+
+    /// Runs the lint pass over every `.rs` file under the root.
+    pub fn run(&self) -> io::Result<Report> {
+        let mut files = Vec::new();
+        collect_rs_files(&self.root, &self.root, &self.config.skip, &mut files)?;
+        files.sort();
+
+        let manifest = self.load_manifest();
+        let manifest_names = manifest.as_ref().map(|(names, _, _)| names);
+
+        let mut report = Report::default();
+        let mut defined_serialize: BTreeSet<String> = BTreeSet::new();
+        for rel in &files {
+            let path = self.root.join(rel);
+            let src = fs::read_to_string(&path)?;
+            let scope = self.scope_of(rel);
+            let scan = scan_file(rel, &src, scope, manifest_names);
+            for (name, _, _) in &scan.serialize_types {
+                defined_serialize.insert(name.clone());
+            }
+            report.diagnostics.extend(scan.diagnostics);
+            report.files_scanned += 1;
+        }
+
+        // Manifest health: S-002 (stale entries) and S-003 (no marker).
+        match &manifest {
+            Some((names, file, line)) => {
+                for name in names {
+                    if !defined_serialize.contains(name) {
+                        report.diagnostics.push(Diagnostic::new(
+                            "S-002",
+                            file,
+                            *line,
+                            1,
+                            format!("manifest entry `{name}` has no Serialize impl in scope"),
+                        ));
+                    }
+                }
+            }
+            None => {
+                if let Some(path) = &self.config.manifest {
+                    report.diagnostics.push(Diagnostic::new(
+                        "S-003",
+                        path,
+                        1,
+                        1,
+                        "no `stabl-lint: cache-schema:` marker found in the manifest file"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+
+        report.diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        Ok(report)
+    }
+
+    /// Reads the cache-schema manifest (type names, manifest rel path,
+    /// line of the first marker) from the configured manifest file.
+    fn load_manifest(&self) -> Option<(BTreeSet<String>, String, u32)> {
+        let rel = self.config.manifest.clone()?;
+        let src = fs::read_to_string(self.root.join(&rel)).ok()?;
+        let lexed = lex(&src);
+        let mut names = BTreeSet::new();
+        let mut first_line = None;
+        for comment in &lexed.comments {
+            let Some(rest) = comment.text.split("stabl-lint:").nth(1) else {
+                continue;
+            };
+            let Some(list) = rest.trim().strip_prefix("cache-schema:") else {
+                continue;
+            };
+            first_line.get_or_insert(comment.line);
+            for name in list.split(',') {
+                let name = name.trim();
+                if !name.is_empty() {
+                    names.insert(name.to_owned());
+                }
+            }
+        }
+        first_line.map(|line| (names, rel, line))
+    }
+
+    fn scope_of(&self, rel: &str) -> FileScope {
+        let in_any = |prefixes: &[String]| prefixes.iter().any(|p| rel.starts_with(p.as_str()));
+        let is_test_path = rel.contains("/tests/")
+            || rel.starts_with("tests/")
+            || rel.contains("/benches/")
+            || rel.contains("/examples/")
+            || rel.starts_with("examples/");
+        let is_bin = self
+            .config
+            .bins
+            .iter()
+            .any(|b| rel.contains(&format!("/{b}/")) || rel.contains(&format!("{b}/")));
+        if is_test_path {
+            return FileScope::default();
+        }
+        FileScope {
+            determinism: in_any(&self.config.determinism),
+            robustness: in_any(&self.config.robustness) && !is_bin,
+            exit_banned: !is_bin,
+            cache: in_any(&self.config.cache),
+        }
+    }
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    skip: &[String],
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = match path.strip_prefix(root) {
+            Ok(rel) => rel.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if skip
+            .iter()
+            .any(|s| rel == *s || rel.starts_with(&format!("{s}/")))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            if path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with('.'))
+            {
+                continue;
+            }
+            collect_rs_files(root, &path, skip, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

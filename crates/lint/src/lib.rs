@@ -1,0 +1,41 @@
+//! # stabl-lint — workspace determinism & robustness linter
+//!
+//! The Stabl sensitivity metric compares a baseline run against an
+//! altered run and attributes the whole difference to the injected
+//! failure. That attribution is only sound if nothing *else* differs —
+//! which is why the workspace carries runtime determinism gates
+//! (byte-compared campaign artifacts, replay proptests, Full-vs-Off
+//! trace identity). Those gates catch nondeterminism only after it
+//! fires on a sampled seed. `stabl-lint` closes the remaining gap
+//! statically, the way a race detector complements a stress test: it
+//! bans the *sources* of nondeterminism (wall clocks, ambient RNG,
+//! unordered-map iteration) from protocol code before they can bite.
+//!
+//! Three rule families (full table in [`rules`]):
+//!
+//! * **D-rules** — determinism: no `Instant::now`, `SystemTime::now`,
+//!   `thread_rng`, `rand::random`, `HashMap`/`HashSet` inside
+//!   `crates/sim` and the five chain crates.
+//! * **R-rules** — robustness: no `unwrap()`/`expect()`/`panic!`/
+//!   `todo!` in non-test library code of `crates/core` and
+//!   `crates/sim`; no `process::exit` outside `src/bin`.
+//! * **S-rules** — serde/cache hygiene: every `Serialize` type in
+//!   `RunResult`-reachable modules must be listed in the cache-schema
+//!   manifest next to `CACHE_SCHEMA_VERSION`, so a new serialised
+//!   field can't silently poison the on-disk campaign cache.
+//!
+//! The pass runs on a small hand-rolled lexer ([`lexer`]) rather than
+//! `syn` — the vendor tree holds offline stubs — and is itself
+//! dependency-free so it can run first in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use engine::{Engine, Report};
+pub use rules::{Diagnostic, FileScope, RuleInfo, Severity, RULES};

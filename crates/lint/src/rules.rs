@@ -1,0 +1,583 @@
+//! The rule engine: every rule is a pattern over the token stream of
+//! one file, gated by the file's scope (see [`crate::config`]).
+//!
+//! | id    | family      | bans |
+//! |-------|-------------|------|
+//! | D-001 | determinism | `Instant::now` / `SystemTime::now` |
+//! | D-002 | determinism | `thread_rng` / `rand::random` / `OsRng` / `from_entropy` |
+//! | D-003 | determinism | `HashMap` / `HashSet` in protocol code |
+//! | R-001 | robustness  | `.unwrap()` in non-test library code |
+//! | R-002 | robustness  | `.expect(…)` in non-test library code |
+//! | R-003 | robustness  | `panic!` / `todo!` / `unimplemented!` in non-test library code |
+//! | R-004 | robustness  | `process::exit` outside `src/bin` |
+//! | S-001 | cache       | `Serialize` type missing from the cache-schema manifest |
+//! | S-002 | cache       | stale cache-schema manifest entry |
+//! | S-003 | cache       | cache scope configured but no manifest marker found |
+//! | X-001 | meta        | malformed `stabl-lint:` suppression comment |
+//! | X-002 | meta        | suppression that suppresses nothing (warning) |
+//!
+//! Suppression syntax, one rule per comment, reason mandatory:
+//!
+//! ```text
+//! // stabl-lint: allow(R-003, documented panicking wrapper kept for the legacy API)
+//! ```
+//!
+//! A suppression covers its own line and the next line, so it can sit
+//! either at the end of the offending line or directly above it.
+
+use crate::lexer::{lex, test_spans, Comment, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Diagnostic severity. Only [`Severity::Error`] affects the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; never fails the build.
+    Warning,
+    /// Fails the build unless suppressed.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Static description of one rule (id, severity, summary, fix-hint).
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable rule id (`D-001`, …) used in output and suppressions.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary for `--list-rules` and docs.
+    pub summary: &'static str,
+    /// How to fix a violation.
+    pub hint: &'static str,
+}
+
+/// Every rule the engine knows, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D-001",
+        severity: Severity::Error,
+        summary: "wall-clock read (Instant::now / SystemTime::now) in deterministic code",
+        hint: "use the simulation clock (Ctx::now / SimTime); wall time differs across runs",
+    },
+    RuleInfo {
+        id: "D-002",
+        severity: Severity::Error,
+        summary: "ambient RNG (thread_rng / rand::random / OsRng / from_entropy) in deterministic code",
+        hint: "thread the seeded SimRng through instead; ambient entropy breaks replay",
+    },
+    RuleInfo {
+        id: "D-003",
+        severity: Severity::Error,
+        summary: "HashMap/HashSet in protocol code (iteration order is nondeterministic)",
+        hint: "use BTreeMap/BTreeSet, or collect and sort before iterating",
+    },
+    RuleInfo {
+        id: "R-001",
+        severity: Severity::Error,
+        summary: ".unwrap() in non-test library code",
+        hint: "propagate a typed error, or restructure so the case is impossible (let-else, pop_first)",
+    },
+    RuleInfo {
+        id: "R-002",
+        severity: Severity::Error,
+        summary: ".expect(…) in non-test library code",
+        hint: "propagate a typed error, or restructure so the case is impossible (let-else, pop_first)",
+    },
+    RuleInfo {
+        id: "R-003",
+        severity: Severity::Error,
+        summary: "panic! / todo! / unimplemented! in non-test library code",
+        hint: "return a typed error; a panic takes down the whole campaign worker",
+    },
+    RuleInfo {
+        id: "R-004",
+        severity: Severity::Error,
+        summary: "process::exit outside src/bin",
+        hint: "return an error to the caller; only binaries choose the process exit code",
+    },
+    RuleInfo {
+        id: "S-001",
+        severity: Severity::Error,
+        summary: "Serialize type not listed in the cache-schema manifest",
+        hint: "add the type to the `stabl-lint: cache-schema:` manifest next to \
+               CACHE_SCHEMA_VERSION and bump the version if the wire format changed",
+    },
+    RuleInfo {
+        id: "S-002",
+        severity: Severity::Error,
+        summary: "cache-schema manifest lists a type no Serialize impl defines",
+        hint: "remove the stale name from the manifest (and bump CACHE_SCHEMA_VERSION \
+               if the type was serialised into cached rows)",
+    },
+    RuleInfo {
+        id: "S-003",
+        severity: Severity::Error,
+        summary: "cache scope configured but the manifest file has no cache-schema marker",
+        hint: "add `// stabl-lint: cache-schema: Type, …` comments next to CACHE_SCHEMA_VERSION",
+    },
+    RuleInfo {
+        id: "X-001",
+        severity: Severity::Error,
+        summary: "malformed stabl-lint suppression comment",
+        hint: "write `// stabl-lint: allow(rule-id, reason)` — the reason is mandatory",
+    },
+    RuleInfo {
+        id: "X-002",
+        severity: Severity::Warning,
+        summary: "suppression that matched no diagnostic",
+        hint: "delete the stale allow(…) comment",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One finding, suppressed or not.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule id (`D-001`, …).
+    pub rule: &'static str,
+    /// Severity (from the rule table).
+    pub severity: Severity,
+    /// Path relative to the linted root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+    /// Fix hint (from the rule table).
+    pub hint: &'static str,
+    /// `Some(reason)` when an inline suppression covers the finding.
+    pub suppressed: Option<String>,
+}
+
+/// Which rule families apply to one file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileScope {
+    /// D-rules apply.
+    pub determinism: bool,
+    /// R-001..R-003 apply.
+    pub robustness: bool,
+    /// R-004 applies (`false` under `src/bin`).
+    pub exit_banned: bool,
+    /// S-001 applies.
+    pub cache: bool,
+}
+
+/// The outcome of scanning one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileScan {
+    /// Findings, suppressed ones included (marked).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Names of types this file gives a `Serialize` impl or derive,
+    /// with positions — collected whenever the file is in *any* scope,
+    /// used by the engine for manifest staleness (S-002).
+    pub serialize_types: Vec<(String, u32, u32)>,
+}
+
+struct Suppression {
+    rule: String,
+    reason: String,
+    line: u32,
+    end_line: u32,
+    used: bool,
+}
+
+/// Scans one file. `manifest` is the set of type names the
+/// cache-schema manifest lists (`None` when S-rules are disabled or
+/// no manifest is configured).
+pub fn scan_file(
+    rel_path: &str,
+    src: &str,
+    scope: FileScope,
+    manifest: Option<&BTreeSet<String>>,
+) -> FileScan {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let spans = test_spans(tokens);
+    let in_test = |idx: usize| spans.iter().any(|&(a, b)| idx >= a && idx < b);
+
+    let mut scan = FileScan::default();
+    let mut suppressions = parse_suppressions(&lexed.comments, rel_path, &mut scan.diagnostics);
+
+    let mut raw: Vec<(usize, &'static str, String)> = Vec::new(); // (token idx, rule, message)
+
+    for i in 0..tokens.len() {
+        if in_test(i) {
+            continue;
+        }
+        if scope.determinism {
+            determinism_at(tokens, i, &mut raw);
+        }
+        if scope.robustness {
+            robustness_at(tokens, i, &mut raw);
+        }
+        if scope.exit_banned && matches_path2(tokens, i, "process", "exit") {
+            raw.push((i, "R-004", "`process::exit` outside src/bin".to_owned()));
+        }
+        // Serialize inventory is collected for any in-scope file so the
+        // engine can diff the manifest, but S-001 only fires in cache
+        // scope.
+        collect_serialize(tokens, i, &in_test, &mut scan.serialize_types);
+    }
+
+    if scope.cache {
+        if let Some(manifest) = manifest {
+            for (name, line, col) in &scan.serialize_types {
+                if !manifest.contains(name) {
+                    scan.diagnostics.push(make_diag(
+                        "S-001",
+                        rel_path,
+                        *line,
+                        *col,
+                        format!(
+                            "`{name}` is serialised but missing from the cache-schema manifest"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (idx, rule_id, message) in raw {
+        let t = &tokens[idx];
+        scan.diagnostics
+            .push(make_diag(rule_id, rel_path, t.line, t.col, message));
+    }
+
+    // Apply suppressions: a suppression on line L covers [L, L+1]
+    // (block comments: their *last* line).
+    scan.diagnostics.sort_by_key(|d| (d.line, d.col, d.rule));
+    for diag in &mut scan.diagnostics {
+        if diag.rule == "X-001" {
+            continue; // malformed suppressions cannot self-suppress
+        }
+        for sup in suppressions.iter_mut() {
+            if sup.rule == diag.rule && diag.line >= sup.line && diag.line <= sup.end_line + 1 {
+                diag.suppressed = Some(sup.reason.clone());
+                sup.used = true;
+                break;
+            }
+        }
+    }
+    for sup in &suppressions {
+        if !sup.used {
+            scan.diagnostics.push(make_diag(
+                "X-002",
+                rel_path,
+                sup.line,
+                1,
+                format!("allow({}) matched no diagnostic", sup.rule),
+            ));
+        }
+    }
+    scan
+}
+
+impl Diagnostic {
+    /// Builds an unsuppressed diagnostic for a known rule id,
+    /// inheriting the rule's severity and hint.
+    pub fn new(
+        rule_id: &'static str,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Diagnostic {
+        let info = rule(rule_id).unwrap_or(&RULES[0]);
+        Diagnostic {
+            rule: rule_id,
+            severity: info.severity,
+            file: file.to_owned(),
+            line,
+            col,
+            message,
+            hint: info.hint,
+            suppressed: None,
+        }
+    }
+}
+
+fn make_diag(
+    rule_id: &'static str,
+    file: &str,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Diagnostic {
+    Diagnostic::new(rule_id, file, line, col, message)
+}
+
+fn ident_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.starts_with(c))
+}
+
+/// `a::b` starting at token `i`.
+fn matches_path2(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+    ident_at(tokens, i, a)
+        && punct_at(tokens, i + 1, ':')
+        && punct_at(tokens, i + 2, ':')
+        && ident_at(tokens, i + 3, b)
+}
+
+fn determinism_at(tokens: &[Token], i: usize, raw: &mut Vec<(usize, &'static str, String)>) {
+    for clock in ["Instant", "SystemTime"] {
+        if matches_path2(tokens, i, clock, "now") {
+            raw.push((i, "D-001", format!("wall-clock read `{clock}::now`")));
+        }
+    }
+    if ident_at(tokens, i, "thread_rng")
+        || ident_at(tokens, i, "OsRng")
+        || ident_at(tokens, i, "from_entropy")
+        || ident_at(tokens, i, "getrandom")
+    {
+        let t = &tokens[i];
+        raw.push((i, "D-002", format!("ambient RNG source `{}`", t.text)));
+    }
+    if matches_path2(tokens, i, "rand", "random") {
+        raw.push((i, "D-002", "ambient RNG source `rand::random`".to_owned()));
+    }
+    for container in ["HashMap", "HashSet"] {
+        if ident_at(tokens, i, container) {
+            raw.push((
+                i,
+                "D-003",
+                format!("`{container}` in protocol code (unordered iteration)"),
+            ));
+        }
+    }
+}
+
+fn robustness_at(tokens: &[Token], i: usize, raw: &mut Vec<(usize, &'static str, String)>) {
+    if punct_at(tokens, i, '.') && punct_at(tokens, i + 2, '(') {
+        if ident_at(tokens, i + 1, "unwrap") {
+            raw.push((i + 1, "R-001", "`.unwrap()` in library code".to_owned()));
+        } else if ident_at(tokens, i + 1, "expect") {
+            raw.push((i + 1, "R-002", "`.expect(…)` in library code".to_owned()));
+        }
+    }
+    for mac in ["panic", "todo", "unimplemented"] {
+        if ident_at(tokens, i, mac) && punct_at(tokens, i + 1, '!') {
+            raw.push((i, "R-003", format!("`{mac}!` in library code")));
+        }
+    }
+}
+
+/// Detects `#[derive(… Serialize …)] struct/enum Name` and
+/// `impl Serialize for Name` at token `i`, recording the type name.
+fn collect_serialize(
+    tokens: &[Token],
+    i: usize,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<(String, u32, u32)>,
+) {
+    // `impl … Serialize for Name` — the `Serialize for Name` triple is
+    // unambiguous (no punctuation separates them in an impl header).
+    if ident_at(tokens, i, "Serialize")
+        && ident_at(tokens, i + 1, "for")
+        && tokens
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+    {
+        if let Some(t) = tokens.get(i + 2) {
+            out.push((t.text.clone(), t.line, t.col));
+        }
+        return;
+    }
+    // `#[derive(…)]` with Serialize among the paths.
+    if !(punct_at(tokens, i, '#')
+        && punct_at(tokens, i + 1, '[')
+        && ident_at(tokens, i + 2, "derive"))
+    {
+        return;
+    }
+    // Find the closing `]` of this attribute.
+    let mut depth = 0i64;
+    let mut close = None;
+    for (idx, t) in tokens.iter().enumerate().skip(i + 1) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(idx);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else { return };
+    let has_serialize = tokens[i + 3..close]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "Serialize");
+    if !has_serialize || in_test(i) {
+        return;
+    }
+    // Skip further attributes, then visibility, to the item keyword.
+    let mut j = close + 1;
+    loop {
+        if punct_at(tokens, j, '#') && punct_at(tokens, j + 1, '[') {
+            let mut d = 0i64;
+            let mut advanced = false;
+            for (idx, t) in tokens.iter().enumerate().skip(j + 1) {
+                if t.kind != TokenKind::Punct {
+                    continue;
+                }
+                match t.text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            j = idx + 1;
+                            advanced = true;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !advanced {
+                return;
+            }
+            continue;
+        }
+        if ident_at(tokens, j, "pub") {
+            j += 1;
+            if punct_at(tokens, j, '(') {
+                // pub(crate) / pub(in path)
+                let mut d = 0i64;
+                for (idx, t) in tokens.iter().enumerate().skip(j) {
+                    if t.kind != TokenKind::Punct {
+                        continue;
+                    }
+                    match t.text.as_str() {
+                        "(" => d += 1,
+                        ")" => {
+                            d -= 1;
+                            if d == 0 {
+                                j = idx + 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    if ident_at(tokens, j, "struct") || ident_at(tokens, j, "enum") || ident_at(tokens, j, "union")
+    {
+        if let Some(t) = tokens.get(j + 1) {
+            if t.kind == TokenKind::Ident {
+                // Anchor at the attribute so a suppression directly
+                // above `#[derive(…)]` covers the finding.
+                let anchor = &tokens[i];
+                out.push((t.text.clone(), anchor.line, anchor.col));
+            }
+        }
+    }
+}
+
+/// Parses `stabl-lint: allow(rule, reason)` comments; pushes X-001
+/// diagnostics for malformed ones.
+fn parse_suppressions(
+    comments: &[Comment],
+    rel_path: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for comment in comments {
+        // Doc comments (`///`, `//!` — text starts with `/` or `!`)
+        // only *document* the syntax; suppressions are plain comments.
+        if comment.text.starts_with('/') || comment.text.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = comment.text.split("stabl-lint:").nth(1) else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest.starts_with("cache-schema") {
+            continue; // manifest marker, parsed by the engine
+        }
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split(')').next())
+        else {
+            diags.push(make_diag(
+                "X-001",
+                rel_path,
+                comment.line,
+                1,
+                format!("unrecognised stabl-lint directive `{rest}`"),
+            ));
+            continue;
+        };
+        let Some((rule_id, reason)) = inner.split_once(',') else {
+            diags.push(make_diag(
+                "X-001",
+                rel_path,
+                comment.line,
+                1,
+                "suppression has no reason — allow(rule-id, reason)".to_owned(),
+            ));
+            continue;
+        };
+        let rule_id = rule_id.trim();
+        let reason = reason.trim();
+        if rule(rule_id).is_none() {
+            diags.push(make_diag(
+                "X-001",
+                rel_path,
+                comment.line,
+                1,
+                format!("unknown rule id `{rule_id}` in suppression"),
+            ));
+            continue;
+        }
+        if reason.is_empty() {
+            diags.push(make_diag(
+                "X-001",
+                rel_path,
+                comment.line,
+                1,
+                "suppression reason is empty".to_owned(),
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            rule: rule_id.to_owned(),
+            reason: reason.to_owned(),
+            line: comment.line,
+            end_line: comment.end_line,
+            used: false,
+        });
+    }
+    out
+}

@@ -1,0 +1,12 @@
+// X-rule fixtures: malformed and unused suppressions.
+
+// stabl-lint: allow(R-001)
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// stabl-lint: allow(Z-999, no such rule)
+pub fn unknown_rule() {}
+
+// stabl-lint: allow(R-003, nothing here panics so this is unused)
+pub fn no_panic_here() {}

@@ -1,0 +1,7 @@
+// R-004 out-of-scope fixture: binaries may choose the exit code, and
+// library R-rules do not apply under src/bin.
+fn main() {
+    let v: Option<u32> = Some(2);
+    let _ = v.unwrap();
+    std::process::exit(0);
+}

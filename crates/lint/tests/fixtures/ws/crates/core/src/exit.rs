@@ -1,0 +1,4 @@
+// R-004 positive fixture: process::exit in library code.
+pub fn die() {
+    std::process::exit(1);
+}

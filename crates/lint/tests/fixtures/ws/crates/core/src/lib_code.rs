@@ -1,0 +1,37 @@
+// R-rule fixtures: unwrap/expect/panic/todo in library code, one
+// suppressed, test module exempt.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+pub fn tolerated(v: Option<u32>) -> u32 {
+    // stabl-lint: allow(R-001, fixture demonstrating a reasoned unwrap)
+    v.unwrap()
+}
+
+pub fn fine(v: Option<u32>) -> u32 {
+    // unwrap_or is total: not a violation.
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

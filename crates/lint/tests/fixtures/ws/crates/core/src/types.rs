@@ -1,0 +1,24 @@
+// S-001 fixtures: one listed type, one unlisted derive, one unlisted
+// manual impl, one suppressed.
+
+#[derive(Serialize)]
+pub struct Listed {
+    pub x: u32,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Unlisted {
+    pub y: u32,
+}
+
+pub struct Manual;
+
+impl Serialize for Manual {
+    fn to_content(&self) {}
+}
+
+// stabl-lint: allow(S-001, fixture demonstrating a reasoned unlisted type)
+#[derive(Serialize)]
+pub struct Tolerated {
+    pub z: u32,
+}

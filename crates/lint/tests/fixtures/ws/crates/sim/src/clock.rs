@@ -1,0 +1,43 @@
+// D-rule positive fixture: every determinism violation once.
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn wall_clock_sys() -> u64 {
+    let _ = SystemTime::now();
+    0
+}
+
+pub fn ambient_rng() -> u64 {
+    let rng = thread_rng();
+    rand::random()
+}
+
+pub fn containers() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    let _ = (m, s);
+}
+
+// Comments and strings must NOT trip the rules:
+// Instant::now() in a comment is fine.
+pub fn innocent() -> &'static str {
+    "Instant::now() and HashMap in a string are fine"
+}
+
+/* Block comment: SystemTime::now, thread_rng, HashSet — all fine.
+   /* nested: rand::random */ still inside the comment. */
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from D-rules.
+    use std::collections::HashMap;
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = HashMap::<u32, u32>::new();
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,14 @@
+// D-rule suppressed fixture: violations covered by allow() comments.
+use std::collections::HashMap; // stabl-lint: allow(D-003, fixture demonstrating a trailing same-line suppression)
+
+pub fn slow_path_cache() -> u64 {
+    // stabl-lint: allow(D-001, fixture demonstrating an above-line suppression)
+    let _ = std::time::Instant::now();
+    0
+}
+
+pub fn lookup_only() -> u64 {
+    // stabl-lint: allow(D-003, fixture demonstrating reasoned container use)
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len() as u64
+}

@@ -1,0 +1,5 @@
+// Under a skipped path: never scanned, violations invisible.
+pub fn invisible() {
+    let _ = std::time::Instant::now();
+    panic!("never seen");
+}

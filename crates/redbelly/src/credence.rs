@@ -8,7 +8,7 @@
 //! recommends this library; the helper here is the equivalent
 //! aggregation logic over the simulation's hashes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use stabl_sim::NodeId;
 use stabl_types::Hash32;
@@ -34,7 +34,7 @@ use stabl_types::Hash32;
 #[derive(Clone, Debug)]
 pub struct CredenceRead {
     t: usize,
-    responses: HashMap<NodeId, Hash32>,
+    responses: BTreeMap<NodeId, Hash32>,
     decided: Option<Hash32>,
 }
 
@@ -43,7 +43,7 @@ impl CredenceRead {
     pub fn new(t: usize) -> CredenceRead {
         CredenceRead {
             t,
-            responses: HashMap::new(),
+            responses: BTreeMap::new(),
             decided: None,
         }
     }

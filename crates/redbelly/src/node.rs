@@ -2,7 +2,7 @@
 //! consensus, collaborative (uncapped) blocks and `MaxIdleTime`-driven
 //! passive reconnection.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use stabl_sim::{ConnAction, ConnectionManager, Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Ledger, Transaction, TxId};
@@ -112,7 +112,7 @@ pub struct RedbellyNode {
     executed_height: u64,
     // Consensus (volatile).
     height: u64,
-    heights: HashMap<u64, HeightState>,
+    heights: BTreeMap<u64, HeightState>,
     // Execution pipeline.
     exec_busy_until: SimTime,
     exec_queue: Vec<(u64, SimTime)>,
@@ -292,7 +292,7 @@ impl RedbellyNode {
         // *set union* of the included batches — Set Byzantine Consensus
         // combines the valid transactions of all proposals, executing
         // each only once however many proposers included it.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut superblock = Vec::new();
         for (slot, instance) in state.instances.iter().enumerate() {
             if instance.decision() == Some(true) {
@@ -513,7 +513,7 @@ impl Protocol for RedbellyNode {
             ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
             executed_height: 0,
             height: 0,
-            heights: HashMap::new(),
+            heights: BTreeMap::new(),
             exec_busy_until: SimTime::ZERO,
             exec_queue: Vec::new(),
             pool: AccountPool::new(config.pool_capacity),

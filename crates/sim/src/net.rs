@@ -462,7 +462,7 @@ pub struct Network {
     link_reorders: u64,
     /// Extra delay added to every message a node sends (a slow but
     /// correct node: overloaded CPU, congested uplink).
-    slowdowns: std::collections::HashMap<NodeId, SimDuration>,
+    slowdowns: std::collections::BTreeMap<NodeId, SimDuration>,
 }
 
 impl Network {
@@ -479,7 +479,7 @@ impl Network {
             link_drops: 0,
             link_dups: 0,
             link_reorders: 0,
-            slowdowns: std::collections::HashMap::new(),
+            slowdowns: std::collections::BTreeMap::new(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! The discrete-event simulation kernel.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use crate::protocol::Effect;
 use crate::stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
@@ -225,13 +225,13 @@ pub struct Simulation<P: Protocol> {
     net: Network,
     net_rng: DetRng,
     next_timer: u64,
-    cancelled_timers: HashSet<u64>,
-    partition_handles: HashMap<u64, PartitionId>,
+    cancelled_timers: BTreeSet<u64>,
+    partition_handles: BTreeMap<u64, PartitionId>,
     next_partition_handle: u64,
-    link_fault_handles: HashMap<u64, LinkFaultId>,
+    link_fault_handles: BTreeMap<u64, LinkFaultId>,
     next_link_fault_handle: u64,
     fifo_links: bool,
-    link_clock: HashMap<(u32, u32), SimTime>,
+    link_clock: BTreeMap<(u32, u32), SimTime>,
     commits: Vec<CommitRecord<P::Commit>>,
     panics: Vec<PanicRecord>,
     trace: VecDeque<TraceLine>,
@@ -265,13 +265,13 @@ impl<P: Protocol> Simulation<P> {
             },
             net_rng: master.derive(u64::MAX),
             next_timer: 0,
-            cancelled_timers: HashSet::new(),
-            partition_handles: HashMap::new(),
+            cancelled_timers: BTreeSet::new(),
+            partition_handles: BTreeMap::new(),
             next_partition_handle: 0,
-            link_fault_handles: HashMap::new(),
+            link_fault_handles: BTreeMap::new(),
             next_link_fault_handle: 0,
             fifo_links: b.fifo_links,
-            link_clock: HashMap::new(),
+            link_clock: BTreeMap::new(),
             commits: Vec::new(),
             panics: Vec::new(),
             trace: VecDeque::new(),
@@ -471,11 +471,8 @@ impl<P: Protocol> Simulation<P> {
     /// Runs the simulation until no event at or before `horizon` remains;
     /// the clock finishes at `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(head) = self.queue.peek() {
-            if head.time > horizon {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event must pop");
+        while self.queue.peek().is_some_and(|head| head.time <= horizon) {
+            let Some(ev) = self.queue.pop() else { break };
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
             self.stats.events_processed += 1;

@@ -3,7 +3,7 @@
 //! state machine whose violated precondition crashes every node after a
 //! transient outage (paper §5).
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use stabl_sim::{Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
@@ -73,19 +73,19 @@ pub struct SolanaNode {
     config: SolanaConfig,
     // Bank state.
     blocks: BTreeMap<u64, Block>,
-    votes: HashMap<u64, HashMap<Hash32, std::collections::BTreeSet<NodeId>>>,
-    voted_slots: HashSet<u64>,
-    confirmed: HashSet<u64>,
+    votes: BTreeMap<u64, BTreeMap<Hash32, BTreeSet<NodeId>>>,
+    voted_slots: BTreeSet<u64>,
+    confirmed: BTreeSet<u64>,
     highest_confirmed: u64,
     root: u64,
     ledger: Ledger,
     // Epoch-Accounts-Hash (durable: derived from snapshots on disk).
-    eah: HashMap<u64, EahState>,
+    eah: BTreeMap<u64, EahState>,
     // Leader pipeline: the per-slot buffer of forwarded transactions.
     buffer: AccountPool,
     // RPC outbox: client transactions pending confirmation.
     outbox: VecDeque<Transaction>,
-    outbox_ids: HashSet<TxId>,
+    outbox_ids: BTreeSet<TxId>,
     current_slot: u64,
     // Stake distribution (leader slots and vote quorums are weighted).
     stakes: Vec<u64>,
@@ -322,16 +322,16 @@ impl Protocol for SolanaNode {
             id,
             config: config.clone(),
             blocks: BTreeMap::new(),
-            votes: HashMap::new(),
-            voted_slots: HashSet::new(),
-            confirmed: HashSet::new(),
+            votes: BTreeMap::new(),
+            voted_slots: BTreeSet::new(),
+            confirmed: BTreeSet::new(),
             highest_confirmed: 0,
             root: 0,
             ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
-            eah: HashMap::new(),
+            eah: BTreeMap::new(),
             buffer: AccountPool::new(config.outbox_capacity),
             outbox: VecDeque::new(),
-            outbox_ids: HashSet::new(),
+            outbox_ids: BTreeSet::new(),
             current_slot: 0,
             stakes,
             stake_quorum,
