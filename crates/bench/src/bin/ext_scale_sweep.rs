@@ -8,20 +8,22 @@
 
 use stabl::{report_from_runs, Chain, PaperSetup, ScenarioKind};
 use stabl_bench::{BenchOpts, Job};
+use stabl_stats::SeedSequence;
 
 const SIZES: [usize; 3] = [10, 16, 22];
 
 fn main() {
     let opts = BenchOpts::from_args();
+    // Each sweep point gets its own decorrelated seed from the audited
+    // derivation path (index 0 = the base seed itself for n = SIZES[0]).
+    let seeds = SeedSequence::new(opts.setup.seed);
     let sweep: Vec<PaperSetup> = SIZES
         .iter()
-        .map(|&n| {
-            let mut setup = PaperSetup {
-                n,
-                ..opts.setup.clone()
-            };
-            setup.seed ^= n as u64;
-            setup
+        .enumerate()
+        .map(|(i, &n)| PaperSetup {
+            n,
+            seed: seeds.seed(i),
+            ..opts.setup.clone()
         })
         .collect();
     let jobs = sweep

@@ -1,0 +1,36 @@
+//! Fig. 3 under replication — the sensitivity campaign fanned out over
+//! N seeds with 95 % percentile-bootstrap confidence intervals per
+//! (chain, scenario) cell.
+//!
+//! The paper reports each score from a single run; this binary reports
+//! `score ± CI` plus commit-ratio and mean-latency intervals, and
+//! counts the replicates whose sensitivity was infinite (liveness
+//! loss) instead of averaging them away. The artifact
+//! (`fig3_sensitivity_ci.json`) is what the `stabl-stats gate` diffs
+//! against the committed golden tree in CI.
+
+use stabl_bench::{
+    replication_table, run_replicated_campaign_with_telemetry, BenchOpts, DEFAULT_REPLICATES,
+};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let replicates = opts.replicates.unwrap_or(DEFAULT_REPLICATES);
+    eprintln!(
+        "Fig. 3 with CIs: {} replicates x full campaign ({})",
+        replicates, opts.setup.horizon
+    );
+    let (campaign, telemetry) =
+        run_replicated_campaign_with_telemetry(&opts.engine(), &opts.setup, replicates);
+
+    println!(
+        "\n{}",
+        replication_table("Fig. 3 — sensitivity with 95% bootstrap CIs", &campaign)
+    );
+
+    opts.write_json("fig3_sensitivity_ci.json", &campaign);
+    // Wall-clock data goes to its own artefact; the name deliberately
+    // does not end in `_ci.json` so the regression gate never diffs
+    // machine-dependent timings.
+    opts.write_json("fig3_sensitivity_ci_telemetry.json", &telemetry);
+}

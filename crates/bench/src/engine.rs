@@ -37,8 +37,10 @@ use stabl_types::Sha256;
 /// retry counters; `RunConfig` gained the adversity surface (fault
 /// schedules, Byzantine specs, retry policies). v3: `RunResult` gained
 /// the per-stage latency decomposition (`stages`); `SimStats` gained
-/// `dropped_trace_lines`.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// `dropped_trace_lines`. v4: `RunSummary` quantiles moved onto the
+/// `stabl-stats` quantile-sketch grid and the replication artifacts
+/// (`ReplicatedCampaign` and friends) joined the serialised surface.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 // The cache-schema manifest: every type with a `Serialize` impl in the
 // `RunResult`-reachable crates must be listed here, and `stabl-lint`
@@ -52,6 +54,10 @@ pub const CACHE_SCHEMA_VERSION: u32 = 3;
 // stabl-lint: cache-schema: SimTime, SimDuration, NodeId, PanicRecord, SimStats
 // stabl-lint: cache-schema: CaptureLevel, SimEvent, TimedEvent, EventCounters
 // stabl-lint: cache-schema: LinkFault, ByzantineBehavior, ByzantineSpec
+// stabl-lint: cache-schema: MeanVar, QuantileSketch, SeedSequence
+// stabl-lint: cache-schema: ConfidenceInterval, CellObservation, ReplicateScore
+// stabl-lint: cache-schema: MetricCi, ReplicatedCell, ReplicatedCampaign
+// stabl-lint: cache-schema: MetricVerdict, GateReport
 
 /// One simulation run the engine can schedule: a display label, the
 /// material its cache key is derived from, and the work itself.
@@ -509,6 +515,24 @@ pub fn run_campaign_with_telemetry(
     let cells = campaign_cells();
     let (results, telemetry) =
         engine.run_with_telemetry(cells.iter().map(|cell| cell.job(setup)).collect());
+    (reports_from_campaign_results(&results), telemetry)
+}
+
+/// Assembles the campaign reports from one [`campaign_cells`]-ordered
+/// result slice (chain-major, [`CELLS_PER_CHAIN`] cells per chain).
+/// Shared by the single-seed campaign and the per-replicate assembly of
+/// the replication engine.
+///
+/// # Panics
+///
+/// Panics if `results` is shorter than the campaign matrix.
+pub fn reports_from_campaign_results(results: &[RunResult]) -> Vec<ScenarioReport> {
+    assert!(
+        results.len() >= Chain::ALL.len() * CELLS_PER_CHAIN,
+        "campaign result slice is truncated: {} of {} cells",
+        results.len(),
+        Chain::ALL.len() * CELLS_PER_CHAIN
+    );
     let mut reports = Vec::new();
     for (i, &chain) in Chain::ALL.iter().enumerate() {
         let base = &results[i * CELLS_PER_CHAIN];
@@ -523,7 +547,7 @@ pub fn run_campaign_with_telemetry(
             reports.push(report_from_runs(chain, kind, reference, altered));
         }
     }
-    (reports, telemetry)
+    reports
 }
 
 /// Runs baseline + one altered scenario for every chain and returns the
@@ -568,7 +592,9 @@ mod tests {
                 ..base.clone()
             },
             RunConfig {
-                seed: base.seed + 1,
+                // Derive the perturbed seed the way every replicated
+                // campaign does, not with ad-hoc arithmetic.
+                seed: stabl_stats::SeedSequence::new(base.seed).seed(1),
                 ..base.clone()
             },
             RunConfig {

@@ -6,6 +6,7 @@
 //! |---|---|
 //! | `fig1_aptos_ecdf` | Fig. 1 — Aptos latency eCDFs, baseline vs failures |
 //! | `fig3_sensitivity` | Fig. 3a–d — sensitivity scores of the 5 chains per fault type |
+//! | `fig3_sensitivity_ci` | Fig. 3 replicated over N seeds with 95 % bootstrap CIs |
 //! | `fig4_throughput_crash` | Fig. 4 — throughput over time under `f = t` crashes |
 //! | `fig5_throughput_transient` | Fig. 5 — throughput over time under transient failures |
 //! | `fig6_throughput_partition` | Fig. 6 — throughput over time under a partition |
@@ -24,7 +25,9 @@
 //! * `--jobs <n>` — worker threads for the campaign [`engine`] (default:
 //!   all hardware threads);
 //! * `--no-cache` — recompute every cell instead of replaying the
-//!   content-addressed cache under `<out>/.cache/`.
+//!   content-addressed cache under `<out>/.cache/`;
+//! * `--replicates <n>` — seeds per cell for replicated campaigns (only
+//!   the `*_ci` binaries read it; default 8).
 //!
 //! All runs go through the campaign [`engine`]: cells execute
 //! concurrently and memoise their results, but artefacts are assembled
@@ -32,6 +35,7 @@
 //! whatever the `--jobs`/cache settings.
 
 pub mod engine;
+pub mod replicate;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -39,6 +43,10 @@ use std::path::{Path, PathBuf};
 pub use engine::{
     run_campaign, run_campaign_with_telemetry, run_part, CampaignCell, CellTelemetry, Engine,
     EngineSummary, EngineTelemetry, Job,
+};
+pub use replicate::{
+    replication_table, run_replicated_campaign, run_replicated_campaign_with_telemetry,
+    DEFAULT_REPLICATES,
 };
 
 use stabl::report::{RadarRow, ScenarioReport, SensitivityRecord};
@@ -55,6 +63,9 @@ pub struct BenchOpts {
     pub jobs: usize,
     /// Skip the on-disk run cache and recompute every cell.
     pub no_cache: bool,
+    /// Seeds per cell for replicated campaigns (`--replicates`); `None`
+    /// leaves the binary's default in force.
+    pub replicates: Option<usize>,
 }
 
 impl BenchOpts {
@@ -71,6 +82,7 @@ impl BenchOpts {
         let mut seed: Option<u64> = None;
         let mut jobs = Engine::default_workers();
         let mut no_cache = false;
+        let mut replicates: Option<usize> = None;
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => {
@@ -98,8 +110,17 @@ impl BenchOpts {
                         .expect("--jobs takes a positive thread count");
                 }
                 "--no-cache" => no_cache = true,
+                "--replicates" => {
+                    replicates = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n > 0)
+                            .expect("--replicates takes a positive seed count"),
+                    );
+                }
                 other => panic!(
-                    "unknown argument {other}; known: --quick --seed --out --jobs --no-cache"
+                    "unknown argument {other}; known: --quick --seed --out --jobs \
+                     --no-cache --replicates"
                 ),
             }
         }
@@ -113,6 +134,7 @@ impl BenchOpts {
             out_dir,
             jobs,
             no_cache,
+            replicates,
         }
     }
 

@@ -8,5 +8,10 @@ mod throughput;
 
 pub use dependability::{downtime_seconds, throughput_drop, RecoveryReport, WindowError};
 pub use ecdf::{Ecdf, EcdfError, Sensitivity};
+// The mergeable summary sketches live in `stabl-stats` so the bench
+// replication engine can fold per-seed summaries without a dependency
+// on this crate; re-exported here because `RunSummary` quantiles are
+// computed through them.
 pub use latency::{LatencyHistogram, StageLatencies, HISTOGRAM_BUCKETS};
+pub use stabl_stats::{MeanVar, QuantileSketch};
 pub use throughput::ThroughputSeries;

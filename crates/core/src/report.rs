@@ -6,7 +6,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::harness::RunResult;
-use crate::metrics::Sensitivity;
+use crate::metrics::{QuantileSketch, Sensitivity};
 use crate::{Chain, ScenarioKind};
 
 /// Aggregate statistics of one run.
@@ -34,16 +34,22 @@ pub struct RunSummary {
 
 impl RunSummary {
     /// Summarises a run.
+    ///
+    /// Latency quantiles come from the shared [`QuantileSketch`] rather
+    /// than the exact eCDF so a replicated campaign can merge per-seed
+    /// summaries associatively; the sketch quantises p50/p95 onto its
+    /// 1/64-relative-error grid (min, max and mean stay exact).
     pub fn of(result: &RunResult) -> RunSummary {
         let ecdf = result.ecdf().ok();
+        let sketch = QuantileSketch::from_secs(result.latencies.iter().copied());
         RunSummary {
             submitted: result.submitted,
             committed: result.latencies.len(),
             unresolved: result.unresolved,
             mean_latency: ecdf.as_ref().map(|e| e.mean()),
-            p50_latency: ecdf.as_ref().map(|e| e.quantile(0.5)),
-            p95_latency: ecdf.as_ref().map(|e| e.quantile(0.95)),
-            max_latency: ecdf.as_ref().map(|e| e.max()),
+            p50_latency: sketch.quantile(0.5),
+            p95_latency: sketch.quantile(0.95),
+            max_latency: sketch.max_secs(),
             lost_liveness: result.lost_liveness,
             panicked_nodes: {
                 let mut nodes: Vec<u32> = result.panics.iter().map(|p| p.node.as_u32()).collect();
@@ -164,6 +170,65 @@ pub fn ascii_bar(record: SensitivityRecord, scale_max: f64, width: usize) -> Str
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::harness::RunResult;
+    use crate::metrics::StageLatencies;
+    use stabl_sim::{SimStats, SimTime};
+
+    fn result_with_latencies(latencies: &[f64]) -> RunResult {
+        RunResult {
+            latencies: latencies.to_vec(),
+            commit_times: vec![SimTime::ZERO; latencies.len()],
+            submitted: latencies.len(),
+            unresolved: 0,
+            lost_liveness: false,
+            panics: Vec::new(),
+            stats: SimStats::default(),
+            retries: 0,
+            give_ups: 0,
+            horizon: SimTime::ZERO,
+            stages: StageLatencies::new(),
+        }
+    }
+
+    /// Pins the sketch-backed summary quantiles against exact
+    /// sorted-order nearest-rank quantiles. The inputs sit in the
+    /// sketch's exact region (< 128 µs) and on grid-aligned bucket
+    /// bounds, so quantisation must not move them at all.
+    #[test]
+    fn summary_quantiles_match_exact_sorted_order() {
+        // 5 samples, all below 128 µs: the sketch is exact here.
+        let run = result_with_latencies(&[0.000_030, 0.000_010, 0.000_050, 0.000_020, 0.000_040]);
+        let summary = RunSummary::of(&run);
+        // Nearest-rank: p50 → rank ⌈2.5⌉ = 3, p95 → rank ⌈4.75⌉ = 5.
+        assert_eq!(summary.p50_latency, Some(0.000_030));
+        assert_eq!(summary.p95_latency, Some(0.000_050));
+        assert_eq!(summary.max_latency, Some(0.000_050));
+
+        // 20 samples of 1..=20 µs: p50 → rank 10, p95 → rank 19.
+        let micros: Vec<f64> = (1..=20).map(|i| i as f64 * 1e-6).collect();
+        let run = result_with_latencies(&micros);
+        let summary = RunSummary::of(&run);
+        assert_eq!(summary.p50_latency, Some(0.000_010));
+        assert_eq!(summary.p95_latency, Some(0.000_019));
+        assert_eq!(summary.max_latency, Some(0.000_020));
+
+        // Grid-aligned seconds-scale values (powers of two × 1 ms are
+        // exact bucket lower bounds).
+        let run = result_with_latencies(&[0.128, 0.256, 0.512, 1.024]);
+        let summary = RunSummary::of(&run);
+        assert_eq!(summary.p50_latency, Some(0.256));
+        assert_eq!(summary.p95_latency, Some(1.024));
+        assert_eq!(summary.max_latency, Some(1.024));
+    }
+
+    #[test]
+    fn summary_of_empty_run_has_no_latency_stats() {
+        let summary = RunSummary::of(&result_with_latencies(&[]));
+        assert_eq!(summary.mean_latency, None);
+        assert_eq!(summary.p50_latency, None);
+        assert_eq!(summary.p95_latency, None);
+        assert_eq!(summary.max_latency, None);
+    }
 
     #[test]
     fn sensitivity_record_roundtrip() {

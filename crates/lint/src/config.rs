@@ -58,14 +58,20 @@ impl Default for Config {
                 "crates/avalanche/src".to_owned(),
                 "crates/redbelly/src".to_owned(),
                 "crates/solana/src".to_owned(),
+                "crates/stats/src".to_owned(),
             ],
-            robustness: vec!["crates/core/src".to_owned(), "crates/sim/src".to_owned()],
+            robustness: vec![
+                "crates/core/src".to_owned(),
+                "crates/sim/src".to_owned(),
+                "crates/stats/src".to_owned(),
+            ],
             bins: vec!["src/bin".to_owned()],
             cache: vec![
                 "crates/core/src".to_owned(),
                 "crates/sim/src".to_owned(),
                 "crates/types/src".to_owned(),
                 "crates/bench/src/engine.rs".to_owned(),
+                "crates/stats/src".to_owned(),
             ],
             manifest: Some("crates/bench/src/engine.rs".to_owned()),
         }

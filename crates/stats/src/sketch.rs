@@ -1,0 +1,525 @@
+//! Mergeable summary sketches: Welford mean/variance and a
+//! deterministic fixed-bucket quantile sketch.
+//!
+//! Both sketches are built for the replication engine's fold: a summary
+//! of N per-seed runs must equal the summary of one concatenated run,
+//! whatever order the per-seed parts arrive in. [`QuantileSketch`]
+//! achieves this *exactly* — its state is integer bucket counts, so
+//! `merge` is associative and commutative bit-for-bit. [`MeanVar`] uses
+//! Welford's recurrence with Chan's parallel combination; its merge is
+//! order-insensitive up to floating-point rounding (exact in count,
+//! ≈1 ulp in the moments), and every code path folds in a fixed order
+//! so serialised artifacts stay byte-identical across runs.
+//!
+//! The quantile sketch quantises samples onto a fixed HDR-style grid:
+//! integer microseconds with [`SKETCH_SUB_BUCKET_BITS`] bits of
+//! sub-bucket resolution per octave, giving a deterministic relative
+//! error of at most `2^-6 ≈ 1.6 %` — no floating-point binning that
+//! could differ across platforms, and no data-dependent bucket layout
+//! that would break associativity.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket resolution of [`QuantileSketch`]: each power-of-two
+/// octave is split into `2^SKETCH_SUB_BUCKET_BITS = 64` linear buckets,
+/// bounding the relative quantisation error by 1/64.
+pub const SKETCH_SUB_BUCKET_BITS: u32 = 6;
+
+const SUB_COUNT: u64 = 1 << SKETCH_SUB_BUCKET_BITS;
+
+/// Single-pass mean and variance (Welford) with Chan's parallel merge.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_stats::MeanVar;
+///
+/// let mut mv = MeanVar::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     mv.record(x);
+/// }
+/// assert_eq!(mv.mean(), Some(2.0));
+/// assert_eq!(mv.sample_variance(), Some(1.0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeanVar {
+    /// Finite samples recorded.
+    pub count: u64,
+    /// Running mean (meaningless while `count == 0`).
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (Welford's `M2`).
+    pub m2: f64,
+    /// Smallest recorded sample (meaningless while `count == 0`).
+    pub min: f64,
+    /// Largest recorded sample (meaningless while `count == 0`).
+    pub max: f64,
+    /// Non-finite samples that were rejected rather than recorded.
+    pub rejected: u64,
+}
+
+impl MeanVar {
+    /// An empty accumulator.
+    pub fn new() -> MeanVar {
+        MeanVar {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: 0.0,
+            max: 0.0,
+            rejected: 0,
+        }
+    }
+
+    /// Builds an accumulator from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> MeanVar {
+        let mut mv = MeanVar::new();
+        for x in samples {
+            mv.record(x);
+        }
+        mv
+    }
+
+    /// Records one sample. Non-finite values are counted in
+    /// [`MeanVar::rejected`] instead of poisoning the moments.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Finite samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing (finite) was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The sample mean, if any sample was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// The unbiased sample variance (`n − 1` denominator); needs at
+    /// least two samples.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count >= 2).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// The sample standard deviation; needs at least two samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// The smallest recorded sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// The largest recorded sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Folds `other` into `self` (Chan et al.'s pairwise combination).
+    /// Order-insensitive up to floating-point rounding; exact in
+    /// `count`, `min`, `max` and `rejected`.
+    pub fn merge(&mut self, other: &MeanVar) {
+        self.rejected += other.rejected;
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            let rejected = self.rejected;
+            *self = other.clone();
+            self.rejected = rejected;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count = total;
+    }
+}
+
+impl Default for MeanVar {
+    fn default() -> Self {
+        MeanVar::new()
+    }
+}
+
+/// The bucket a span of `micros` microseconds falls into: values below
+/// `2 · 64 = 128` map to themselves (exact), larger values keep their
+/// top `1 + SKETCH_SUB_BUCKET_BITS` significant bits. Monotone and
+/// contiguous across octave boundaries.
+fn bucket_index(micros: u64) -> u64 {
+    if micros < 2 * SUB_COUNT {
+        return micros;
+    }
+    let exp = u64::from(63 - micros.leading_zeros());
+    let shift = exp - u64::from(SKETCH_SUB_BUCKET_BITS);
+    (shift << SKETCH_SUB_BUCKET_BITS) + (micros >> shift)
+}
+
+/// The smallest value mapping to bucket `index` (the sketch's
+/// representative for the bucket).
+fn bucket_lower_bound(index: u64) -> u64 {
+    if index < 2 * SUB_COUNT {
+        return index;
+    }
+    let shift = (index >> SKETCH_SUB_BUCKET_BITS) - 1;
+    let sub = index - (shift << SKETCH_SUB_BUCKET_BITS);
+    sub << shift
+}
+
+/// A deterministic fixed-bucket quantile sketch over non-negative
+/// latency samples (seconds, quantised to integer microseconds).
+///
+/// The bucket grid is fixed up front (HDR-style: 64 linear sub-buckets
+/// per power-of-two octave), so `merge` is plain integer addition —
+/// associative, commutative and bit-exact. Quantiles are nearest-rank
+/// over the bucket counts and return the bucket's lower bound, clamped
+/// into the exact `[min, max]` of the recorded samples; the relative
+/// quantisation error is at most 1/64 (values below 128 µs are exact).
+///
+/// # Examples
+///
+/// ```
+/// use stabl_stats::QuantileSketch;
+///
+/// let sketch = QuantileSketch::from_secs([0.000_001, 0.000_002, 0.000_003]);
+/// assert_eq!(sketch.quantile(0.5), Some(0.000_002));
+/// assert_eq!(sketch.quantile(1.0), Some(0.000_003));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Sparse `(bucket index, count)` pairs, sorted by index.
+    pub buckets: Vec<(u64, u64)>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact smallest recorded sample, microseconds.
+    pub min_micros: u64,
+    /// Exact largest recorded sample, microseconds.
+    pub max_micros: u64,
+    /// Negative or non-finite samples that were rejected.
+    pub rejected: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            buckets: Vec::new(),
+            count: 0,
+            min_micros: 0,
+            max_micros: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Builds a sketch from latency samples in seconds.
+    pub fn from_secs<I: IntoIterator<Item = f64>>(samples: I) -> QuantileSketch {
+        let mut sketch = QuantileSketch::new();
+        for x in samples {
+            sketch.record_secs(x);
+        }
+        sketch
+    }
+
+    /// Records one latency in seconds. Negative or non-finite samples
+    /// are counted in [`QuantileSketch::rejected`] instead.
+    pub fn record_secs(&mut self, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            self.rejected += 1;
+            return;
+        }
+        // `as` saturates at u64::MAX for absurd inputs — deterministic.
+        self.record_micros((secs * 1e6).round() as u64);
+    }
+
+    /// Records one latency in integer microseconds.
+    pub fn record_micros(&mut self, micros: u64) {
+        if self.count == 0 {
+            self.min_micros = micros;
+            self.max_micros = micros;
+        } else {
+            self.min_micros = self.min_micros.min(micros);
+            self.max_micros = self.max_micros.max(micros);
+        }
+        self.count += 1;
+        let index = bucket_index(micros);
+        match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (index, 1)),
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact smallest sample, seconds.
+    pub fn min_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.min_micros as f64 / 1e6)
+    }
+
+    /// The exact largest sample, seconds.
+    pub fn max_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.max_micros as f64 / 1e6)
+    }
+
+    /// The nearest-rank `q`-quantile, seconds (`q` clamped to
+    /// `[0, 1]`). Quantised to the bucket grid except for `q = 0` and
+    /// `q = 1`, which are exact.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return Some(self.max_micros as f64 / 1e6);
+        }
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let micros = bucket_lower_bound(index).clamp(self.min_micros, self.max_micros);
+                return Some(micros as f64 / 1e6);
+            }
+        }
+        Some(self.max_micros as f64 / 1e6)
+    }
+
+    /// Folds `other` into `self`. Associative, commutative and
+    /// bit-exact: the state is integer bucket counts, merged by
+    /// merge-join over the shared fixed grid.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.rejected += other.rejected;
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            let rejected = self.rejected;
+            *self = other.clone();
+            self.rejected = rejected;
+            return;
+        }
+        self.min_micros = self.min_micros.min(other.min_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+        self.count += other.count;
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia == ib {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else {
+                        merged.push((ib, cb));
+                        b.next();
+                    }
+                }
+                (Some(&&pair), None) => {
+                    merged.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    merged.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meanvar_matches_closed_form() {
+        let mv = MeanVar::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(mv.count(), 8);
+        assert_eq!(mv.mean(), Some(5.0));
+        // Population variance is 4.0, sample variance 32/7.
+        let var = mv.sample_variance().expect("two samples");
+        assert!((var - 32.0 / 7.0).abs() < 1e-12, "{var}");
+        assert_eq!(mv.min(), Some(2.0));
+        assert_eq!(mv.max(), Some(9.0));
+    }
+
+    #[test]
+    fn meanvar_rejects_non_finite() {
+        let mv = MeanVar::from_samples([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(mv.count(), 2);
+        assert_eq!(mv.rejected, 2);
+        assert_eq!(mv.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn meanvar_empty_is_none_everywhere() {
+        let mv = MeanVar::new();
+        assert!(mv.is_empty());
+        assert_eq!(mv.mean(), None);
+        assert_eq!(mv.sample_variance(), None);
+        assert_eq!(mv.std_dev(), None);
+        assert_eq!(mv.min(), None);
+        assert_eq!(mv.max(), None);
+    }
+
+    #[test]
+    fn meanvar_merge_equals_one_shot() {
+        let all: Vec<f64> = (0..40).map(|i| (i as f64).sin() * 10.0 + 12.0).collect();
+        let one_shot = MeanVar::from_samples(all.iter().copied());
+        let mut merged = MeanVar::from_samples(all[..13].iter().copied());
+        merged.merge(&MeanVar::from_samples(all[13..29].iter().copied()));
+        merged.merge(&MeanVar::from_samples(all[29..].iter().copied()));
+        assert_eq!(merged.count(), one_shot.count());
+        let (a, b) = (merged.mean, one_shot.mean);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        let (a, b) = (merged.m2, one_shot.m2);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        assert_eq!(merged.min, one_shot.min);
+        assert_eq!(merged.max, one_shot.max);
+    }
+
+    #[test]
+    fn meanvar_merge_with_empty_is_identity() {
+        let mut mv = MeanVar::from_samples([1.0, 2.0]);
+        let snapshot = mv.clone();
+        mv.merge(&MeanVar::new());
+        assert_eq!(mv, snapshot);
+        let mut empty = MeanVar::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_invertible() {
+        let mut previous = 0u64;
+        for micros in (0..4096u64).chain((1..30).map(|e| (1u64 << e) - 1)) {
+            let index = bucket_index(micros);
+            assert!(index >= previous || micros < previous, "{micros}");
+            let lb = bucket_lower_bound(index);
+            assert!(lb <= micros, "lower bound {lb} above sample {micros}");
+            assert_eq!(bucket_index(lb), index, "lower bound maps back");
+            previous = index;
+        }
+        // Exact region: values below 128 µs are their own bucket.
+        for micros in 0..128u64 {
+            assert_eq!(bucket_lower_bound(bucket_index(micros)), micros);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for micros in [130u64, 1_000, 250_000, 1_000_000, 123_456_789] {
+            let lb = bucket_lower_bound(bucket_index(micros));
+            let err = (micros - lb) as f64 / micros as f64;
+            assert!(err <= 1.0 / 64.0 + 1e-12, "{micros}: err {err}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_exact_on_grid_values() {
+        // 0.128 s = 128 000 µs etc. sit exactly on bucket lower bounds,
+        // so the sketch reproduces exact nearest-rank quantiles.
+        let samples = [0.000_064, 0.000_100, 0.128, 0.256, 0.512];
+        let sketch = QuantileSketch::from_secs(samples);
+        assert_eq!(sketch.quantile(0.0), Some(0.000_064));
+        assert_eq!(sketch.quantile(0.4), Some(0.000_100)); // rank ⌈0.4·5⌉ = 2
+        assert_eq!(sketch.quantile(0.5), Some(0.128)); // rank ⌈0.5·5⌉ = 3
+        assert_eq!(sketch.quantile(0.8), Some(0.256)); // rank 4
+        assert_eq!(sketch.quantile(1.0), Some(0.512));
+    }
+
+    #[test]
+    fn quantile_respects_min_and_max_exactly() {
+        let sketch = QuantileSketch::from_secs([0.333_333, 0.777_777]);
+        assert_eq!(sketch.min_secs(), Some(0.333_333));
+        assert_eq!(sketch.max_secs(), Some(0.777_777));
+        assert_eq!(sketch.quantile(0.0), Some(0.333_333));
+        assert_eq!(sketch.quantile(1.0), Some(0.777_777));
+    }
+
+    #[test]
+    fn sketch_rejects_invalid_samples() {
+        let sketch = QuantileSketch::from_secs([0.5, -1.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(sketch.count(), 1);
+        assert_eq!(sketch.rejected, 3);
+    }
+
+    #[test]
+    fn sketch_merge_is_bit_exact() {
+        let all: Vec<f64> = (1..200).map(|i| i as f64 * 0.013).collect();
+        let one_shot = QuantileSketch::from_secs(all.iter().copied());
+        let mut ab = QuantileSketch::from_secs(all[..71].iter().copied());
+        ab.merge(&QuantileSketch::from_secs(all[71..].iter().copied()));
+        let mut ba = QuantileSketch::from_secs(all[71..].iter().copied());
+        ba.merge(&QuantileSketch::from_secs(all[..71].iter().copied()));
+        assert_eq!(ab, one_shot);
+        assert_eq!(ba, one_shot);
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let sketch = QuantileSketch::new();
+        assert!(sketch.is_empty());
+        assert_eq!(sketch.quantile(0.5), None);
+        assert_eq!(sketch.min_secs(), None);
+        assert_eq!(sketch.max_secs(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sketch = QuantileSketch::from_secs([0.25, 1.5, 0.25]);
+        let json = serde_json::to_string(&sketch).expect("serialise");
+        let back: QuantileSketch = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, sketch);
+        let mv = MeanVar::from_samples([0.25, 1.5]);
+        let json = serde_json::to_string(&mv).expect("serialise");
+        let back: MeanVar = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, mv);
+    }
+}
