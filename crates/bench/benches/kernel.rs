@@ -1,30 +1,77 @@
 //! Criterion benchmarks of the simulation kernel and of short end-to-end
 //! chain runs (simulated seconds per wall second).
+//!
+//! Five groups:
+//!
+//! * `kernel` — the headline chatty-protocol run (10 nodes broadcasting
+//!   on 10 ms timers for one simulated second).
+//! * `agenda` — the calendar-queue agenda in isolation, at three event
+//!   horizon distributions: near (inside the bucket ring), far (mostly
+//!   in the overflow tier) and burst (many events per bucket).
+//! * `timers` — timer churn with heavy cancellation, stressing the
+//!   generation-stamped timer registry and stale agenda slots.
+//! * `fanout` — broadcast cost as the cluster grows (n ∈ {10, 50, 100}).
+//! * `chains_10s_baseline` — the five paper chains end to end.
+//!
+//! The workloads live in [`stabl_bench::speed_bench`] and are shared
+//! with the `ext_speed` binary, so `BENCH_speed.json` tracks exactly
+//! these code paths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use stabl::{Chain, RunConfig};
-use stabl_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime, Simulation};
+use stabl_bench::speed_bench::{agenda_round_trip, event_times, Chatty, Churny};
+use stabl_sim::{SimTime, Simulation};
 
-/// A chatty protocol stressing the event queue: every node broadcasts on
-/// a 10 ms timer.
-struct Chatty;
-impl Protocol for Chatty {
-    type Msg = u64;
-    type Request = u64;
-    type Commit = u64;
-    type Timer = ();
-    type Config = ();
-    fn new(_: NodeId, _: usize, _: &(), ctx: &mut Ctx<'_, Self>) -> Self {
-        ctx.set_timer(SimDuration::from_millis(10), ());
-        Chatty
+fn bench_agenda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agenda");
+    // 10k events inside the bucket ring (64 ms ≪ ring span).
+    let near = event_times(10_000, 64_000, 7);
+    // 10k events across 10 s: the bulk lands in the far (BTreeMap) tier
+    // and migrates into the ring as the cursor advances.
+    let far = event_times(10_000, 10_000_000, 7);
+    // 10k events over just 32 distinct times: long per-bucket vectors,
+    // exercising the sorted in-bucket insert path.
+    let burst: Vec<u64> = event_times(10_000, 32, 7)
+        .into_iter()
+        .map(|t| t * 1_000)
+        .collect();
+    group.bench_function("push_pop_near_10k", |b| {
+        b.iter(|| agenda_round_trip(&near));
+    });
+    group.bench_function("push_pop_far_10k", |b| {
+        b.iter(|| agenda_round_trip(&far));
+    });
+    group.bench_function("push_pop_burst_10k", |b| {
+        b.iter(|| agenda_round_trip(&burst));
+    });
+    group.finish();
+}
+
+fn bench_timers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timers");
+    group.bench_function("churn_cancel_7of8_10nodes_1s", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::<Churny>::new(10, 42, ());
+            sim.run_until(SimTime::from_secs(1));
+            sim.stats().timers_stale
+        });
+    });
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout");
+    group.sample_size(10);
+    for &(n, millis) in &[(10usize, 400u64), (50, 200), (100, 100)] {
+        group.bench_function(format!("broadcast_{n}nodes_{millis}ms"), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::<Chatty>::new(n, 42, ());
+                sim.run_until(SimTime::from_millis(millis));
+                sim.stats().messages_delivered
+            });
+        });
     }
-    fn on_message(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, Self>) {}
-    fn on_timer(&mut self, _: (), ctx: &mut Ctx<'_, Self>) {
-        ctx.broadcast(1);
-        ctx.set_timer(SimDuration::from_millis(10), ());
-    }
-    fn on_request(&mut self, _: u64, _: &mut Ctx<'_, Self>) {}
-    fn on_restart(&mut self, _: &mut Ctx<'_, Self>) {}
+    group.finish();
 }
 
 fn bench_kernel(c: &mut Criterion) {
@@ -51,5 +98,11 @@ fn bench_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel);
+criterion_group!(
+    benches,
+    bench_kernel,
+    bench_agenda,
+    bench_timers,
+    bench_fanout
+);
 criterion_main!(benches);

@@ -47,6 +47,14 @@ pub const CACHE_SCHEMA_VERSION: u32 = 4;
 // (rule S-001/S-002) fails the build when the list drifts from the
 // sources. Adding a name here is the reviewed moment to ask whether
 // CACHE_SCHEMA_VERSION needs a bump.
+// The speed artifact (`ext_speed` → `BENCH_speed.json`) is deliberately
+// outside this surface: it is assembled from untyped `serde_json`
+// values, never passes through the run cache (wall-clock timings must
+// not be memoised), and so adds no `Serialize` types to the manifest.
+// The kernel's internal calendar-queue types (`Agenda`, `MsgArena`,
+// `TimerRegistry`) carry no `Serialize` impls either — the serialised
+// surface (`SimStats`, `RunResult`, …) is unchanged by the PR 6 kernel
+// rewrite, which is why CACHE_SCHEMA_VERSION stays at 4.
 // stabl-lint: cache-schema: RunResult, RunSummary, SensitivityRecord, RadarRow
 // stabl-lint: cache-schema: LatencyHistogram, StageLatencies
 // stabl-lint: cache-schema: CellTelemetry, EngineTelemetry

@@ -36,6 +36,7 @@
 
 pub mod engine;
 pub mod replicate;
+pub mod speed_bench;
 
 use std::fs;
 use std::path::{Path, PathBuf};

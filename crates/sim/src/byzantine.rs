@@ -208,7 +208,7 @@ impl<P: Protocol> ByzantineWrapper<P> {
                 now: ctx.now,
                 rng: &mut *ctx.rng,
                 effects: &mut effects,
-                next_timer: &mut *ctx.next_timer,
+                timers: &mut *ctx.timers,
                 tracing: ctx.tracing,
                 capture: ctx.capture,
             };
@@ -251,6 +251,83 @@ impl<P: Protocol> ByzantineWrapper<P> {
                         }
                     }
                 }
+                Effect::Broadcast { msg } => {
+                    if !self.byzantine {
+                        ctx.effects.push(Effect::Broadcast { msg });
+                        continue;
+                    }
+                    // Expand the fanout exactly as the kernel would
+                    // (ascending node order, skipping the sender) and
+                    // deviate per target.
+                    let me = ctx.node;
+                    let n = ctx.n;
+                    match self.behavior {
+                        ByzantineBehavior::Withhold => {}
+                        ByzantineBehavior::Delay(extra) => {
+                            for to in NodeId::all(n).filter(|to| *to != me) {
+                                ctx.set_timer(
+                                    extra,
+                                    ByzTimer::Deliver {
+                                        to,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
+                        }
+                        ByzantineBehavior::Mutate => {
+                            let wire = self.last_sent.clone().unwrap_or_else(|| msg.clone());
+                            fresh = Some(msg);
+                            ctx.effects.push(Effect::Broadcast { msg: wire });
+                        }
+                        ByzantineBehavior::Equivocate => {
+                            for to in NodeId::all(n).filter(|to| *to != me) {
+                                let wire = if to.as_u32() % 2 == 1 {
+                                    self.last_sent.clone().unwrap_or_else(|| msg.clone())
+                                } else {
+                                    msg.clone()
+                                };
+                                ctx.send(to, wire);
+                            }
+                            fresh = Some(msg);
+                        }
+                    }
+                }
+                Effect::Multicast { targets, msg } => {
+                    if !self.byzantine {
+                        ctx.effects.push(Effect::Multicast { targets, msg });
+                        continue;
+                    }
+                    match self.behavior {
+                        ByzantineBehavior::Withhold => {}
+                        ByzantineBehavior::Delay(extra) => {
+                            for to in targets {
+                                ctx.set_timer(
+                                    extra,
+                                    ByzTimer::Deliver {
+                                        to,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
+                        }
+                        ByzantineBehavior::Mutate => {
+                            let wire = self.last_sent.clone().unwrap_or_else(|| msg.clone());
+                            fresh = Some(msg);
+                            ctx.effects.push(Effect::Multicast { targets, msg: wire });
+                        }
+                        ByzantineBehavior::Equivocate => {
+                            for to in targets {
+                                let wire = if to.as_u32() % 2 == 1 {
+                                    self.last_sent.clone().unwrap_or_else(|| msg.clone())
+                                } else {
+                                    msg.clone()
+                                };
+                                ctx.send(to, wire);
+                            }
+                            fresh = Some(msg);
+                        }
+                    }
+                }
                 Effect::SetTimer { id, delay, token } => {
                     ctx.effects.push(Effect::SetTimer {
                         id,
@@ -287,7 +364,7 @@ impl<P: Protocol> Protocol for ByzantineWrapper<P> {
                 now: ctx.now,
                 rng: &mut *ctx.rng,
                 effects: &mut effects,
-                next_timer: &mut *ctx.next_timer,
+                timers: &mut *ctx.timers,
                 tracing: ctx.tracing,
                 capture: ctx.capture,
             };

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod agenda;
 mod byzantine;
 mod conn;
 mod net;
@@ -54,6 +55,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use agenda::{Agenda, BUCKET_WIDTH_MICROS, RING_BUCKETS};
 pub use byzantine::{ByzConfig, ByzantineBehavior, ByzantineSpec, ByzantineWrapper};
 pub use conn::{ConnAction, ConnConfig, ConnectionManager};
 pub use net::{
@@ -339,6 +341,46 @@ mod kernel_tests {
         let commits = sim.commits().len() as u64;
         assert!((50..=70).contains(&commits), "commits = {commits}");
         assert!(sim.stats().timers_fired >= 30);
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire_and_count_as_stale() {
+        /// Arms a decoy and a keeper timer at every fire, cancelling the
+        /// decoy immediately; only keeper tokens may ever be delivered.
+        struct Canceller;
+        impl Protocol for Canceller {
+            type Msg = u64;
+            type Request = u64;
+            type Commit = u64;
+            type Timer = u8;
+            type Config = ();
+            fn new(_: NodeId, _: usize, _: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+                let decoy = ctx.set_timer(SimDuration::from_millis(50), 0);
+                ctx.set_timer(SimDuration::from_millis(100), 1);
+                ctx.cancel_timer(decoy);
+                Canceller
+            }
+            fn on_message(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, Self>) {}
+            fn on_timer(&mut self, token: u8, ctx: &mut Ctx<'_, Self>) {
+                assert_eq!(token, 1, "a cancelled timer fired");
+                ctx.commit(u64::from(token));
+                let decoy = ctx.set_timer(SimDuration::from_millis(50), 0);
+                ctx.set_timer(SimDuration::from_millis(100), 1);
+                ctx.cancel_timer(decoy);
+            }
+            fn on_request(&mut self, _: u64, _: &mut Ctx<'_, Self>) {}
+            fn on_restart(&mut self, _: &mut Ctx<'_, Self>) {}
+        }
+
+        let mut sim = Simulation::<Canceller>::new(3, 9, ());
+        sim.run_until(SimTime::from_secs(1));
+        let stats = sim.stats();
+        // One decoy is armed and cancelled per keeper fire (plus the one
+        // from `new`, minus the final decoy whose slot lies past the
+        // horizon), so stale resolutions track fired ones exactly.
+        assert!(stats.timers_fired >= 27, "fired = {}", stats.timers_fired);
+        assert_eq!(stats.timers_stale, stats.timers_fired);
+        assert_eq!(sim.commits().len() as u64, stats.timers_fired);
     }
 
     #[test]

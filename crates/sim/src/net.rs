@@ -14,16 +14,19 @@ pub struct NodeId(u32);
 
 impl NodeId {
     /// Creates a node id from a dense index.
+    #[inline]
     pub const fn new(index: u32) -> Self {
         NodeId(index)
     }
 
     /// The dense index of this node, usable to index per-node tables.
+    #[inline]
     pub const fn index(self) -> usize {
         self.0 as usize
     }
 
     /// The raw `u32` value.
+    #[inline]
     pub const fn as_u32(self) -> u32 {
         self.0
     }
@@ -69,6 +72,7 @@ pub struct LatencyModel {
 
 impl LatencyModel {
     /// Creates a model with one-way delay uniform in `[base, base + jitter]`.
+    #[inline]
     pub const fn new(base: SimDuration, jitter: SimDuration) -> Self {
         LatencyModel { base, jitter }
     }
@@ -94,6 +98,7 @@ impl LatencyModel {
     }
 
     /// Samples a one-way delay.
+    #[inline]
     pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
         if self.jitter.is_zero() {
             self.base
@@ -197,6 +202,7 @@ impl LatencyTopology {
     }
 
     /// Samples a one-way delay for a packet from `from` to `to`.
+    #[inline]
     pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> SimDuration {
         self.model_for(from, to).sample(rng)
     }
@@ -516,8 +522,16 @@ impl Network {
     }
 
     /// `true` if any active rule drops packets from `from` to `to`.
+    #[inline]
     pub fn blocked(&self, from: NodeId, to: NodeId) -> bool {
         self.rules.iter().any(|(_, r)| r.blocks(from, to))
+    }
+
+    /// `true` while no partition rule and no link fault is installed —
+    /// the kernel skips all per-packet fault checks on this fast path.
+    #[inline]
+    pub fn quiet(&self) -> bool {
+        self.rules.is_empty() && self.link_faults.is_empty()
     }
 
     /// Records a partition drop (kernel book-keeping).
@@ -551,6 +565,7 @@ impl Network {
     }
 
     /// Number of active link faults.
+    #[inline]
     pub fn active_link_faults(&self) -> usize {
         self.link_faults.len()
     }
@@ -558,6 +573,7 @@ impl Network {
     /// `true` if an active *total-drop* link fault (asymmetric
     /// partition) kills packets from `from` to `to`. Probabilistic
     /// rules are decided per packet by [`Network`] internals instead.
+    #[inline]
     pub fn link_severed(&self, from: NodeId, to: NodeId) -> bool {
         self.link_faults
             .iter()
@@ -632,6 +648,7 @@ impl Network {
     }
 
     /// Samples a one-way delay for a packet from `from` to `to`.
+    #[inline]
     pub fn sample_delay(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> SimDuration {
         match &self.topology {
             Some(topology) => topology.sample(from, to, rng),
@@ -654,6 +671,7 @@ impl Network {
     }
 
     /// The extra outbound delay of `node` (zero if not slowed).
+    #[inline]
     pub fn slowdown(&self, node: NodeId) -> SimDuration {
         self.slowdowns
             .get(&node)

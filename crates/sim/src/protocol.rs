@@ -3,11 +3,22 @@
 
 use std::fmt::Debug;
 
+use smallvec::SmallVec;
+
+use crate::agenda::TimerRegistry;
 use crate::{CaptureLevel, DetRng, NodeId, SimDuration, SimTime};
 
 /// Handle to a pending timer, usable to cancel it.
+///
+/// Packs the timer's registry slot and a generation stamp, so a handle
+/// kept past its timer's firing can never cancel an unrelated timer
+/// that happens to reuse the slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
+
+/// Inline capacity of a multicast target list before it spills to the
+/// heap (committee sizes beyond this are rare in the modelled chains).
+pub(crate) const MULTICAST_INLINE: usize = 8;
 
 /// A deterministic state machine driven by the simulation kernel.
 ///
@@ -63,6 +74,18 @@ pub(crate) enum Effect<P: Protocol> {
         to: NodeId,
         msg: P::Msg,
     },
+    /// One payload to every other node; the kernel expands the fanout
+    /// (in ascending node order, skipping the sender) against a single
+    /// arena-stored payload instead of `n - 1` eager clones.
+    Broadcast {
+        msg: P::Msg,
+    },
+    /// One payload to an explicit target list, expanded like
+    /// [`Effect::Broadcast`] but in list order.
+    Multicast {
+        targets: SmallVec<NodeId, MULTICAST_INLINE>,
+        msg: P::Msg,
+    },
     SetTimer {
         id: TimerId,
         delay: SimDuration,
@@ -86,7 +109,7 @@ pub struct Ctx<'a, P: Protocol> {
     pub(crate) now: SimTime,
     pub(crate) rng: &'a mut DetRng,
     pub(crate) effects: &'a mut Vec<Effect<P>>,
-    pub(crate) next_timer: &'a mut u64,
+    pub(crate) timers: &'a mut TimerRegistry,
     pub(crate) tracing: bool,
     pub(crate) capture: CaptureLevel,
 }
@@ -119,16 +142,13 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     }
 
     /// Sends `msg` to every other node.
+    ///
+    /// The payload is stored once and fanned out by the kernel (see
+    /// [`Effect::Broadcast`]); recipients observe exactly the same
+    /// deliveries as `n - 1` individual [`Ctx::send`] calls in
+    /// ascending node order.
     pub fn broadcast(&mut self, msg: P::Msg) {
-        let me = self.node;
-        for to in NodeId::all(self.n) {
-            if to != me {
-                self.effects.push(Effect::Send {
-                    to,
-                    msg: msg.clone(),
-                });
-            }
-        }
+        self.effects.push(Effect::Broadcast { msg });
     }
 
     /// Sends `msg` to each node in `targets`.
@@ -136,19 +156,14 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     where
         I: IntoIterator<Item = NodeId>,
     {
-        for to in targets {
-            self.effects.push(Effect::Send {
-                to,
-                msg: msg.clone(),
-            });
-        }
+        let targets: SmallVec<NodeId, MULTICAST_INLINE> = targets.into_iter().collect();
+        self.effects.push(Effect::Multicast { targets, msg });
     }
 
     /// Arms a timer that fires after `delay` with `token`; returns a
     /// handle usable with [`Ctx::cancel_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, token: P::Timer) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
+        let id = self.timers.arm();
         self.effects.push(Effect::SetTimer { id, delay, token });
         id
     }

@@ -68,6 +68,7 @@ impl DetRng {
     }
 
     /// The next 64 uniformly random bits.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -86,13 +87,18 @@ impl DetRng {
     /// # Panics
     ///
     /// Panics if `bound` is zero.
+    #[inline]
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         loop {
             let x = self.next_u64();
             let m = (x as u128).wrapping_mul(bound as u128);
             let low = m as u64;
-            if low >= bound.wrapping_neg() % bound {
+            // The rejection threshold `(2^64 - bound) % bound` is below
+            // `bound`, so `low >= bound` accepts without the 64-bit
+            // division; the exact threshold is only computed in the
+            // `low < bound` sliver (probability `bound / 2^64`).
+            if low >= bound || low >= bound.wrapping_neg() % bound {
                 return (m >> 64) as u64;
             }
             // Rejected: retry with fresh bits to stay unbiased.
@@ -104,6 +110,7 @@ impl DetRng {
     /// # Panics
     ///
     /// Panics if `lo > hi`.
+    #[inline]
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range: [{lo}, {hi}]");
         if lo == hi {
@@ -113,6 +120,7 @@ impl DetRng {
     }
 
     /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -127,6 +135,7 @@ impl DetRng {
     /// # Panics
     ///
     /// Panics if `lo > hi`.
+    #[inline]
     pub fn duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
         SimDuration::from_micros(self.range_inclusive(lo.as_micros(), hi.as_micros()))
     }

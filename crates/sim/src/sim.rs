@@ -1,8 +1,8 @@
 //! The discrete-event simulation kernel.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
+use crate::agenda::{Agenda, MsgArena, MsgRef, TimerRegistry};
 use crate::protocol::Effect;
 use crate::stats::{CommitRecord, PanicRecord, SimStats, TraceLine};
 use crate::trace::{
@@ -148,7 +148,9 @@ enum EventKind<P: Protocol> {
     Deliver {
         from: NodeId,
         to: NodeId,
-        msg: P::Msg,
+        /// Handle into the simulation's [`MsgArena`]; the payload is
+        /// cloned lazily at delivery (the last reference moves).
+        msg: MsgRef,
     },
     Timer {
         node: NodeId,
@@ -182,34 +184,6 @@ enum EventKind<P: Protocol> {
     },
 }
 
-struct Scheduled<P: Protocol> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<P>,
-}
-
-impl<P: Protocol> PartialEq for Scheduled<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<P: Protocol> Eq for Scheduled<P> {}
-impl<P: Protocol> PartialOrd for Scheduled<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P: Protocol> Ord for Scheduled<P> {
-    /// Reversed so the `BinaryHeap` pops the earliest event; ties broken
-    /// by insertion order for determinism.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A deterministic discrete-event simulation of `n` nodes running
 /// protocol `P`.
 ///
@@ -217,21 +191,36 @@ impl<P: Protocol> Ord for Scheduled<P> {
 /// restarts, partitions) and then advances time with
 /// [`Simulation::run_until`]; afterwards the commit log, panic log and
 /// traffic counters describe the run.
+///
+/// Events live in a calendar-queue [`Agenda`] popping in strictly
+/// ascending `(time, insertion seq)` order — the same total order the
+/// original `BinaryHeap` agenda produced, so runs are bit-identical
+/// across the two (see the ordering invariant in the [`crate::agenda`]
+/// module docs).
 pub struct Simulation<P: Protocol> {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Scheduled<P>>,
+    /// Total node count, fixed at build time. Distinct from
+    /// `nodes.len()` only while `with_builder` is still constructing
+    /// the node vector — and construction-time effects (Redbelly dials
+    /// peers from `Protocol::new`) already need the full count.
+    n: usize,
+    queue: Agenda<EventKind<P>>,
     nodes: Vec<NodeSlot<P>>,
     net: Network,
     net_rng: DetRng,
-    next_timer: u64,
-    cancelled_timers: BTreeSet<u64>,
+    timers: TimerRegistry,
+    msgs: MsgArena<P::Msg>,
+    /// Recycled effect buffer handed to each protocol callback, so the
+    /// per-event `Vec` allocation of the seed kernel disappears.
+    scratch: Vec<Effect<P>>,
     partition_handles: BTreeMap<u64, PartitionId>,
     next_partition_handle: u64,
     link_fault_handles: BTreeMap<u64, LinkFaultId>,
     next_link_fault_handle: u64,
     fifo_links: bool,
-    link_clock: BTreeMap<(u32, u32), SimTime>,
+    /// Flat `n × n` matrix of last-scheduled delivery instants, indexed
+    /// `from * n + to` (replaces the seed's per-link `BTreeMap`).
+    link_clock: Vec<SimTime>,
     commits: Vec<CommitRecord<P::Commit>>,
     panics: Vec<PanicRecord>,
     trace: VecDeque<TraceLine>,
@@ -253,8 +242,8 @@ impl<P: Protocol> Simulation<P> {
         let master = DetRng::new(b.seed);
         let mut sim = Simulation {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            n: b.n,
+            queue: Agenda::new(),
             nodes: Vec::with_capacity(b.n),
             net: {
                 let mut net = Network::new(b.latency);
@@ -264,14 +253,15 @@ impl<P: Protocol> Simulation<P> {
                 net
             },
             net_rng: master.derive(u64::MAX),
-            next_timer: 0,
-            cancelled_timers: BTreeSet::new(),
+            timers: TimerRegistry::new(),
+            msgs: MsgArena::new(),
+            scratch: Vec::new(),
             partition_handles: BTreeMap::new(),
             next_partition_handle: 0,
             link_fault_handles: BTreeMap::new(),
             next_link_fault_handle: 0,
             fifo_links: b.fifo_links,
-            link_clock: BTreeMap::new(),
+            link_clock: vec![SimTime::ZERO; b.n * b.n],
             commits: Vec::new(),
             panics: Vec::new(),
             trace: VecDeque::new(),
@@ -290,7 +280,7 @@ impl<P: Protocol> Simulation<P> {
                 now: SimTime::ZERO,
                 rng: &mut rng,
                 effects: &mut effects,
-                next_timer: &mut sim.next_timer,
+                timers: &mut sim.timers,
                 tracing: sim.tracing,
                 capture: sim.recorder.level(),
             };
@@ -471,56 +461,63 @@ impl<P: Protocol> Simulation<P> {
     /// Runs the simulation until no event at or before `horizon` remains;
     /// the clock finishes at `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while self.queue.peek().is_some_and(|head| head.time <= horizon) {
-            let Some(ev) = self.queue.pop() else { break };
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            self.now = ev.time;
+        let horizon = horizon.max(self.now);
+        while let Some((at, kind)) = self.queue.pop_due(horizon.as_micros()) {
+            debug_assert!(at >= self.now.as_micros(), "event queue went backwards");
+            self.now = SimTime::from_micros(at);
             self.stats.events_processed += 1;
-            self.dispatch(ev.kind);
+            self.dispatch(kind);
         }
         self.now = horizon;
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind<P>) {
         let time = time.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { time, seq, kind });
+        self.queue.push(time.as_micros(), kind);
     }
 
     fn dispatch(&mut self, kind: EventKind<P>) {
         match kind {
             EventKind::Deliver { from, to, msg } => {
-                if self.net.blocked(from, to) {
-                    self.net.note_partition_drop();
-                    self.stats.messages_dropped_partition += 1;
-                    self.recorder.record(
-                        self.now,
-                        SimEvent::MessageDropped {
-                            from,
-                            to,
-                            cause: DropCause::Partition,
-                        },
-                    );
-                    return;
-                }
-                if self.net.link_severed(from, to) {
-                    // Packets already in flight when an asymmetric
-                    // partition was installed die at delivery time, just
-                    // like in-flight packets under a symmetric partition.
-                    self.net.note_link_drop();
-                    self.stats.messages_dropped_link += 1;
-                    self.recorder.record(
-                        self.now,
-                        SimEvent::MessageDropped {
-                            from,
-                            to,
-                            cause: DropCause::LinkFault,
-                        },
-                    );
-                    return;
+                // Fault checks only run while a partition rule or link
+                // fault is installed; on the quiet fast path both are
+                // vacuously false.
+                if !self.net.quiet() {
+                    if self.net.blocked(from, to) {
+                        self.msgs.release(msg);
+                        self.net.note_partition_drop();
+                        self.stats.messages_dropped_partition += 1;
+                        self.recorder.record(
+                            self.now,
+                            SimEvent::MessageDropped {
+                                from,
+                                to,
+                                cause: DropCause::Partition,
+                            },
+                        );
+                        return;
+                    }
+                    if self.net.link_severed(from, to) {
+                        // Packets already in flight when an asymmetric
+                        // partition was installed die at delivery time,
+                        // just like in-flight packets under a symmetric
+                        // partition.
+                        self.msgs.release(msg);
+                        self.net.note_link_drop();
+                        self.stats.messages_dropped_link += 1;
+                        self.recorder.record(
+                            self.now,
+                            SimEvent::MessageDropped {
+                                from,
+                                to,
+                                cause: DropCause::LinkFault,
+                            },
+                        );
+                        return;
+                    }
                 }
                 if self.nodes[to.index()].status != NodeStatus::Running {
+                    self.msgs.release(msg);
                     self.stats.messages_dropped_dead += 1;
                     self.recorder.record(
                         self.now,
@@ -532,10 +529,13 @@ impl<P: Protocol> Simulation<P> {
                     );
                     return;
                 }
+                let Some(payload) = self.msgs.consume(msg) else {
+                    return;
+                };
                 self.stats.messages_delivered += 1;
                 self.recorder
                     .record(self.now, SimEvent::MessageDelivered { from, to });
-                let effects = self.with_ctx(to, |proto, ctx| proto.on_message(from, msg, ctx));
+                let effects = self.with_ctx(to, |proto, ctx| proto.on_message(from, payload, ctx));
                 self.apply_effects(to, effects);
             }
             EventKind::Timer {
@@ -544,11 +544,12 @@ impl<P: Protocol> Simulation<P> {
                 epoch,
                 token,
             } => {
+                // Resolve unconditionally: the registry slot is freed
+                // (and its generation bumped) the moment the timer event
+                // fires, whatever the node's state.
+                let was_cancelled = self.timers.resolve(id);
                 let slot = &self.nodes[node.index()];
-                if slot.status != NodeStatus::Running
-                    || slot.epoch != epoch
-                    || self.cancelled_timers.remove(&id.0)
-                {
+                if slot.status != NodeStatus::Running || slot.epoch != epoch || was_cancelled {
                     self.stats.timers_stale += 1;
                     self.recorder
                         .record(self.now, SimEvent::TimerStale { node });
@@ -654,7 +655,7 @@ impl<P: Protocol> Simulation<P> {
         F: FnOnce(&mut P, &mut Ctx<'_, P>),
     {
         let n = self.nodes.len();
-        let mut effects = Vec::new();
+        let mut effects = std::mem::take(&mut self.scratch);
         let slot = &mut self.nodes[node.index()];
         let mut ctx = Ctx {
             node,
@@ -662,7 +663,7 @@ impl<P: Protocol> Simulation<P> {
             now: self.now,
             rng: &mut slot.rng,
             effects: &mut effects,
-            next_timer: &mut self.next_timer,
+            timers: &mut self.timers,
             tracing: self.tracing,
             capture: self.recorder.level(),
         };
@@ -670,74 +671,123 @@ impl<P: Protocol> Simulation<P> {
         effects
     }
 
-    fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect<P>>) {
+    /// Schedules one delivery of the arena payload `msg` from `from` to
+    /// `to`: counters, partition/link-fault verdicts, latency sampling
+    /// and FIFO clamping — in exactly the per-send order of the seed
+    /// kernel, so RNG draws and event sequence numbers are unchanged.
+    ///
+    /// The caller has already retained one arena reference for this
+    /// recipient ([`MsgArena::retain_n`]); a send-time drop releases it.
+    fn send_one(&mut self, from: NodeId, to: NodeId, msg: MsgRef) {
+        self.stats.messages_sent += 1;
+        self.recorder
+            .record(self.now, SimEvent::MessageSent { from, to });
+        // On the quiet fast path (no partition rules, no link faults)
+        // the blocked check is vacuously false and the verdict is the
+        // default, so both are skipped without touching the RNG —
+        // `link_verdict` draws only for matching probabilistic rules,
+        // which cannot exist while the network is quiet.
+        let verdict = if self.net.quiet() {
+            crate::LinkVerdict::default()
+        } else {
+            if self.net.blocked(from, to) {
+                self.msgs.release(msg);
+                self.net.note_partition_drop();
+                self.stats.messages_dropped_partition += 1;
+                self.recorder.record(
+                    self.now,
+                    SimEvent::MessageDropped {
+                        from,
+                        to,
+                        cause: DropCause::Partition,
+                    },
+                );
+                return;
+            }
+            if self.net.active_link_faults() > 0 {
+                self.net.link_verdict(from, to, &mut self.net_rng)
+            } else {
+                crate::LinkVerdict::default()
+            }
+        };
+        if verdict.drop {
+            self.msgs.release(msg);
+            self.stats.messages_dropped_link += 1;
+            self.recorder.record(
+                self.now,
+                SimEvent::MessageDropped {
+                    from,
+                    to,
+                    cause: DropCause::LinkFault,
+                },
+            );
+            return;
+        }
+        let delay = self.net.sample_delay(from, to, &mut self.net_rng) + self.net.slowdown(from);
+        let mut deliver_at = self.now + delay;
+        if self.fifo_links {
+            let idx = from.index() * self.n + to.index();
+            if let Some(last) = self.link_clock.get_mut(idx) {
+                deliver_at = deliver_at.max(*last);
+                *last = deliver_at;
+            }
+        }
+        if !verdict.extra.is_zero() {
+            // Hold the packet back *after* the FIFO clock was
+            // advanced, so packets sent later can overtake it.
+            self.stats.messages_reordered_link += 1;
+            deliver_at += verdict.extra;
+        }
+        if verdict.duplicate {
+            self.stats.messages_duplicated_link += 1;
+            let dup_delay =
+                self.net.sample_delay(from, to, &mut self.net_rng) + self.net.slowdown(from);
+            let dup_at = (self.now + dup_delay).max(deliver_at);
+            // The fanout pre-paid one reference for this recipient; the
+            // duplicate is an extra delivery on top.
+            self.msgs.retain(msg);
+            self.push(dup_at, EventKind::Deliver { from, to, msg });
+        }
+        self.push(deliver_at, EventKind::Deliver { from, to, msg });
+    }
+
+    fn apply_effects(&mut self, from: NodeId, mut effects: Vec<Effect<P>>) {
+        if effects.is_empty() {
+            // Most deliveries produce no effects; hand the buffer
+            // straight back without touching node state.
+            if effects.capacity() > self.scratch.capacity() {
+                self.scratch = effects;
+            }
+            return;
+        }
         let epoch = self.nodes[from.index()].epoch;
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
-                    self.stats.messages_sent += 1;
-                    self.recorder
-                        .record(self.now, SimEvent::MessageSent { from, to });
-                    if self.net.blocked(from, to) {
-                        self.net.note_partition_drop();
-                        self.stats.messages_dropped_partition += 1;
-                        self.recorder.record(
-                            self.now,
-                            SimEvent::MessageDropped {
-                                from,
-                                to,
-                                cause: DropCause::Partition,
-                            },
-                        );
-                        continue;
+                    let handle = self.msgs.insert(msg);
+                    self.msgs.retain_n(handle, 1);
+                    self.send_one(from, to, handle);
+                    self.msgs.seal(handle);
+                }
+                Effect::Broadcast { msg } => {
+                    let handle = self.msgs.insert(msg);
+                    // Pre-pay the whole fanout in one arena touch;
+                    // send-time drops release their reference back.
+                    self.msgs.retain_n(handle, self.n.saturating_sub(1) as u32);
+                    for to in NodeId::all(self.n) {
+                        if to != from {
+                            self.send_one(from, to, handle);
+                        }
                     }
-                    let verdict = if self.net.active_link_faults() > 0 {
-                        self.net.link_verdict(from, to, &mut self.net_rng)
-                    } else {
-                        crate::LinkVerdict::default()
-                    };
-                    if verdict.drop {
-                        self.stats.messages_dropped_link += 1;
-                        self.recorder.record(
-                            self.now,
-                            SimEvent::MessageDropped {
-                                from,
-                                to,
-                                cause: DropCause::LinkFault,
-                            },
-                        );
-                        continue;
+                    self.msgs.seal(handle);
+                }
+                Effect::Multicast { targets, msg } => {
+                    let handle = self.msgs.insert(msg);
+                    self.msgs.retain_n(handle, targets.len() as u32);
+                    for to in targets {
+                        self.send_one(from, to, handle);
                     }
-                    let delay = self.net.sample_delay(from, to, &mut self.net_rng)
-                        + self.net.slowdown(from);
-                    let mut deliver_at = self.now + delay;
-                    if self.fifo_links {
-                        let key = (from.as_u32(), to.as_u32());
-                        let last = self.link_clock.entry(key).or_insert(SimTime::ZERO);
-                        deliver_at = deliver_at.max(*last);
-                        *last = deliver_at;
-                    }
-                    if !verdict.extra.is_zero() {
-                        // Hold the packet back *after* the FIFO clock was
-                        // advanced, so packets sent later can overtake it.
-                        self.stats.messages_reordered_link += 1;
-                        deliver_at += verdict.extra;
-                    }
-                    if verdict.duplicate {
-                        self.stats.messages_duplicated_link += 1;
-                        let dup_delay = self.net.sample_delay(from, to, &mut self.net_rng)
-                            + self.net.slowdown(from);
-                        let dup_at = (self.now + dup_delay).max(deliver_at);
-                        self.push(
-                            dup_at,
-                            EventKind::Deliver {
-                                from,
-                                to,
-                                msg: msg.clone(),
-                            },
-                        );
-                    }
-                    self.push(deliver_at, EventKind::Deliver { from, to, msg });
+                    self.msgs.seal(handle);
                 }
                 Effect::SetTimer { id, delay, token } => {
                     let at = self.now + delay;
@@ -752,7 +802,7 @@ impl<P: Protocol> Simulation<P> {
                     );
                 }
                 Effect::CancelTimer(id) => {
-                    self.cancelled_timers.insert(id.0);
+                    self.timers.cancel(id);
                 }
                 Effect::Commit(commit) => {
                     self.commits.push(CommitRecord {
@@ -802,6 +852,11 @@ impl<P: Protocol> Simulation<P> {
                     }
                 }
             }
+        }
+        // Hand the (drained) buffer back for the next callback. Node
+        // construction uses per-node buffers, so keep the larger one.
+        if effects.capacity() > self.scratch.capacity() {
+            self.scratch = effects;
         }
     }
 }

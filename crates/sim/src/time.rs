@@ -43,21 +43,25 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant from microseconds since the start of the run.
+    #[inline]
     pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros)
     }
 
     /// Creates an instant from milliseconds since the start of the run.
+    #[inline]
     pub const fn from_millis(millis: u64) -> Self {
         SimTime(millis * 1_000)
     }
 
     /// Creates an instant from seconds since the start of the run.
+    #[inline]
     pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1_000_000)
     }
 
     /// This instant as whole microseconds.
+    #[inline]
     pub const fn as_micros(self) -> u64 {
         self.0
     }
@@ -69,11 +73,13 @@ impl SimTime {
 
     /// The span elapsed since `earlier`, saturating to zero if `earlier`
     /// is in the future.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// Saturating instant addition.
+    #[inline]
     pub fn saturating_add(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
@@ -84,16 +90,19 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Creates a span from microseconds.
+    #[inline]
     pub const fn from_micros(micros: u64) -> Self {
         SimDuration(micros)
     }
 
     /// Creates a span from milliseconds.
+    #[inline]
     pub const fn from_millis(millis: u64) -> Self {
         SimDuration(millis * 1_000)
     }
 
     /// Creates a span from seconds.
+    #[inline]
     pub const fn from_secs(secs: u64) -> Self {
         SimDuration(secs * 1_000_000)
     }
@@ -109,11 +118,13 @@ impl SimDuration {
     }
 
     /// This span as whole microseconds.
+    #[inline]
     pub const fn as_micros(self) -> u64 {
         self.0
     }
 
     /// This span as whole milliseconds (truncating).
+    #[inline]
     pub const fn as_millis(self) -> u64 {
         self.0 / 1_000
     }
@@ -124,21 +135,25 @@ impl SimDuration {
     }
 
     /// `true` if the span is zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// Saturating span subtraction.
+    #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
     /// The smaller of two spans.
+    #[inline]
     pub fn min(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.min(other.0))
     }
 
     /// The larger of two spans.
+    #[inline]
     pub fn max(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.max(other.0))
     }

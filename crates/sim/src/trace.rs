@@ -436,6 +436,7 @@ impl EventRecorder {
     }
 
     /// The capture level this recorder runs at.
+    #[inline]
     pub fn level(&self) -> CaptureLevel {
         self.level
     }

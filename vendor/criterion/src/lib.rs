@@ -4,7 +4,17 @@
 //! Keeps the `criterion_group!`/`criterion_main!` macro surface and the
 //! `Criterion`/`BenchmarkGroup`/`Bencher` API this workspace's benches
 //! use, but replaces criterion's statistical machinery with a simple
-//! fixed-sample wall-clock measurement printed per benchmark.
+//! per-iteration wall-clock measurement printed per benchmark.
+//!
+//! Each iteration is timed individually; both the mean and the minimum
+//! are reported. On shared, noisy machines the minimum is the robust
+//! estimator (interruptions only ever inflate a sample), so downstream
+//! tooling compares minima.
+//!
+//! Recognised command-line flags (criterion-compatible subset):
+//!
+//! * `--quick` — divide the sample count by 4 (at least 5 iterations),
+//!   for smoke runs in CI.
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +36,20 @@ pub enum BatchSize {
     LargeInput,
     /// One input per iteration.
     PerIteration,
+}
+
+/// `true` when `--quick` was passed on the command line.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Applies `--quick` scaling to a configured sample count.
+fn effective_samples(samples: usize) -> usize {
+    if quick_mode() {
+        (samples / 4).max(5)
+    } else {
+        samples
+    }
 }
 
 /// The benchmark driver.
@@ -50,13 +74,13 @@ impl Criterion {
         }
     }
 
-    /// Times one ungrouped benchmark routine and prints its mean
-    /// per-iteration wall-clock time.
+    /// Times one ungrouped benchmark routine and prints its mean and
+    /// minimum per-iteration wall-clock time.
     pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(None, &id, self.sample_size, routine);
+        run_one(None, &id, effective_samples(self.sample_size), routine);
         self
     }
 }
@@ -75,13 +99,18 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Times one benchmark routine and prints its mean per-iteration
-    /// wall-clock time.
+    /// Times one benchmark routine and prints its mean and minimum
+    /// per-iteration wall-clock time.
     pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(Some(&self.name), &id, self.sample_size, routine);
+        run_one(
+            Some(&self.name),
+            &id,
+            effective_samples(self.sample_size),
+            routine,
+        );
         self
     }
 
@@ -96,33 +125,40 @@ where
 {
     let mut bencher = Bencher {
         iterations: sample_size as u64,
-        elapsed: Duration::ZERO,
+        samples: Vec::with_capacity(sample_size),
     };
     routine(&mut bencher);
-    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
-    match group {
-        Some(name) => println!(
-            "{name}/{id}: {per_iter} ns/iter ({} iters)",
-            bencher.iterations
-        ),
-        None => println!("{id}: {per_iter} ns/iter ({} iters)", bencher.iterations),
-    }
+    let iters = bencher.samples.len().max(1) as u128;
+    let total: u128 = bencher.samples.iter().map(Duration::as_nanos).sum();
+    let mean = total / iters;
+    let min = bencher
+        .samples
+        .iter()
+        .map(Duration::as_nanos)
+        .min()
+        .unwrap_or(0);
+    let label = match group {
+        Some(name) => format!("{name}/{id}"),
+        None => format!("{id}"),
+    };
+    println!("{label}: {mean} ns/iter (min {min} ns, {iters} iters)");
 }
 
 /// Passed to each benchmark closure to drive the timed loop.
 pub struct Bencher {
     iterations: u64,
-    elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine` over the configured number of iterations.
+    /// Times `routine` over the configured number of iterations, one
+    /// sample per iteration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        let start = Instant::now();
         for _ in 0..self.iterations {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = start.elapsed();
     }
 
     /// Times `routine` over fresh inputs built by `setup` (setup time is
@@ -132,14 +168,12 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let mut elapsed = Duration::ZERO;
         for _ in 0..self.iterations {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            elapsed += start.elapsed();
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = elapsed;
     }
 }
 

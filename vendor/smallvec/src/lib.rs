@@ -1,0 +1,295 @@
+//! A minimal, dependency-free stand-in for the `smallvec` crate,
+//! vendored because this build environment has no access to crates.io.
+//!
+//! Provides [`SmallVec<T, N>`]: a growable vector that stores up to `N`
+//! elements inline (no heap allocation) and transparently spills to a
+//! `Vec<T>` beyond that. Unlike the real crate, the capacity is a plain
+//! const generic (`SmallVec<T, 8>` instead of `SmallVec<[T; 8]>`) and
+//! the inline storage uses safe `Option<T>` slots rather than raw
+//! uninitialised memory — the API subset this workspace uses behaves
+//! identically.
+//!
+//! The point of the type is the fanout pattern in the simulation
+//! kernel's hot paths: short, bounded bursts (multicast target lists,
+//! calendar-queue bucket entries) stay allocation-free, while the rare
+//! long burst degrades gracefully to a heap vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::iter::FromIterator;
+
+/// A vector storing up to `N` elements inline before spilling to the
+/// heap.
+///
+/// # Examples
+///
+/// ```
+/// use smallvec::SmallVec;
+///
+/// let mut v: SmallVec<u32, 4> = SmallVec::new();
+/// for x in 0..3 {
+///     v.push(x);
+/// }
+/// assert_eq!(v.len(), 3);
+/// assert!(!v.spilled());
+/// v.extend(3..10);
+/// assert!(v.spilled());
+/// assert_eq!(v.into_iter().collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+/// ```
+pub struct SmallVec<T, const N: usize> {
+    repr: Repr<T, N>,
+}
+
+enum Repr<T, const N: usize> {
+    Inline { len: usize, slots: [Option<T>; N] },
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector using only inline storage.
+    pub fn new() -> SmallVec<T, N> {
+        SmallVec {
+            repr: Repr::Inline {
+                len: 0,
+                slots: std::array::from_fn(|_| None),
+            },
+        }
+    }
+
+    /// The number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// `true` if the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once the vector has overflowed its inline capacity onto
+    /// the heap.
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    /// Appends `value`, spilling to the heap when the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline { len, slots } => {
+                if *len < N {
+                    slots[*len] = Some(value);
+                    *len += 1;
+                } else {
+                    let mut heap: Vec<T> = Vec::with_capacity(N * 2);
+                    heap.extend(slots.iter_mut().filter_map(Option::take));
+                    heap.push(value);
+                    self.repr = Repr::Heap(heap);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the last element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        match &mut self.repr {
+            Repr::Inline { len, slots } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    slots[*len].take()
+                }
+            }
+            Repr::Heap(v) => v.pop(),
+        }
+    }
+
+    /// Drops every element, keeping the storage mode.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { len, slots } => {
+                for slot in slots.iter_mut().take(*len) {
+                    *slot = None;
+                }
+                *len = 0;
+            }
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Iterates over the elements by reference, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        let (inline, heap): (&[Option<T>], &[T]) = match &self.repr {
+            Repr::Inline { len, slots } => (&slots[..*len], &[]),
+            Repr::Heap(v) => (&[], v.as_slice()),
+        };
+        inline.iter().filter_map(Option::as_ref).chain(heap.iter())
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+/// Owning iterator over a [`SmallVec`], in insertion order.
+pub struct IntoIter<T, const N: usize> {
+    repr: IntoIterRepr<T, N>,
+}
+
+enum IntoIterRepr<T, const N: usize> {
+    Inline {
+        next: usize,
+        len: usize,
+        slots: [Option<T>; N],
+    },
+    Heap(std::vec::IntoIter<T>),
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match &mut self.repr {
+            IntoIterRepr::Inline { next, len, slots } => {
+                if next < len {
+                    let value = slots[*next].take();
+                    *next += 1;
+                    value
+                } else {
+                    None
+                }
+            }
+            IntoIterRepr::Heap(v) => v.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match &self.repr {
+            IntoIterRepr::Inline { next, len, .. } => len - next,
+            IntoIterRepr::Heap(v) => return v.size_hint(),
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter {
+            repr: match self.repr {
+                Repr::Inline { len, slots } => IntoIterRepr::Inline {
+                    next: 0,
+                    len,
+                    slots,
+                },
+                Repr::Heap(v) => IntoIterRepr::Heap(v.into_iter()),
+            },
+        }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_within_capacity() {
+        let mut v: SmallVec<u64, 4> = SmallVec::new();
+        for x in 0..4 {
+            v.push(x);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_beyond_capacity_preserving_order() {
+        let mut v: SmallVec<u64, 2> = SmallVec::new();
+        for x in 0..100 {
+            v.push(x);
+        }
+        assert!(v.spilled());
+        assert_eq!(
+            v.into_iter().collect::<Vec<_>>(),
+            (0..100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pop_and_clear() {
+        let mut v: SmallVec<u8, 3> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.len(), 1);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let v: SmallVec<u32, 4> = (0..10).collect();
+        assert!(v.spilled());
+        assert_eq!(v.len(), 10);
+        let small: SmallVec<u32, 16> = (0..10).collect();
+        assert!(!small.spilled());
+        assert_eq!(small.iter().sum::<u32>(), 45);
+    }
+
+    #[test]
+    fn clone_and_debug() {
+        let v: SmallVec<u32, 2> = (0..3).collect();
+        let w = v.clone();
+        assert_eq!(format!("{w:?}"), "[0, 1, 2]");
+    }
+}
