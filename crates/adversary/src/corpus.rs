@@ -1,0 +1,117 @@
+//! The committed corpus format.
+//!
+//! `ext_adversary` writes one [`CorpusEntry`] per chain under
+//! `results/adversary/corpus/<chain>.json`. Each entry carries
+//! everything needed to re-run the discovered worst case from scratch —
+//! the paper setup is rebuilt with
+//! [`PaperSetup::quick`](stabl::PaperSetup::quick)`(horizon_secs, seed)`
+//! and the genome replayed against the fresh baseline — so the
+//! `adversary_corpus` integration test in `stabl-bench` can assert on
+//! every CI run that the committed schedule still reproduces its
+//! recorded fitness and still beats the paper's fixed scenarios.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fitness::{Fitness, Objective};
+use crate::genome::Genome;
+use crate::search::Strategy;
+
+/// A bootstrap confidence interval on the discovered schedule's finite
+/// sensitivity score across replication seeds (absent when every
+/// replicate lost liveness — an interval over ∞ is meaningless).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoreCi {
+    /// Lower 95 % bound.
+    pub lo: f64,
+    /// Upper 95 % bound.
+    pub hi: f64,
+    /// Replicates that kept liveness (the CI's sample size).
+    pub finite_replicates: usize,
+    /// Replicates that lost liveness.
+    pub lost_replicates: usize,
+}
+
+/// One committed worst-case reproducer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Chain name ([`Chain::name`](stabl::Chain::name)).
+    pub chain: String,
+    /// Horizon seconds of the `PaperSetup::quick` config searched under.
+    pub horizon_secs: u64,
+    /// The setup's master seed (drives the runs themselves).
+    pub seed: u64,
+    /// The search's own seed (drives mutation/crossover draws).
+    pub search_seed: u64,
+    /// The strategy that found the schedule.
+    pub strategy: Strategy,
+    /// The objective it maximised.
+    pub objective: Objective,
+    /// The evaluation budget the search ran under.
+    pub budget: usize,
+    /// The worst fitness key among the paper's four fixed scenarios at
+    /// this config (the bar the discovery had to clear).
+    pub paper_worst_key: f64,
+    /// The raw search winner's fitness, pre-shrink.
+    pub discovered: Fitness,
+    /// The shrunk reproducer.
+    pub genome: Genome,
+    /// The shrunk reproducer's fitness (its key stays at or above the
+    /// shrink threshold by construction).
+    pub fitness: Fitness,
+    /// Bootstrap CI of the shrunk schedule's score across seeds.
+    pub ci: Option<ScoreCi>,
+    /// Total evaluations spent (search + shrink).
+    pub evals: usize,
+}
+
+impl CorpusEntry {
+    /// The file name this entry is committed under.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", self.chain.to_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::SearchSpace;
+    use stabl::{Chain, PaperSetup};
+    use stabl_sim::DetRng;
+
+    #[test]
+    fn corpus_entry_roundtrips_through_json() {
+        let space = SearchSpace::paper(&PaperSetup::quick(60, 1), Chain::Algorand);
+        let mut rng = DetRng::new(13);
+        let genome = space.random_genome(&mut rng);
+        let fitness = Fitness {
+            lost_liveness: false,
+            score: Some(12.5),
+            improved: false,
+            unresolved_frac: 0.01,
+        };
+        let entry = CorpusEntry {
+            chain: Chain::Algorand.name().to_owned(),
+            horizon_secs: 60,
+            seed: 1,
+            search_seed: 42,
+            strategy: Strategy::Annealing,
+            objective: Objective::Sensitivity,
+            budget: 200,
+            paper_worst_key: 10.9,
+            discovered: fitness,
+            genome,
+            fitness,
+            ci: Some(ScoreCi {
+                lo: 11.0,
+                hi: 14.0,
+                finite_replicates: 5,
+                lost_replicates: 0,
+            }),
+            evals: 231,
+        };
+        let json = serde_json::to_string(&entry).expect("serialise");
+        let back: CorpusEntry = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, entry);
+        assert_eq!(entry.file_name(), "algorand.json");
+    }
+}

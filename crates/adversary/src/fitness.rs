@@ -1,0 +1,285 @@
+//! Objectives, fitness extraction and the evaluation abstraction.
+//!
+//! A candidate's fitness is computed from a baseline/altered
+//! [`RunResult`] pair exactly the way the paper's sensitivity score is
+//! ([`report_from_runs`](stabl::report_from_runs) logic): liveness loss
+//! dominates every finite score, finite scores are the area between the
+//! latency eCDFs. The [`Objective`] picks which aspect the search
+//! maximises; [`Fitness::key`] maps a fitness to a totally ordered
+//! `f64` so strategies compare candidates with `total_cmp`.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use stabl::metrics::Sensitivity;
+use stabl::RunResult;
+
+use crate::genome::Genome;
+
+/// What the search maximises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// The paper's sensitivity score, with liveness loss ranked above
+    /// every finite score (the paper's ∞ bars).
+    Sensitivity,
+    /// The liveness-loss indicator: the fraction of submitted
+    /// transactions left unresolved, plus 1 when the stall detector
+    /// fired — rewards schedules that stop the chain, not ones that
+    /// merely slow it.
+    LivenessLoss,
+}
+
+impl Objective {
+    /// Parses a `--objective` flag value.
+    pub fn parse(s: &str) -> Option<Objective> {
+        match s {
+            "sensitivity" => Some(Objective::Sensitivity),
+            "liveness-loss" => Some(Objective::LivenessLoss),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Sensitivity => "sensitivity",
+            Objective::LivenessLoss => "liveness-loss",
+        }
+    }
+}
+
+impl Serialize for Objective {
+    fn to_content(&self) -> Content {
+        Content::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for Objective {
+    fn from_content(content: &Content) -> Result<Objective, DeError> {
+        let s = String::from_content(content)?;
+        Objective::parse(&s).ok_or_else(|| DeError::custom(format!("unknown objective {s:?}")))
+    }
+}
+
+/// The fitness key assigned to liveness loss under
+/// [`Objective::Sensitivity`]: far above any finite score (quick-run
+/// scores are < 10³), far below f64 precision loss.
+pub const LIVENESS_LOSS_KEY: f64 = 1.0e9;
+
+/// What one evaluation measured.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fitness {
+    /// The altered run stopped committing (⇒ infinite sensitivity).
+    pub lost_liveness: bool,
+    /// The finite sensitivity score, when liveness held.
+    pub score: Option<f64>,
+    /// The altered run *outperformed* the baseline (the paper's striped
+    /// bars) — recorded so corpus readers can spot improvements.
+    pub improved: bool,
+    /// Unresolved fraction of submitted transactions in the altered run.
+    pub unresolved_frac: f64,
+}
+
+impl Fitness {
+    /// The totally ordered comparison key under `objective` (compare
+    /// with `f64::total_cmp`; every value is finite).
+    pub fn key(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Sensitivity => {
+                if self.lost_liveness {
+                    // Rank liveness violations above all finite scores,
+                    // tie-broken by how much of the load got stuck.
+                    LIVENESS_LOSS_KEY + self.unresolved_frac
+                } else {
+                    self.score.unwrap_or_default()
+                }
+            }
+            Objective::LivenessLoss => {
+                if self.lost_liveness {
+                    1.0 + self.unresolved_frac
+                } else {
+                    self.unresolved_frac
+                }
+            }
+        }
+    }
+
+    /// The paper-style sensitivity this fitness corresponds to.
+    pub fn sensitivity(&self) -> Sensitivity {
+        match (self.lost_liveness, self.score) {
+            (false, Some(score)) => Sensitivity::Finite {
+                score,
+                improved: self.improved,
+            },
+            _ => Sensitivity::Infinite,
+        }
+    }
+}
+
+/// Extracts a [`Fitness`] from a baseline/altered run pair, mirroring
+/// [`report_from_runs`](stabl::report_from_runs): liveness loss (or an
+/// uncomputable altered eCDF) dominates, otherwise the score is the
+/// area between the eCDFs.
+pub fn fitness_of(baseline: &RunResult, altered: &RunResult) -> Fitness {
+    let unresolved_frac = if altered.submitted == 0 {
+        0.0
+    } else {
+        altered.unresolved as f64 / altered.submitted as f64
+    };
+    let sensitivity = if altered.lost_liveness {
+        Sensitivity::Infinite
+    } else {
+        match (baseline.ecdf(), altered.ecdf()) {
+            (Ok(b), Ok(a)) => Sensitivity::from_ecdfs(&b, &a),
+            _ => Sensitivity::Infinite,
+        }
+    };
+    match sensitivity {
+        Sensitivity::Finite { score, improved } => Fitness {
+            lost_liveness: false,
+            score: Some(score),
+            improved,
+            unresolved_frac,
+        },
+        Sensitivity::Infinite => Fitness {
+            lost_liveness: true,
+            score: None,
+            improved: false,
+            unresolved_frac,
+        },
+    }
+}
+
+/// How search strategies and the shrinker evaluate candidates. The real
+/// implementation (in `stabl-bench`) runs each genome through the
+/// campaign engine pool/cache against a fixed baseline; tests use
+/// [`SyntheticEvaluator`]/[`FnEvaluator`] to stay fast.
+pub trait Evaluate {
+    /// Evaluates a batch of genomes, one fitness per genome, in order.
+    /// Strategies batch where they can ((μ+λ) generations) so the
+    /// engine pool runs candidates in parallel.
+    fn eval_batch(&mut self, genomes: &[Genome]) -> Vec<Fitness>;
+
+    /// Evaluates one genome.
+    fn eval(&mut self, genome: &Genome) -> Fitness {
+        self.eval_batch(std::slice::from_ref(genome))
+            .into_iter()
+            .next()
+            .unwrap_or(Fitness {
+                lost_liveness: false,
+                score: None,
+                improved: false,
+                unresolved_frac: 0.0,
+            })
+    }
+}
+
+/// A deterministic, simulation-free evaluator for tests and smoke runs:
+/// the fitness is a structural function of the genome (action kinds,
+/// victim counts, window lengths), so searches replay byte-identically
+/// without running any chain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyntheticEvaluator;
+
+impl Evaluate for SyntheticEvaluator {
+    fn eval_batch(&mut self, genomes: &[Genome]) -> Vec<Fitness> {
+        genomes.iter().map(synthetic_fitness).collect()
+    }
+}
+
+fn synthetic_fitness(genome: &Genome) -> Fitness {
+    use stabl::FaultAction;
+    let mut score = 0.0;
+    for action in &genome.actions {
+        let weight = match action {
+            FaultAction::Crash { .. } => 3.0,
+            FaultAction::Partition { .. } => 2.5,
+            FaultAction::Transient { .. } => 2.0,
+            FaultAction::Slowdown { .. } => 1.0,
+            FaultAction::LinkDegrade { .. } => 0.5,
+        };
+        let window_secs = action
+            .window()
+            .map(|w| w.duration().as_micros() as f64 / 1e6)
+            .unwrap_or(10.0);
+        score += weight * (action.victims().len() as f64).max(1.0) + 0.01 * window_secs;
+    }
+    if genome.byz.is_some() {
+        score += 1.5;
+    }
+    Fitness {
+        lost_liveness: false,
+        score: Some(score),
+        improved: false,
+        unresolved_frac: 0.0,
+    }
+}
+
+/// An evaluator wrapping a plain function — lets tests pin arbitrary
+/// fitness landscapes (e.g. "high iff the genome contains this exact
+/// action" for the shrink fixture).
+pub struct FnEvaluator<F: FnMut(&Genome) -> Fitness> {
+    f: F,
+    /// Evaluations performed so far.
+    pub evals: usize,
+}
+
+impl<F: FnMut(&Genome) -> Fitness> FnEvaluator<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> FnEvaluator<F> {
+        FnEvaluator { f, evals: 0 }
+    }
+}
+
+impl<F: FnMut(&Genome) -> Fitness> Evaluate for FnEvaluator<F> {
+    fn eval_batch(&mut self, genomes: &[Genome]) -> Vec<Fitness> {
+        self.evals += genomes.len();
+        genomes.iter().map(&mut self.f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabl::{Chain, PaperSetup};
+    use stabl_sim::DetRng;
+
+    #[test]
+    fn objective_parse_roundtrip() {
+        for obj in [Objective::Sensitivity, Objective::LivenessLoss] {
+            assert_eq!(Objective::parse(obj.name()), Some(obj));
+        }
+        assert_eq!(Objective::parse("chaos"), None);
+    }
+
+    #[test]
+    fn liveness_loss_dominates_sensitivity_key() {
+        let lost = Fitness {
+            lost_liveness: true,
+            score: None,
+            improved: false,
+            unresolved_frac: 0.4,
+        };
+        let finite = Fitness {
+            lost_liveness: false,
+            score: Some(950.0),
+            improved: false,
+            unresolved_frac: 0.0,
+        };
+        assert!(lost.key(Objective::Sensitivity) > finite.key(Objective::Sensitivity));
+        assert!(lost.key(Objective::LivenessLoss) > finite.key(Objective::LivenessLoss));
+        // Among two liveness losses, the one that stuck more load wins.
+        let worse = Fitness {
+            unresolved_frac: 0.9,
+            ..lost
+        };
+        assert!(worse.key(Objective::Sensitivity) > lost.key(Objective::Sensitivity));
+    }
+
+    #[test]
+    fn synthetic_evaluator_is_deterministic() {
+        let space = crate::genome::SearchSpace::paper(&PaperSetup::quick(30, 1), Chain::Solana);
+        let mut rng = DetRng::new(3);
+        let genome = space.random_genome(&mut rng);
+        let mut eval = SyntheticEvaluator;
+        assert_eq!(eval.eval(&genome), eval.eval(&genome));
+    }
+}

@@ -1,0 +1,420 @@
+//! The search space and genome encoding.
+//!
+//! A [`Genome`] is one candidate adversity configuration: a bounded
+//! vector of [`FaultAction`]s plus an optional Byzantine gene. The
+//! [`SearchSpace`] pins the bounds that keep the search honest and
+//! comparable to the paper's adversary:
+//!
+//! * victims come only from the trailing non-client validator pool
+//!   (ids 5..n, like [`PaperSetup::victims`](stabl::PaperSetup));
+//! * at most `max_victims = t_B + 1` distinct nodes are touched across
+//!   all actions *and* the Byzantine gene combined;
+//! * at most `max_actions` actions per genome (3 — which also makes the
+//!   "shrunk reproducers have ≤ 3 actions" corpus guarantee structural);
+//! * every window mark lies on a `slots`-point time grid over the run
+//!   horizon, so mutation steps are meaningful and schedules stay
+//!   inside the horizon by construction
+//!   ([`FaultSchedule::validate_within`] is still asserted in tests).
+//!
+//! Genomes are kept in a canonical form (actions sorted by start time,
+//! kind, victims; victim lists sorted) so that logically equal genomes
+//! serialise identically and the shrinker's output is invariant to the
+//! order in which actions were generated.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use stabl::{Chain, FaultAction, FaultSchedule, FaultWindow, PaperSetup};
+use stabl_sim::{
+    ByzantineBehavior, ByzantineSpec, DetRng, LinkFault, NodeId, SimDuration, SimTime,
+};
+
+/// Millisecond ladder for slowdown extras and Byzantine delays.
+const EXTRA_MS: [u64; 5] = [50, 100, 250, 500, 1000];
+
+/// Probability ladder for link-level drop/duplicate/reorder faults.
+/// Capped at 0.3: total loss is modelled by partitions, not by the
+/// probabilistic link layer.
+const LINK_P: [f64; 6] = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3];
+
+/// The bounds a chain's adversary search operates under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchSpace {
+    /// Network size.
+    pub n: usize,
+    /// Run horizon all windows must fit inside.
+    pub horizon: SimTime,
+    /// The allowed victims (the paper's non-client validators).
+    pub pool: Vec<NodeId>,
+    /// Maximum number of actions per genome.
+    pub max_actions: usize,
+    /// Maximum distinct nodes touched (actions + Byzantine gene).
+    pub max_victims: usize,
+    /// Number of grid intervals the horizon is divided into.
+    pub slots: u64,
+}
+
+impl SearchSpace {
+    /// The space for searching `chain` under the paper's `setup`:
+    /// victims from the non-client pool, node budget `t_B + 1` (the
+    /// strongest adversary the paper grants any scenario), 3 actions,
+    /// a 40-slot time grid.
+    pub fn paper(setup: &PaperSetup, chain: Chain) -> SearchSpace {
+        let front = 5.min(setup.n);
+        SearchSpace {
+            n: setup.n,
+            horizon: setup.horizon,
+            pool: (front..setup.n).map(|i| NodeId::new(i as u32)).collect(),
+            max_actions: 3,
+            max_victims: chain.tolerated_faults(setup.n) + 1,
+            slots: 40,
+        }
+    }
+
+    /// Grid instant `slot` (of `0..=slots`): `horizon * slot / slots`.
+    pub fn time(&self, slot: u64) -> SimTime {
+        let micros = self.horizon.as_micros() / self.slots * slot.min(self.slots);
+        SimTime::from_micros(micros)
+    }
+
+    /// A random window on the grid: start slot in `[0, slots - 1]`, end
+    /// slot strictly after it, at most `slots` (= the horizon).
+    pub fn random_window(&self, rng: &mut DetRng) -> FaultWindow {
+        let start = rng.range_inclusive(0, self.slots - 1);
+        let end = rng.range_inclusive(start + 1, self.slots);
+        FaultWindow::new(self.time(start), self.time(end))
+    }
+
+    /// A random injection instant on the grid, strictly inside the run.
+    pub fn random_instant(&self, rng: &mut DetRng) -> SimTime {
+        self.time(rng.range_inclusive(0, self.slots - 1))
+    }
+
+    /// A random slowdown/delay extra from the ladder.
+    pub fn random_extra(&self, rng: &mut DetRng) -> SimDuration {
+        SimDuration::from_millis(*rng.pick(&EXTRA_MS))
+    }
+
+    /// A random link fault: global scope, drop probability from the
+    /// ladder, each of duplicate/reorder added with probability 1/4.
+    pub fn random_link_fault(&self, rng: &mut DetRng) -> LinkFault {
+        let mut fault = LinkFault::all().with_drop(*rng.pick(&LINK_P));
+        if rng.chance(0.25) {
+            fault = fault.with_duplicate(*rng.pick(&LINK_P));
+        }
+        if rng.chance(0.25) {
+            let extra = self.random_extra(rng);
+            fault = fault.with_reorder(*rng.pick(&LINK_P), extra);
+        }
+        fault
+    }
+
+    /// Pool nodes not yet used by `genome`, in id order.
+    pub fn free_nodes(&self, genome: &Genome) -> Vec<NodeId> {
+        let used = genome.used_nodes();
+        self.pool
+            .iter()
+            .copied()
+            .filter(|node| !used.contains(node))
+            .collect()
+    }
+
+    /// A random action drawn inside the remaining node budget of
+    /// `genome`. Falls back to a (victimless) link fault when the node
+    /// budget is exhausted.
+    pub fn random_action(&self, genome: &Genome, rng: &mut DetRng) -> FaultAction {
+        let free = self.free_nodes(genome);
+        let budget = self
+            .max_victims
+            .saturating_sub(genome.used_nodes().len())
+            .min(free.len());
+        let kind = rng.next_below(5);
+        if budget == 0 || kind == 4 {
+            let window = self.random_window(rng);
+            return FaultAction::LinkDegrade {
+                fault: self.random_link_fault(rng),
+                at: window.at,
+                until: window.until,
+            };
+        }
+        let count = rng.range_inclusive(1, budget as u64) as usize;
+        let mut nodes: Vec<NodeId> = rng
+            .sample_indices(free.len(), count)
+            .into_iter()
+            .map(|i| free[i])
+            .collect();
+        nodes.sort_unstable();
+        match kind {
+            0 => FaultAction::Crash {
+                nodes,
+                at: self.random_instant(rng),
+            },
+            1 => {
+                let window = self.random_window(rng);
+                FaultAction::Transient {
+                    nodes,
+                    at: window.at,
+                    recover_at: window.until,
+                }
+            }
+            2 => {
+                let window = self.random_window(rng);
+                FaultAction::Partition {
+                    nodes,
+                    at: window.at,
+                    heal_at: window.until,
+                }
+            }
+            _ => {
+                let window = self.random_window(rng);
+                FaultAction::Slowdown {
+                    nodes,
+                    extra: self.random_extra(rng),
+                    at: window.at,
+                    until: window.until,
+                }
+            }
+        }
+    }
+
+    /// A random Byzantine gene over one free node, or `None` when the
+    /// node budget is exhausted.
+    pub fn random_byz(&self, genome: &Genome, rng: &mut DetRng) -> Option<ByzGene> {
+        let free = self.free_nodes(genome);
+        if free.is_empty() || genome.used_nodes().len() >= self.max_victims {
+            return None;
+        }
+        let node = *rng.pick(&free);
+        let behavior = match rng.next_below(4) {
+            0 => ByzantineBehavior::Mutate,
+            1 => ByzantineBehavior::Equivocate,
+            2 => ByzantineBehavior::Withhold,
+            _ => ByzantineBehavior::Delay(self.random_extra(rng)),
+        };
+        Some(ByzGene {
+            nodes: vec![node],
+            behavior,
+        })
+    }
+
+    /// A fresh random genome: 1..=`max_actions` actions, a Byzantine
+    /// gene with probability 0.3 (budget permitting), canonical order.
+    pub fn random_genome(&self, rng: &mut DetRng) -> Genome {
+        let mut genome = Genome {
+            actions: Vec::new(),
+            byz: None,
+        };
+        let count = rng.range_inclusive(1, self.max_actions as u64);
+        for _ in 0..count {
+            let action = self.random_action(&genome, rng);
+            genome.actions.push(action);
+        }
+        if rng.chance(0.3) {
+            genome.byz = self.random_byz(&genome, rng);
+        }
+        genome.canonicalize();
+        genome
+    }
+}
+
+/// The Byzantine dimension of a genome: `nodes` run under `behavior`
+/// via [`ByzantineSpec`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ByzGene {
+    /// The Byzantine validators.
+    pub nodes: Vec<NodeId>,
+    /// What they do.
+    pub behavior: ByzantineBehavior,
+}
+
+/// One candidate adversity configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Genome {
+    /// The fault actions, in canonical order.
+    pub actions: Vec<FaultAction>,
+    /// The optional Byzantine gene.
+    pub byz: Option<ByzGene>,
+}
+
+impl Genome {
+    /// The fault schedule this genome injects.
+    pub fn schedule(&self) -> FaultSchedule {
+        FaultSchedule::new(self.actions.clone())
+    }
+
+    /// The Byzantine spec this genome runs under.
+    pub fn byzantine_spec(&self) -> ByzantineSpec {
+        match &self.byz {
+            Some(gene) => ByzantineSpec::new(gene.nodes.iter().copied(), gene.behavior),
+            None => ByzantineSpec::none(),
+        }
+    }
+
+    /// Every node the genome touches: action victims plus Byzantine
+    /// nodes (link-fault groups reference no whole-node victims).
+    pub fn used_nodes(&self) -> BTreeSet<NodeId> {
+        let mut used: BTreeSet<NodeId> = self
+            .actions
+            .iter()
+            .flat_map(|a| a.victims().iter().copied())
+            .collect();
+        if let Some(gene) = &self.byz {
+            used.extend(gene.nodes.iter().copied());
+        }
+        used
+    }
+
+    /// Sorts the genome into canonical form: victims ascending within
+    /// each action, actions by (start, kind rank, victims, window end),
+    /// Byzantine nodes ascending. Scheduling semantics are unchanged —
+    /// every action fires at its own instant — but equal genomes now
+    /// compare and serialise equal regardless of generation order.
+    pub fn canonicalize(&mut self) {
+        for action in &mut self.actions {
+            sort_victims(action);
+        }
+        self.actions.sort_by_key(sort_key);
+        if let Some(gene) = &mut self.byz {
+            gene.nodes.sort_unstable();
+        }
+    }
+
+    /// `true` if the genome respects `space`'s bounds and passes
+    /// schedule validation against the run horizon.
+    pub fn is_valid(&self, space: &SearchSpace) -> bool {
+        if self.actions.is_empty() && self.byz.is_none() {
+            return false;
+        }
+        if self.actions.len() > space.max_actions {
+            return false;
+        }
+        let used = self.used_nodes();
+        if used.len() > space.max_victims {
+            return false;
+        }
+        if used.iter().any(|node| !space.pool.contains(node)) {
+            return false;
+        }
+        // Distinct victims per action are guaranteed by validate();
+        // Byzantine nodes must also not double as fault victims.
+        if let Some(gene) = &self.byz {
+            let faulted: BTreeSet<NodeId> = self
+                .actions
+                .iter()
+                .flat_map(|a| a.victims().iter().copied())
+                .collect();
+            if gene.nodes.iter().any(|node| faulted.contains(node)) {
+                return false;
+            }
+        }
+        self.schedule()
+            .validate_within(space.n, space.horizon)
+            .is_ok()
+    }
+}
+
+fn sort_victims(action: &mut FaultAction) {
+    match action {
+        FaultAction::Crash { nodes, .. }
+        | FaultAction::Transient { nodes, .. }
+        | FaultAction::Partition { nodes, .. }
+        | FaultAction::Slowdown { nodes, .. } => nodes.sort_unstable(),
+        FaultAction::LinkDegrade { .. } => {}
+    }
+}
+
+fn kind_rank(action: &FaultAction) -> u8 {
+    match action {
+        FaultAction::Crash { .. } => 0,
+        FaultAction::Transient { .. } => 1,
+        FaultAction::Partition { .. } => 2,
+        FaultAction::Slowdown { .. } => 3,
+        FaultAction::LinkDegrade { .. } => 4,
+    }
+}
+
+fn sort_key(action: &FaultAction) -> (u64, u8, Vec<NodeId>, u64) {
+    let end = action
+        .window()
+        .map(|w| w.until.as_micros())
+        .unwrap_or_default();
+    (
+        action.start().as_micros(),
+        kind_rank(action),
+        action.victims().to_vec(),
+        end,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper(&PaperSetup::quick(60, 1), Chain::Aptos)
+    }
+
+    #[test]
+    fn paper_space_matches_setup() {
+        let s = space();
+        assert_eq!(s.n, 10);
+        assert_eq!(s.pool.len(), 5);
+        assert!(s.pool.iter().all(|node| node.index() >= 5));
+        assert_eq!(s.max_victims, 4, "t_B + 1 for Aptos at n = 10");
+        assert_eq!(s.time(0), SimTime::ZERO);
+        assert_eq!(s.time(s.slots), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn random_genomes_are_valid() {
+        let s = space();
+        let mut rng = DetRng::new(42);
+        for _ in 0..200 {
+            let genome = s.random_genome(&mut rng);
+            assert!(genome.is_valid(&s), "invalid genome: {genome:?}");
+            assert!(!genome.actions.is_empty());
+            assert!(genome.actions.len() <= s.max_actions);
+        }
+    }
+
+    #[test]
+    fn random_genomes_are_canonical() {
+        let s = space();
+        let mut rng = DetRng::new(7);
+        for _ in 0..100 {
+            let genome = s.random_genome(&mut rng);
+            let mut again = genome.clone();
+            again.canonicalize();
+            assert_eq!(genome, again);
+        }
+    }
+
+    #[test]
+    fn genome_roundtrips_through_json() {
+        let s = space();
+        let mut rng = DetRng::new(9);
+        for _ in 0..20 {
+            let genome = s.random_genome(&mut rng);
+            let json = serde_json::to_string(&genome).expect("serialise");
+            let back: Genome = serde_json::from_str(&json).expect("deserialise");
+            assert_eq!(back, genome);
+        }
+    }
+
+    #[test]
+    fn byz_gene_nodes_stay_disjoint_from_victims() {
+        let s = space();
+        let mut rng = DetRng::new(21);
+        for _ in 0..200 {
+            let genome = s.random_genome(&mut rng);
+            if let Some(gene) = &genome.byz {
+                for node in &gene.nodes {
+                    assert!(
+                        !genome.actions.iter().any(|a| a.victims().contains(node)),
+                        "byz node {node} doubles as a fault victim"
+                    );
+                }
+            }
+        }
+    }
+}

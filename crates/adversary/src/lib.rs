@@ -1,0 +1,56 @@
+//! Adversary search: discover each chain's worst-case fault schedule.
+//!
+//! The paper measures sensitivity under four hand-picked scenarios
+//! (crash, transient, partition, secure client). This crate treats that
+//! sensitivity score as a *fitness function* and searches the
+//! [`FaultSchedule`](stabl::FaultSchedule) space for schedules that hurt
+//! more than anything the paper tried — the chaos-engineering-for-
+//! consensus methodology of ChaosETH and Sondhi et al. (PAPERS.md).
+//!
+//! The pieces, in pipeline order:
+//!
+//! * [`genome`] — a bounded, budgeted encoding of one adversity
+//!   configuration: up to `max_actions` [`FaultAction`](stabl::FaultAction)s
+//!   plus an optional Byzantine gene, with all victims drawn from the
+//!   paper's non-client validator pool and capped at `t_B + 1` nodes so
+//!   discovered schedules stay comparable to the paper's adversary.
+//! * [`ops`] — typed mutation operators (perturb window, add/remove
+//!   action, swap victims, widen/narrow scope, toggle Byzantine) and
+//!   one-point crossover, all pure functions of a
+//!   [`DetRng`](stabl_sim::DetRng) stream.
+//! * [`fitness`] — the objective ([`Objective::Sensitivity`] or
+//!   [`Objective::LivenessLoss`]), the [`Fitness`] record extracted from
+//!   a baseline/altered run pair, and the [`Evaluate`] abstraction the
+//!   strategies call through (the real evaluator in `stabl-bench` runs
+//!   genomes through the campaign engine pool/cache).
+//! * [`search`] — two strategies behind one [`SearchStrategy`] trait:
+//!   simulated [`Annealing`] and a small (μ+λ) population search
+//!   ([`MuPlusLambda`]), both emitting a [`SearchTrace`] that replays
+//!   byte-identically from the same seed.
+//! * [`shrink`] — a ddmin-style, rng-free pass that drops actions,
+//!   narrows victim sets and tightens windows while the fitness stays
+//!   above a threshold, producing the minimal committed reproducer.
+//! * [`corpus`] — the serialised [`CorpusEntry`] layout committed under
+//!   `results/adversary/corpus/` and replayed by CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod fitness;
+pub mod genome;
+pub mod ops;
+pub mod search;
+pub mod shrink;
+
+pub use corpus::{CorpusEntry, ScoreCi};
+pub use fitness::{
+    fitness_of, Evaluate, Fitness, FnEvaluator, Objective, SyntheticEvaluator, LIVENESS_LOSS_KEY,
+};
+pub use genome::{ByzGene, Genome, SearchSpace};
+pub use ops::{crossover, mutate, MutationOp};
+pub use search::{
+    Annealing, MuPlusLambda, SearchConfig, SearchOutcome, SearchStrategy, SearchTrace, Strategy,
+    TraceStep,
+};
+pub use shrink::{shrink, ShrinkOutcome};

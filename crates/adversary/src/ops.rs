@@ -1,0 +1,287 @@
+//! Typed mutation operators and one-point crossover.
+//!
+//! Every operator is a *pure function* of its inputs and the
+//! [`DetRng`] stream: the same genome, space and generator state always
+//! produce the same child (asserted by the crate's proptests). When the
+//! drawn operator does not apply to the genome at hand (e.g. removing
+//! an action from a single-action genome), the next operator in a fixed
+//! rotation is tried instead — no rng draws are wasted, so the stream
+//! stays aligned across replays.
+
+use stabl::{FaultAction, FaultWindow};
+use stabl_sim::{DetRng, NodeId};
+
+use crate::genome::{Genome, SearchSpace};
+
+/// The mutation operators the search draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Re-draw one action's window (or a crash's instant) on the grid.
+    PerturbWindow,
+    /// Append a fresh random action (budget permitting).
+    AddAction,
+    /// Drop one action (genomes keep at least one).
+    RemoveAction,
+    /// Replace one victim with a currently unused pool node.
+    SwapVictims,
+    /// Add an unused pool node to one action's victim set.
+    WidenScope,
+    /// Remove one victim from a multi-victim action.
+    NarrowScope,
+    /// Add a Byzantine gene if absent, remove it if present.
+    ToggleByzantine,
+}
+
+impl MutationOp {
+    /// All operators, in rotation order.
+    pub const ALL: [MutationOp; 7] = [
+        MutationOp::PerturbWindow,
+        MutationOp::AddAction,
+        MutationOp::RemoveAction,
+        MutationOp::SwapVictims,
+        MutationOp::WidenScope,
+        MutationOp::NarrowScope,
+        MutationOp::ToggleByzantine,
+    ];
+}
+
+/// Applies one randomly drawn mutation operator to `genome`. The result
+/// is canonical and valid for `space`. Returns the applied operator
+/// alongside the child.
+pub fn mutate(genome: &Genome, space: &SearchSpace, rng: &mut DetRng) -> (Genome, MutationOp) {
+    let first = rng.next_below(MutationOp::ALL.len() as u64) as usize;
+    for offset in 0..MutationOp::ALL.len() {
+        let op = MutationOp::ALL[(first + offset) % MutationOp::ALL.len()];
+        if let Some(mut child) = try_op(genome, space, rng, op) {
+            child.canonicalize();
+            debug_assert!(child.is_valid(space), "mutation {op:?} broke {child:?}");
+            return (child, op);
+        }
+    }
+    // Every operator was inapplicable — only possible for degenerate
+    // spaces (empty pool AND full action list AND single-victim
+    // actions). Return the genome unchanged rather than panic.
+    ((*genome).clone(), MutationOp::PerturbWindow)
+}
+
+fn try_op(
+    genome: &Genome,
+    space: &SearchSpace,
+    rng: &mut DetRng,
+    op: MutationOp,
+) -> Option<Genome> {
+    match op {
+        MutationOp::PerturbWindow => {
+            if genome.actions.is_empty() {
+                return None;
+            }
+            let mut child = genome.clone();
+            let idx = rng.next_below(child.actions.len() as u64) as usize;
+            let action = child.actions[idx].clone();
+            child.actions[idx] = match action.window() {
+                Some(_) => action.with_window(space.random_window(rng)),
+                None => {
+                    action.with_window(FaultWindow::new(space.random_instant(rng), space.horizon))
+                }
+            };
+            Some(child)
+        }
+        MutationOp::AddAction => {
+            if genome.actions.len() >= space.max_actions {
+                return None;
+            }
+            let mut child = genome.clone();
+            let action = space.random_action(&child, rng);
+            child.actions.push(action);
+            Some(child)
+        }
+        MutationOp::RemoveAction => {
+            if genome.actions.len() <= 1 {
+                return None;
+            }
+            let mut child = genome.clone();
+            let idx = rng.next_below(child.actions.len() as u64) as usize;
+            child.actions.remove(idx);
+            Some(child)
+        }
+        MutationOp::SwapVictims => {
+            let free = space.free_nodes(genome);
+            if free.is_empty() {
+                return None;
+            }
+            let targets = victim_actions(genome, 1);
+            if targets.is_empty() {
+                return None;
+            }
+            let mut child = genome.clone();
+            let idx = *rng.pick(&targets);
+            let replacement = *rng.pick(&free);
+            let victims = victims_mut(&mut child.actions[idx])?;
+            let slot = rng.next_below(victims.len() as u64) as usize;
+            victims[slot] = replacement;
+            Some(child)
+        }
+        MutationOp::WidenScope => {
+            if genome.used_nodes().len() >= space.max_victims {
+                return None;
+            }
+            let free = space.free_nodes(genome);
+            if free.is_empty() {
+                return None;
+            }
+            let targets = victim_actions(genome, 1);
+            if targets.is_empty() {
+                return None;
+            }
+            let mut child = genome.clone();
+            let idx = *rng.pick(&targets);
+            let extra = *rng.pick(&free);
+            victims_mut(&mut child.actions[idx])?.push(extra);
+            Some(child)
+        }
+        MutationOp::NarrowScope => {
+            let targets = victim_actions(genome, 2);
+            if targets.is_empty() {
+                return None;
+            }
+            let mut child = genome.clone();
+            let idx = *rng.pick(&targets);
+            let victims = victims_mut(&mut child.actions[idx])?;
+            let slot = rng.next_below(victims.len() as u64) as usize;
+            victims.remove(slot);
+            Some(child)
+        }
+        MutationOp::ToggleByzantine => match genome.byz {
+            Some(_) => {
+                if genome.actions.is_empty() {
+                    return None;
+                }
+                let mut child = genome.clone();
+                child.byz = None;
+                Some(child)
+            }
+            None => {
+                let mut child = genome.clone();
+                child.byz = space.random_byz(&child, rng);
+                child.byz.is_some().then_some(child)
+            }
+        },
+    }
+}
+
+/// Indices of actions with at least `min_victims` whole-node victims.
+fn victim_actions(genome: &Genome, min_victims: usize) -> Vec<usize> {
+    genome
+        .actions
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.victims().len() >= min_victims)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn victims_mut(action: &mut FaultAction) -> Option<&mut Vec<NodeId>> {
+    match action {
+        FaultAction::Crash { nodes, .. }
+        | FaultAction::Transient { nodes, .. }
+        | FaultAction::Partition { nodes, .. }
+        | FaultAction::Slowdown { nodes, .. } => Some(nodes),
+        FaultAction::LinkDegrade { .. } => None,
+    }
+}
+
+/// One-point crossover: the child takes a prefix of `a`'s actions and a
+/// suffix of `b`'s, then is repaired to respect the space's bounds
+/// (overlapping victims and over-budget actions from the suffix are
+/// dropped, the action count is capped, the Byzantine gene is inherited
+/// from a random parent when it still fits).
+pub fn crossover(a: &Genome, b: &Genome, space: &SearchSpace, rng: &mut DetRng) -> Genome {
+    let cut_a = rng.range_inclusive(0, a.actions.len() as u64) as usize;
+    let cut_b = rng.range_inclusive(0, b.actions.len() as u64) as usize;
+    let from_a = a.actions[..cut_a].iter().cloned();
+    let from_b = b.actions[cut_b..].iter().cloned();
+    let mut child = Genome {
+        actions: Vec::new(),
+        byz: None,
+    };
+    for action in from_a.chain(from_b) {
+        if child.actions.len() >= space.max_actions {
+            break;
+        }
+        let used = child.used_nodes();
+        let disjoint = action.victims().iter().all(|node| !used.contains(node));
+        let within_budget = used.len() + action.victims().len() <= space.max_victims;
+        if disjoint && within_budget {
+            child.actions.push(action);
+        }
+    }
+    let byz_parent = if rng.chance(0.5) { &a.byz } else { &b.byz };
+    if let Some(gene) = byz_parent {
+        let used = child.used_nodes();
+        let disjoint = gene.nodes.iter().all(|node| !used.contains(node));
+        if disjoint && used.len() + gene.nodes.len() <= space.max_victims {
+            child.byz = Some(gene.clone());
+        }
+    }
+    if child.actions.is_empty() && child.byz.is_none() {
+        // Degenerate cut on two incompatible parents: fall back to a
+        // fresh draw so the population never carries empty genomes.
+        return space.random_genome(rng);
+    }
+    if child.actions.is_empty() {
+        // A Byzantine-only child cannot be shrunk or replayed as a
+        // schedule; give it one action to anchor it.
+        let action = space.random_action(&child, rng);
+        child.actions.push(action);
+    }
+    child.canonicalize();
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabl::{Chain, PaperSetup};
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper(&PaperSetup::quick(60, 1), Chain::Redbelly)
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let s = space();
+        let mut rng = DetRng::new(5);
+        let mut genome = s.random_genome(&mut rng);
+        for _ in 0..500 {
+            let (child, _) = mutate(&genome, &s, &mut rng);
+            assert!(child.is_valid(&s), "invalid child: {child:?}");
+            genome = child;
+        }
+    }
+
+    #[test]
+    fn mutation_visits_every_operator() {
+        let s = space();
+        let mut rng = DetRng::new(6);
+        let mut genome = s.random_genome(&mut rng);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let (child, op) = mutate(&genome, &s, &mut rng);
+            seen.insert(format!("{op:?}"));
+            genome = child;
+        }
+        assert_eq!(seen.len(), MutationOp::ALL.len(), "unreached ops: {seen:?}");
+    }
+
+    #[test]
+    fn crossover_preserves_validity() {
+        let s = space();
+        let mut rng = DetRng::new(8);
+        for _ in 0..200 {
+            let a = s.random_genome(&mut rng);
+            let b = s.random_genome(&mut rng);
+            let child = crossover(&a, &b, &s, &mut rng);
+            assert!(child.is_valid(&s), "invalid child: {child:?}");
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Search strategies: simulated annealing and (μ+λ) population search.
+//!
+//! Both run behind the [`SearchStrategy`] trait under a fixed
+//! evaluation budget, draw every random decision from a
+//! [`DetRng`] derived from [`SearchConfig::seed`], and append one
+//! [`TraceStep`] per evaluation — so the same seed replays the same
+//! trace byte-for-byte (asserted by a proptest and the CI smoke job).
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use stabl_sim::DetRng;
+
+use crate::fitness::{Evaluate, Fitness, Objective};
+use crate::genome::{Genome, SearchSpace};
+use crate::ops::{crossover, mutate};
+
+/// DetRng stream labels, one per strategy, so the two searches never
+/// share a stream even when run from the same seed.
+const ANNEALING_STREAM: u64 = 0xA11EA1;
+const POPULATION_STREAM: u64 = 0x9090;
+
+/// Which strategy to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Single-trajectory simulated annealing.
+    Annealing,
+    /// A small (μ+λ) evolutionary search (μ = 3, λ = 6).
+    MuPlusLambda,
+}
+
+impl Strategy {
+    /// Parses a `--strategy` flag value.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "annealing" => Some(Strategy::Annealing),
+            "mu-lambda" => Some(Strategy::MuPlusLambda),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Annealing => "annealing",
+            Strategy::MuPlusLambda => "mu-lambda",
+        }
+    }
+
+    /// Runs this strategy.
+    pub fn search(
+        &self,
+        space: &SearchSpace,
+        eval: &mut dyn Evaluate,
+        config: &SearchConfig,
+    ) -> SearchOutcome {
+        match self {
+            Strategy::Annealing => Annealing.search(space, eval, config),
+            Strategy::MuPlusLambda => MuPlusLambda::default().search(space, eval, config),
+        }
+    }
+}
+
+impl Serialize for Strategy {
+    fn to_content(&self) -> Content {
+        Content::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for Strategy {
+    fn from_content(content: &Content) -> Result<Strategy, DeError> {
+        let s = String::from_content(content)?;
+        Strategy::parse(&s).ok_or_else(|| DeError::custom(format!("unknown strategy {s:?}")))
+    }
+}
+
+/// Parameters of one search run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Seed for the search's DetRng streams.
+    pub seed: u64,
+    /// Maximum number of candidate evaluations.
+    pub budget: usize,
+    /// What to maximise.
+    pub objective: Objective,
+}
+
+/// One evaluation in the search trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// 1-based evaluation counter.
+    pub eval: usize,
+    /// The candidate's fitness key under the search objective.
+    pub key: f64,
+    /// The best key seen so far (including this candidate).
+    pub best_key: f64,
+    /// Annealing: the candidate was accepted as the new current point.
+    /// (μ+λ): the candidate survived selection into the next parent
+    /// population.
+    pub accepted: bool,
+}
+
+/// The per-evaluation log of a search (byte-identical across replays of
+/// the same seed).
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// One step per evaluation, in evaluation order.
+    pub steps: Vec<TraceStep>,
+}
+
+/// What a search found.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The best genome discovered.
+    pub best: Genome,
+    /// Its fitness.
+    pub best_fitness: Fitness,
+    /// Evaluations actually spent.
+    pub evals: usize,
+    /// The per-evaluation trace.
+    pub trace: SearchTrace,
+}
+
+/// A search strategy: spend `config.budget` evaluations maximising
+/// `config.objective` over `space`.
+pub trait SearchStrategy {
+    /// Runs the search.
+    fn search(
+        &self,
+        space: &SearchSpace,
+        eval: &mut dyn Evaluate,
+        config: &SearchConfig,
+    ) -> SearchOutcome;
+}
+
+/// Single-trajectory simulated annealing: propose one mutation per
+/// step, always accept improvements, accept regressions with
+/// probability `exp(Δkey / T)` under a geometrically cooling
+/// temperature (from `T₀ = max(1, |key₀|)` down three decades across
+/// the budget).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Annealing;
+
+impl SearchStrategy for Annealing {
+    fn search(
+        &self,
+        space: &SearchSpace,
+        eval: &mut dyn Evaluate,
+        config: &SearchConfig,
+    ) -> SearchOutcome {
+        let objective = config.objective;
+        let mut rng = DetRng::new(config.seed).derive(ANNEALING_STREAM);
+        let mut trace = SearchTrace::default();
+        let current = space.random_genome(&mut rng);
+        let current_fit = eval.eval(&current);
+        let mut evals = 1;
+        let mut best = current.clone();
+        let mut best_fit = current_fit;
+        trace.steps.push(TraceStep {
+            eval: evals,
+            key: current_fit.key(objective),
+            best_key: best_fit.key(objective),
+            accepted: true,
+        });
+        let mut current = current;
+        let mut current_fit = current_fit;
+        let mut temperature = current_fit.key(objective).abs().max(1.0);
+        // Cool three decades over the remaining budget.
+        let cooling = if config.budget > 1 {
+            1e-3_f64.powf(1.0 / (config.budget - 1) as f64)
+        } else {
+            1.0
+        };
+        while evals < config.budget {
+            let (candidate, _) = mutate(&current, space, &mut rng);
+            let fit = eval.eval(&candidate);
+            evals += 1;
+            let delta = fit.key(objective) - current_fit.key(objective);
+            let accepted = delta >= 0.0 || rng.chance((delta / temperature).exp());
+            if fit.key(objective) > best_fit.key(objective) {
+                best = candidate.clone();
+                best_fit = fit;
+            }
+            trace.steps.push(TraceStep {
+                eval: evals,
+                key: fit.key(objective),
+                best_key: best_fit.key(objective),
+                accepted,
+            });
+            if accepted {
+                current = candidate;
+                current_fit = fit;
+            }
+            temperature = (temperature * cooling).max(1e-6);
+        }
+        SearchOutcome {
+            best,
+            best_fitness: best_fit,
+            evals,
+            trace,
+        }
+    }
+}
+
+/// A small (μ+λ) evolutionary search: λ children per generation from
+/// crossover + mutation over μ parents, elitist truncation selection on
+/// the combined population (ties resolved toward parents, so the
+/// selection is deterministic).
+#[derive(Clone, Copy, Debug)]
+pub struct MuPlusLambda {
+    /// Parent population size.
+    pub mu: usize,
+    /// Children per generation.
+    pub lambda: usize,
+}
+
+impl Default for MuPlusLambda {
+    fn default() -> MuPlusLambda {
+        MuPlusLambda { mu: 3, lambda: 6 }
+    }
+}
+
+impl SearchStrategy for MuPlusLambda {
+    fn search(
+        &self,
+        space: &SearchSpace,
+        eval: &mut dyn Evaluate,
+        config: &SearchConfig,
+    ) -> SearchOutcome {
+        let objective = config.objective;
+        let mu = self.mu.max(1);
+        let mut rng = DetRng::new(config.seed).derive(POPULATION_STREAM);
+        let mut trace = SearchTrace::default();
+        let init_count = mu.min(config.budget).max(1);
+        let initial: Vec<Genome> = (0..init_count)
+            .map(|_| space.random_genome(&mut rng))
+            .collect();
+        let init_fits = eval.eval_batch(&initial);
+        let mut evals = init_count;
+        let mut population: Vec<(Genome, Fitness)> = initial.into_iter().zip(init_fits).collect();
+        // Parents ranked best-first; stable sort keeps insertion order
+        // on exact key ties.
+        population.sort_by(|a, b| b.1.key(objective).total_cmp(&a.1.key(objective)));
+        let mut best_key = population
+            .first()
+            .map(|(_, f)| f.key(objective))
+            .unwrap_or_default();
+        for (i, (_, fit)) in population.iter().enumerate() {
+            trace.steps.push(TraceStep {
+                eval: i + 1,
+                key: fit.key(objective),
+                best_key,
+                accepted: true,
+            });
+        }
+        while evals < config.budget {
+            let brood = self.lambda.min(config.budget - evals);
+            let children: Vec<Genome> = (0..brood)
+                .map(|_| {
+                    let parent = &population[rng.next_below(population.len() as u64) as usize].0;
+                    if population.len() > 1 && rng.chance(0.5) {
+                        let other = &population[rng.next_below(population.len() as u64) as usize].0;
+                        let crossed = crossover(parent, other, space, &mut rng);
+                        mutate(&crossed, space, &mut rng).0
+                    } else {
+                        mutate(parent, space, &mut rng).0
+                    }
+                })
+                .collect();
+            let child_fits = eval.eval_batch(&children);
+            let child_base = evals;
+            evals += children.len();
+            let mut combined: Vec<(Genome, Fitness)> = population;
+            combined.extend(children.iter().cloned().zip(child_fits.iter().copied()));
+            // Stable: parents (earlier indices) win exact-key ties.
+            combined.sort_by(|a, b| b.1.key(objective).total_cmp(&a.1.key(objective)));
+            combined.truncate(mu);
+            population = combined;
+            best_key = best_key.max(
+                population
+                    .first()
+                    .map(|(_, f)| f.key(objective))
+                    .unwrap_or_default(),
+            );
+            for (i, (child, fit)) in children.iter().zip(child_fits.iter()).enumerate() {
+                let survived = population.iter().any(|(g, _)| g == child);
+                trace.steps.push(TraceStep {
+                    eval: child_base + i + 1,
+                    key: fit.key(objective),
+                    best_key,
+                    accepted: survived,
+                });
+            }
+        }
+        let (best, best_fitness) = population.into_iter().next().unwrap_or_else(|| {
+            let g = space.random_genome(&mut rng);
+            let f = eval.eval(&g);
+            (g, f)
+        });
+        SearchOutcome {
+            best,
+            best_fitness,
+            evals,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::SyntheticEvaluator;
+    use stabl::{Chain, PaperSetup};
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper(&PaperSetup::quick(60, 3), Chain::Avalanche)
+    }
+
+    fn config(budget: usize) -> SearchConfig {
+        SearchConfig {
+            seed: 11,
+            budget,
+            objective: Objective::Sensitivity,
+        }
+    }
+
+    #[test]
+    fn annealing_respects_budget_and_improves() {
+        let s = space();
+        let outcome = Annealing.search(&s, &mut SyntheticEvaluator, &config(60));
+        assert_eq!(outcome.evals, 60);
+        assert_eq!(outcome.trace.steps.len(), 60);
+        let first = outcome.trace.steps[0].key;
+        assert!(
+            outcome.best_fitness.key(Objective::Sensitivity) >= first,
+            "search never beat its starting point"
+        );
+        assert!(outcome.best.is_valid(&s));
+    }
+
+    #[test]
+    fn mu_lambda_respects_budget() {
+        let s = space();
+        let outcome = MuPlusLambda::default().search(&s, &mut SyntheticEvaluator, &config(25));
+        assert_eq!(outcome.evals, 25);
+        assert_eq!(outcome.trace.steps.len(), 25);
+        assert!(outcome.best.is_valid(&s));
+    }
+
+    #[test]
+    fn best_key_is_monotone_in_trace() {
+        let s = space();
+        for strategy in [Strategy::Annealing, Strategy::MuPlusLambda] {
+            let outcome = strategy.search(&s, &mut SyntheticEvaluator, &config(40));
+            let mut prev = f64::MIN;
+            for step in &outcome.trace.steps {
+                assert!(step.best_key >= prev, "best_key regressed in {strategy:?}");
+                prev = step.best_key;
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let s = space();
+        for strategy in [Strategy::Annealing, Strategy::MuPlusLambda] {
+            let a = strategy.search(&s, &mut SyntheticEvaluator, &config(50));
+            let b = strategy.search(&s, &mut SyntheticEvaluator, &config(50));
+            assert_eq!(a, b, "{strategy:?} did not replay");
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_do_not_panic() {
+        let s = space();
+        for strategy in [Strategy::Annealing, Strategy::MuPlusLambda] {
+            for budget in 1..5 {
+                let outcome = strategy.search(&s, &mut SyntheticEvaluator, &config(budget));
+                assert!(outcome.evals <= budget.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_parse_roundtrip() {
+        for s in [Strategy::Annealing, Strategy::MuPlusLambda] {
+            assert_eq!(Strategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(Strategy::parse("tabu"), None);
+    }
+}

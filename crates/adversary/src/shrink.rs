@@ -1,0 +1,269 @@
+//! ddmin-style shrinking of discovered schedules.
+//!
+//! Given a genome whose fitness key is at least `min_key`, [`shrink`]
+//! greedily simplifies it while the key stays at or above `min_key`:
+//!
+//! 1. drop whole actions (largest simplification first),
+//! 2. drop the Byzantine gene,
+//! 3. narrow victim sets one node at a time,
+//! 4. tighten windows by binary bisection (keep the half that still
+//!    reproduces, else keep the middle-trimmed window).
+//!
+//! The pass is **rng-free** and operates on canonical genomes, so its
+//! output depends only on the (unordered) set of actions and the
+//! fitness landscape — shuffling the input's action order cannot change
+//! the result (asserted by a proptest). Every trial costs one
+//! evaluation; the pass stops at a fixpoint or when `max_evals` is
+//! exhausted.
+
+use serde::{Deserialize, Serialize};
+use stabl::FaultWindow;
+use stabl_sim::SimTime;
+
+use crate::fitness::{Evaluate, Fitness, Objective};
+use crate::genome::Genome;
+
+/// The result of a shrink pass.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShrinkOutcome {
+    /// The minimal genome still meeting the threshold.
+    pub genome: Genome,
+    /// Its fitness.
+    pub fitness: Fitness,
+    /// Evaluations spent shrinking.
+    pub evals: usize,
+}
+
+/// Shrinks `genome` (with known `fitness`) while its key under
+/// `objective` stays ≥ `min_key`. See the module docs for the
+/// reduction order.
+pub fn shrink(
+    genome: &Genome,
+    fitness: Fitness,
+    eval: &mut dyn Evaluate,
+    objective: Objective,
+    min_key: f64,
+    max_evals: usize,
+) -> ShrinkOutcome {
+    let mut best = genome.clone();
+    best.canonicalize();
+    let mut best_fit = fitness;
+    let mut evals = 0;
+    let try_candidate =
+        |candidate: &mut Genome, evals: &mut usize, eval: &mut dyn Evaluate| -> Option<Fitness> {
+            if *evals >= max_evals {
+                return None;
+            }
+            candidate.canonicalize();
+            let fit = eval.eval(candidate);
+            *evals += 1;
+            (fit.key(objective) >= min_key).then_some(fit)
+        };
+
+    loop {
+        let mut changed = false;
+
+        // 1. Drop whole actions, first index first; restart the scan
+        //    after every successful removal so indices stay honest.
+        let mut i = 0;
+        while best.actions.len() > 1 && i < best.actions.len() {
+            let mut candidate = best.clone();
+            candidate.actions.remove(i);
+            match try_candidate(&mut candidate, &mut evals, eval) {
+                Some(fit) => {
+                    best = candidate;
+                    best_fit = fit;
+                    changed = true;
+                }
+                None if evals >= max_evals => break,
+                None => i += 1,
+            }
+        }
+
+        // 2. Drop the Byzantine gene.
+        if best.byz.is_some() && !best.actions.is_empty() && evals < max_evals {
+            let mut candidate = best.clone();
+            candidate.byz = None;
+            if let Some(fit) = try_candidate(&mut candidate, &mut evals, eval) {
+                best = candidate;
+                best_fit = fit;
+                changed = true;
+            }
+        }
+
+        // 3. Narrow victim sets, one node at a time (last node first —
+        //    canonical order makes "last" well defined).
+        let mut idx = 0;
+        while idx < best.actions.len() && evals < max_evals {
+            let victims = best.actions[idx].victims().len();
+            if victims > 1 {
+                let mut candidate = best.clone();
+                drop_last_victim(&mut candidate, idx);
+                if let Some(fit) = try_candidate(&mut candidate, &mut evals, eval) {
+                    best = candidate;
+                    best_fit = fit;
+                    changed = true;
+                    // Same index may shed further victims next loop
+                    // iteration (canonicalize may have reordered).
+                    continue;
+                }
+            }
+            idx += 1;
+        }
+
+        // 4. Tighten windows by bisection: try the earlier half, then
+        //    the later half.
+        let mut idx = 0;
+        while idx < best.actions.len() && evals < max_evals {
+            let window = match best.actions[idx].window() {
+                Some(w) if w.duration() > stabl_sim::SimDuration::from_secs(1) => w,
+                _ => {
+                    idx += 1;
+                    continue;
+                }
+            };
+            let mid = midpoint(window);
+            let halves = [
+                FaultWindow::new(window.at, mid),
+                FaultWindow::new(mid, window.until),
+            ];
+            let mut tightened = false;
+            for half in halves {
+                if half.is_degenerate() || evals >= max_evals {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate.actions[idx] = candidate.actions[idx].clone().with_window(half);
+                if let Some(fit) = try_candidate(&mut candidate, &mut evals, eval) {
+                    best = candidate;
+                    best_fit = fit;
+                    changed = true;
+                    tightened = true;
+                    break;
+                }
+            }
+            if !tightened {
+                idx += 1;
+            }
+        }
+
+        if !changed || evals >= max_evals {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        genome: best,
+        fitness: best_fit,
+        evals,
+    }
+}
+
+fn drop_last_victim(genome: &mut Genome, idx: usize) {
+    use stabl::FaultAction;
+    match &mut genome.actions[idx] {
+        FaultAction::Crash { nodes, .. }
+        | FaultAction::Transient { nodes, .. }
+        | FaultAction::Partition { nodes, .. }
+        | FaultAction::Slowdown { nodes, .. } => {
+            nodes.pop();
+        }
+        FaultAction::LinkDegrade { .. } => {}
+    }
+}
+
+fn midpoint(window: FaultWindow) -> SimTime {
+    SimTime::from_micros((window.at.as_micros() + window.until.as_micros()) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::FnEvaluator;
+    use crate::genome::SearchSpace;
+    use stabl::{Chain, FaultAction, PaperSetup};
+    use stabl_sim::DetRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper(&PaperSetup::quick(60, 1), Chain::Redbelly)
+    }
+
+    fn fit(score: f64) -> Fitness {
+        Fitness {
+            lost_liveness: false,
+            score: Some(score),
+            improved: false,
+            unresolved_frac: 0.0,
+        }
+    }
+
+    #[test]
+    fn shrink_removes_irrelevant_actions() {
+        let s = space();
+        let mut rng = DetRng::new(77);
+        // Fitness: high iff the genome contains a crash action.
+        let mut eval = FnEvaluator::new(|g: &Genome| {
+            let has_crash = g
+                .actions
+                .iter()
+                .any(|a| matches!(a, FaultAction::Crash { .. }));
+            fit(if has_crash { 10.0 } else { 0.1 })
+        });
+        // Find a random genome with a crash plus other actions.
+        let genome = loop {
+            let g = s.random_genome(&mut rng);
+            let crashes = g
+                .actions
+                .iter()
+                .filter(|a| matches!(a, FaultAction::Crash { .. }))
+                .count();
+            if crashes == 1 && g.actions.len() > 1 {
+                break g;
+            }
+        };
+        let outcome = shrink(
+            &genome,
+            fit(10.0),
+            &mut eval,
+            Objective::Sensitivity,
+            10.0,
+            200,
+        );
+        assert_eq!(outcome.genome.actions.len(), 1);
+        assert!(matches!(
+            outcome.genome.actions[0],
+            FaultAction::Crash { .. }
+        ));
+        assert!(outcome.genome.byz.is_none());
+    }
+
+    #[test]
+    fn shrink_respects_eval_cap() {
+        let s = space();
+        let mut rng = DetRng::new(78);
+        let genome = s.random_genome(&mut rng);
+        let mut eval = FnEvaluator::new(|_: &Genome| fit(5.0));
+        let outcome = shrink(&genome, fit(5.0), &mut eval, Objective::Sensitivity, 1.0, 3);
+        assert!(outcome.evals <= 3);
+        assert_eq!(eval.evals, outcome.evals);
+    }
+
+    #[test]
+    fn shrink_keeps_threshold() {
+        let s = space();
+        let mut rng = DetRng::new(79);
+        for _ in 0..20 {
+            let genome = s.random_genome(&mut rng);
+            // Score = number of actions: shrinking below 2 actions
+            // drops under the threshold and must be refused.
+            let mut eval = FnEvaluator::new(|g: &Genome| fit(g.actions.len() as f64));
+            let start = fit(genome.actions.len() as f64);
+            if start.key(Objective::Sensitivity) < 2.0 {
+                continue;
+            }
+            let outcome = shrink(&genome, start, &mut eval, Objective::Sensitivity, 2.0, 200);
+            assert!(outcome.fitness.key(Objective::Sensitivity) >= 2.0);
+            assert_eq!(outcome.genome.actions.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Determinism property tests for the adversary search.
+//!
+//! Three load-bearing properties:
+//!
+//! 1. the genome operators (mutation, crossover) are pure functions of
+//!    the `DetRng` stream — same inputs and generator state, same child;
+//! 2. a full search run (either strategy, synthetic evaluator) replays
+//!    byte-identically from the same seed, down to the serialised
+//!    outcome and trace;
+//! 3. the shrinker's output is invariant to the order the input
+//!    genome's actions are listed in.
+
+use proptest::prelude::*;
+
+use stabl::{Chain, PaperSetup};
+use stabl_adversary::{
+    crossover, mutate, shrink, Fitness, FnEvaluator, Genome, Objective, SearchConfig, SearchSpace,
+    Strategy, SyntheticEvaluator,
+};
+use stabl_sim::DetRng;
+
+fn space_for(chain_idx: usize, horizon: u64) -> SearchSpace {
+    let chain = Chain::ALL[chain_idx % Chain::ALL.len()];
+    SearchSpace::paper(&PaperSetup::quick(horizon, 1), chain)
+}
+
+proptest! {
+    /// Mutation is a pure function of (genome, space, rng state).
+    #[test]
+    fn mutation_is_pure(seed in 0u64..1_000_000, chain in 0usize..5, steps in 1usize..30) {
+        let space = space_for(chain, 60);
+        let mut rng_a = DetRng::new(seed).derive(1);
+        let mut rng_b = DetRng::new(seed).derive(1);
+        let mut genome_a = space.random_genome(&mut rng_a);
+        let mut genome_b = space.random_genome(&mut rng_b);
+        prop_assert_eq!(&genome_a, &genome_b);
+        for _ in 0..steps {
+            let (child_a, op_a) = mutate(&genome_a, &space, &mut rng_a);
+            let (child_b, op_b) = mutate(&genome_b, &space, &mut rng_b);
+            prop_assert_eq!(op_a, op_b);
+            prop_assert_eq!(&child_a, &child_b);
+            // The generators advanced identically: their next draws agree.
+            prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+            genome_a = child_a;
+            genome_b = child_b;
+        }
+    }
+
+    /// Crossover is a pure function of (parents, space, rng state).
+    #[test]
+    fn crossover_is_pure(seed in 0u64..1_000_000, chain in 0usize..5) {
+        let space = space_for(chain, 60);
+        let mut setup = DetRng::new(seed).derive(2);
+        let a = space.random_genome(&mut setup);
+        let b = space.random_genome(&mut setup);
+        let mut rng_x = setup.clone();
+        let mut rng_y = setup.clone();
+        let child_x = crossover(&a, &b, &space, &mut rng_x);
+        let child_y = crossover(&a, &b, &space, &mut rng_y);
+        prop_assert_eq!(&child_x, &child_y);
+        prop_assert_eq!(rng_x.next_u64(), rng_y.next_u64());
+    }
+
+    /// A full search replays byte-identically from the same seed: the
+    /// serialised outcome (best genome, fitness, full trace) is equal
+    /// as a string.
+    #[test]
+    fn search_replays_byte_identically(
+        seed in 0u64..1_000_000,
+        chain in 0usize..5,
+        budget in 5usize..60,
+        strategy_idx in 0usize..2,
+    ) {
+        let space = space_for(chain, 60);
+        let strategy = [Strategy::Annealing, Strategy::MuPlusLambda][strategy_idx];
+        let config = SearchConfig { seed, budget, objective: Objective::Sensitivity };
+        let first = strategy.search(&space, &mut SyntheticEvaluator, &config);
+        let second = strategy.search(&space, &mut SyntheticEvaluator, &config);
+        let json_first = serde_json::to_string(&first)
+            .map_err(|e| TestCaseError::fail(format!("serialise: {e}")))?;
+        let json_second = serde_json::to_string(&second)
+            .map_err(|e| TestCaseError::fail(format!("serialise: {e}")))?;
+        prop_assert_eq!(json_first, json_second);
+    }
+
+    /// Shrink output is invariant to the order of the input genome's
+    /// actions: shuffling the action list changes nothing because the
+    /// shrinker canonicalises before reducing.
+    #[test]
+    fn shrink_is_order_invariant(
+        seed in 0u64..1_000_000,
+        chain in 0usize..5,
+        shuffle_seed in 0u64..1_000,
+    ) {
+        let space = space_for(chain, 60);
+        let mut rng = DetRng::new(seed).derive(3);
+        let genome = space.random_genome(&mut rng);
+
+        let mut shuffled = genome.clone();
+        DetRng::new(shuffle_seed).shuffle(&mut shuffled.actions);
+
+        // A deterministic, order-insensitive fitness landscape.
+        let landscape = |g: &Genome| -> Fitness {
+            let mut canon = g.clone();
+            canon.canonicalize();
+            let score = canon
+                .actions
+                .iter()
+                .map(|a| a.victims().len() as f64 + 1.0)
+                .sum::<f64>();
+            Fitness { lost_liveness: false, score: Some(score), improved: false, unresolved_frac: 0.0 }
+        };
+        let start = landscape(&genome);
+        let min_key = start.key(Objective::Sensitivity) * 0.5;
+
+        let mut eval_a = FnEvaluator::new(landscape);
+        let mut eval_b = FnEvaluator::new(landscape);
+        let out_a = shrink(&genome, start, &mut eval_a, Objective::Sensitivity, min_key, 200);
+        let out_b = shrink(&shuffled, start, &mut eval_b, Objective::Sensitivity, min_key, 200);
+        prop_assert_eq!(out_a, out_b);
+    }
+}

@@ -1,0 +1,301 @@
+//! Extension: the adversary search.
+//!
+//! The paper measures each chain under four *fixed* failure scenarios.
+//! This extension asks the harder question: what is the worst schedule
+//! the fault model can express? Per chain it
+//!
+//! 1. scores the paper's four scenarios (the bar to clear),
+//! 2. runs a seeded search (simulated annealing or (μ+λ)) over fault
+//!    schedules, maximising the chosen objective through the cached
+//!    campaign engine,
+//! 3. ddmin-shrinks the winner to a minimal reproducer (≤ 3 actions),
+//! 4. replicates the reproducer across perturbed seeds for a bootstrap
+//!    CI, and
+//! 5. commits the reproducer as `<out>/adversary/corpus/<chain>.json`
+//!    — the corpus the `adversary_corpus` regression test replays.
+//!
+//! Everything is deterministic: same seed ⇒ byte-identical search
+//! trace, corpus and summary artefacts, whatever `--jobs` or the cache
+//! say.
+//!
+//! Flags beyond the shared ones: `--budget <evals>` (default 200),
+//! `--strategy annealing|mu-lambda`, `--objective
+//! sensitivity|liveness-loss`, `--chain <name>` (repeatable; default
+//! all five), `--replicates <n>` (CI seeds, default 5).
+
+use std::path::PathBuf;
+
+use stabl::{Chain, PaperSetup};
+use stabl_adversary::{shrink, CorpusEntry, Objective, SearchConfig, SearchSpace, Strategy};
+use stabl_bench::{paper_worst, replicate_ci, Engine, EngineEval};
+use stabl_stats::SeedSequence;
+
+/// Parsed command line (this binary has search flags the shared
+/// `BenchOpts` parser would reject, so it parses on its own).
+struct Opts {
+    setup: PaperSetup,
+    out_dir: PathBuf,
+    jobs: usize,
+    no_cache: bool,
+    budget: usize,
+    strategy: Strategy,
+    objective: Objective,
+    chains: Vec<Chain>,
+    replicates: usize,
+}
+
+fn parse_chain(name: &str) -> Chain {
+    Chain::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            panic!("unknown chain {name}; known: Algorand Aptos Avalanche Redbelly Solana")
+        })
+}
+
+fn parse_args() -> Opts {
+    let mut setup = PaperSetup::default();
+    let mut quick: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut opts = Opts {
+        setup: setup.clone(),
+        out_dir: PathBuf::from("results"),
+        jobs: Engine::default_workers(),
+        no_cache: false,
+        budget: 200,
+        strategy: Strategy::Annealing,
+        objective: Objective::Sensitivity,
+        chains: Vec::new(),
+        replicates: 5,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{arg} takes {what}"));
+        match arg.as_str() {
+            "--quick" => quick = Some(value("seconds").parse().expect("--quick takes seconds")),
+            "--seed" => seed = Some(value("a u64").parse().expect("--seed takes a u64")),
+            "--out" => opts.out_dir = PathBuf::from(value("a directory")),
+            "--jobs" => {
+                opts.jobs = value("a positive thread count")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--jobs takes a positive thread count");
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--budget" => {
+                opts.budget = value("an eval count")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 1)
+                    .expect("--budget takes an eval count > 1");
+            }
+            "--strategy" => {
+                let name = value("annealing|mu-lambda");
+                opts.strategy = Strategy::parse(&name).unwrap_or_else(|| {
+                    panic!("unknown strategy {name}; known: annealing mu-lambda")
+                });
+            }
+            "--objective" => {
+                let name = value("sensitivity|liveness-loss");
+                opts.objective = Objective::parse(&name).unwrap_or_else(|| {
+                    panic!("unknown objective {name}; known: sensitivity liveness-loss")
+                });
+            }
+            "--chain" => opts.chains.push(parse_chain(&value("a chain name"))),
+            "--replicates" => {
+                opts.replicates = value("a positive seed count")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--replicates takes a positive seed count");
+            }
+            other => panic!(
+                "unknown argument {other}; known: --quick --seed --out --jobs --no-cache \
+                 --budget --strategy --objective --chain --replicates"
+            ),
+        }
+    }
+    if let Some(secs) = quick {
+        setup = PaperSetup::quick(secs, seed.unwrap_or(setup.seed));
+    } else if let Some(seed) = seed {
+        setup.seed = seed;
+    }
+    opts.setup = setup;
+    if opts.chains.is_empty() {
+        opts.chains = Chain::ALL.to_vec();
+    }
+    opts
+}
+
+fn fmt_key(key: f64) -> String {
+    if key >= stabl_adversary::LIVENESS_LOSS_KEY {
+        format!("INF+{:.3}", key - stabl_adversary::LIVENESS_LOSS_KEY)
+    } else {
+        format!("{key:.3}")
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let setup = &opts.setup;
+    eprintln!(
+        "adversary search ({}, budget {}, {} / {})",
+        setup.horizon,
+        opts.budget,
+        opts.strategy.name(),
+        opts.objective.name()
+    );
+    let cache_dir = if opts.no_cache {
+        None
+    } else {
+        Some(opts.out_dir.join(".cache"))
+    };
+    let engine = Engine::new(opts.jobs, cache_dir);
+    let corpus_dir = opts.out_dir.join("adversary").join("corpus");
+    std::fs::create_dir_all(&corpus_dir).expect("create corpus directory");
+
+    struct Row {
+        chain: &'static str,
+        paper_worst_key: f64,
+        discovered_key: f64,
+        shrunk_key: f64,
+        shrunk_actions: usize,
+        beat: bool,
+    }
+
+    let search_seeds = SeedSequence::new(setup.seed);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut summary = Vec::new();
+    let mut traces = Vec::new();
+    for &chain in &opts.chains {
+        // The chain's index in Chain::ALL keys its search stream, so a
+        // --chain subset searches identically to the full sweep.
+        let chain_index = Chain::ALL
+            .iter()
+            .position(|&c| c == chain)
+            .expect("known chain");
+        let search_seed = search_seeds.seed(chain_index + 1);
+
+        let (paper_worst_key, scenarios) = paper_worst(&engine, setup, chain, opts.objective);
+        let space = SearchSpace::paper(setup, chain);
+        let mut eval = EngineEval::new(&engine, setup, chain);
+        let config = SearchConfig {
+            seed: search_seed,
+            budget: opts.budget,
+            objective: opts.objective,
+        };
+        let outcome = opts.strategy.search(&space, &mut eval, &config);
+        let discovered_key = outcome.best_fitness.key(opts.objective);
+        let beat = discovered_key > paper_worst_key;
+
+        // Shrink down to the tightest threshold that still proves the
+        // point: strictly above the paper's worst when the search beat
+        // it, else within 10 % of the discovery.
+        let min_key = if beat {
+            paper_worst_key + (discovered_key - paper_worst_key) * 1e-6
+        } else {
+            discovered_key - discovered_key.abs() * 0.1
+        };
+        let shrunk = shrink(
+            &outcome.best,
+            outcome.best_fitness,
+            &mut eval,
+            opts.objective,
+            min_key,
+            opts.budget.min(100),
+        );
+        let ci = replicate_ci(&engine, setup, chain, &shrunk.genome, opts.replicates);
+
+        let entry = CorpusEntry {
+            chain: chain.name().to_owned(),
+            horizon_secs: setup.horizon.as_micros() / 1_000_000,
+            seed: setup.seed,
+            search_seed,
+            strategy: opts.strategy,
+            objective: opts.objective,
+            budget: opts.budget,
+            paper_worst_key,
+            discovered: outcome.best_fitness,
+            genome: shrunk.genome.clone(),
+            fitness: shrunk.fitness,
+            ci,
+            evals: eval.evals(),
+        };
+        let path = corpus_dir.join(entry.file_name());
+        let json = serde_json::to_string_pretty(&entry).expect("serialise corpus entry");
+        std::fs::write(&path, json).expect("write corpus entry");
+        eprintln!("wrote {}", path.display());
+
+        rows.push(Row {
+            chain: chain.name(),
+            paper_worst_key,
+            discovered_key,
+            shrunk_key: shrunk.fitness.key(opts.objective),
+            shrunk_actions: shrunk.genome.actions.len(),
+            beat,
+        });
+        summary.push(serde_json::json!({
+            "chain": chain.name(),
+            "paper_scenarios": scenarios
+                .iter()
+                .map(|(kind, fit)| serde_json::json!({
+                    "scenario": kind.name(),
+                    "key": fit.key(opts.objective),
+                    "lost_liveness": fit.lost_liveness,
+                }))
+                .collect::<Vec<_>>(),
+            "paper_worst_key": paper_worst_key,
+            "discovered_key": discovered_key,
+            "beat_paper": beat,
+            "shrunk_key": shrunk.fitness.key(opts.objective),
+            "shrunk_actions": shrunk.genome.actions.len(),
+            "evals": eval.evals(),
+        }));
+        traces.push(serde_json::json!({
+            "chain": chain.name(),
+            "search_seed": search_seed,
+            "trace": outcome.trace,
+        }));
+    }
+
+    let write_json = |name: &str, json: String| {
+        let path = opts.out_dir.join(name);
+        std::fs::write(&path, json).expect("write artefact");
+        eprintln!("wrote {}", path.display());
+    };
+    write_json(
+        "ext_adversary.json",
+        serde_json::to_string_pretty(&summary).expect("serialise summary"),
+    );
+    write_json(
+        "adversary_traces.json",
+        serde_json::to_string_pretty(&traces).expect("serialise traces"),
+    );
+
+    let title = format!(
+        "Extension — adversary search vs the paper's scenarios ({})",
+        opts.objective.name()
+    );
+    println!("\n{title}\n{}", "─".repeat(title.chars().count()));
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "chain", "paper-worst", "discovered", "shrunk", "actions", "beat?"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>8} {:>8}",
+            row.chain,
+            fmt_key(row.paper_worst_key),
+            fmt_key(row.discovered_key),
+            fmt_key(row.shrunk_key),
+            row.shrunk_actions,
+            if row.beat { "yes" } else { "no" },
+        );
+    }
+    let beaten = rows.iter().filter(|r| r.beat).count();
+    println!(
+        "\n{beaten}/{} chains: discovered schedule strictly worse than every paper scenario",
+        opts.chains.len()
+    );
+}

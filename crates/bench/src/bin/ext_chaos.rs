@@ -21,10 +21,11 @@
 //! show the adversity actually engaged.
 
 use stabl::{
-    report_from_runs, Chain, FaultAction, FaultSchedule, LinkFault, RetryPolicy, ScenarioKind,
+    report_from_runs, Chain, FaultAction, FaultSchedule, FaultWindow, LinkFault, RetryPolicy,
+    ScenarioKind,
 };
 use stabl_bench::{sensitivity_table, BenchOpts, Job};
-use stabl_sim::{ByzantineBehavior, ByzantineSpec, NodeId, SimDuration, SimTime};
+use stabl_sim::{ByzantineBehavior, ByzantineSpec, NodeId, SimDuration};
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -32,12 +33,10 @@ fn main() {
     eprintln!("chaos extension ({})", setup.horizon);
 
     // Scale the schedule to the campaign: adversity runs between the
-    // standard fault and recovery marks; the flap cuts two quarters of
-    // that window.
-    let at = setup.fault_at.as_micros();
-    let until = setup.recover_at.as_micros();
-    let quarter = (until - at) / 4;
-    let t = |micros: u64| SimTime::from_micros(micros);
+    // standard fault and recovery marks; the flap cuts the second and
+    // fourth quarters of that window (shared FaultWindow arithmetic —
+    // the same helper the adversary search's genome operators use).
+    let window = FaultWindow::new(setup.fault_at, setup.recover_at);
 
     // Distinct back nodes per role so the schedule validates: node 9
     // equivocates, node 8 loses its inbound links, node 7 is slow.
@@ -57,22 +56,24 @@ fn main() {
         0.0,
         SimDuration::ZERO,
     );
-    let schedule = FaultSchedule::link_degrade(degrade, t(at), t(until))
+    let flap_early = window.slice(1, 4);
+    let flap_late = window.slice(3, 4);
+    let schedule = FaultSchedule::link_degrade(degrade, window.at, window.until)
         .and(FaultAction::LinkDegrade {
             fault: inbound_cut.clone(),
-            at: t(at + quarter),
-            until: t(at + 2 * quarter),
+            at: flap_early.at,
+            until: flap_early.until,
         })
         .and(FaultAction::LinkDegrade {
             fault: inbound_cut,
-            at: t(at + 3 * quarter),
-            until: t(until),
+            at: flap_late.at,
+            until: flap_late.until,
         })
         .and(FaultAction::Slowdown {
             nodes: vec![slow_node],
             extra: SimDuration::from_millis(200),
-            at: t(at),
-            until: t(until),
+            at: window.at,
+            until: window.until,
         });
 
     // Retry timings scale with the horizon so quick profiles still

@@ -40,7 +40,11 @@ use stabl_types::Sha256;
 /// `dropped_trace_lines`. v4: `RunSummary` quantiles moved onto the
 /// `stabl-stats` quantile-sketch grid and the replication artifacts
 /// (`ReplicatedCampaign` and friends) joined the serialised surface.
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+/// v5: the adversary-search types (`Genome`, `Fitness`, `CorpusEntry`
+/// and friends) joined the serialised surface, and `FaultError` grew
+/// window-validity variants that tightened which schedules ever reach a
+/// run.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 // The cache-schema manifest: every type with a `Serialize` impl in the
 // `RunResult`-reachable crates must be listed here, and `stabl-lint`
@@ -66,6 +70,9 @@ pub const CACHE_SCHEMA_VERSION: u32 = 4;
 // stabl-lint: cache-schema: ConfidenceInterval, CellObservation, ReplicateScore
 // stabl-lint: cache-schema: MetricCi, ReplicatedCell, ReplicatedCampaign
 // stabl-lint: cache-schema: MetricVerdict, GateReport
+// stabl-lint: cache-schema: Genome, ByzGene, Fitness, Objective
+// stabl-lint: cache-schema: Strategy, SearchConfig, SearchTrace, TraceStep
+// stabl-lint: cache-schema: SearchOutcome, ShrinkOutcome, CorpusEntry, ScoreCi
 
 /// One simulation run the engine can schedule: a display label, the
 /// material its cache key is derived from, and the work itself.

@@ -15,7 +15,10 @@
 //! Extension binaries (`ext_*`) go beyond the paper; notably
 //! `ext_chaos` scores every chain under a *composed* adversity
 //! schedule — message loss, a flapping asymmetric partition, a slow
-//! node and an equivocating Byzantine node — with retrying clients.
+//! node and an equivocating Byzantine node — with retrying clients,
+//! and `ext_adversary` *searches* the fault-schedule space for each
+//! chain's worst case (see the [`adversary`] bridge module) and
+//! commits shrunk reproducers under `results/adversary/corpus/`.
 //!
 //! Every binary accepts:
 //!
@@ -34,6 +37,7 @@
 //! in deterministic chain/scenario order and are byte-identical
 //! whatever the `--jobs`/cache settings.
 
+pub mod adversary;
 pub mod engine;
 pub mod replicate;
 pub mod speed_bench;
@@ -41,6 +45,7 @@ pub mod speed_bench;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use adversary::{paper_worst, replicate_ci, EngineEval};
 pub use engine::{
     run_campaign, run_campaign_with_telemetry, run_part, CampaignCell, CellTelemetry, Engine,
     EngineSummary, EngineTelemetry, Job,

@@ -1,0 +1,106 @@
+//! Replays the committed adversary corpus.
+//!
+//! Every `results/adversary/corpus/<chain>.json` entry is a shrunk
+//! worst-case reproducer discovered by `ext_adversary`. This test
+//! rebuilds each entry's exact campaign config from its recorded
+//! `(horizon_secs, seed)`, reruns baseline and schedule from scratch
+//! (no cache), and asserts the committed fitness still reproduces —
+//! so a protocol change that quietly fixes (or worsens) a discovered
+//! weakness shows up as a diff against the corpus, not silence.
+
+use std::fs;
+use std::path::PathBuf;
+
+use stabl::{Chain, PaperSetup, ScenarioKind};
+use stabl_adversary::{fitness_of, CorpusEntry};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/adversary/corpus")
+}
+
+fn load_corpus() -> Vec<CorpusEntry> {
+    let dir = corpus_dir();
+    let mut entries: Vec<CorpusEntry> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read corpus dir {}: {e}", dir.display()))
+        .filter_map(|f| f.ok())
+        .filter(|f| f.path().extension().is_some_and(|ext| ext == "json"))
+        .map(|f| {
+            let text = fs::read_to_string(f.path()).expect("read corpus entry");
+            serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("parse {}: {e}", f.path().display()))
+        })
+        .collect();
+    entries.sort_by(|a, b| a.chain.cmp(&b.chain));
+    entries
+}
+
+fn chain_named(name: &str) -> Chain {
+    Chain::ALL
+        .into_iter()
+        .find(|c| c.name() == name)
+        .unwrap_or_else(|| panic!("corpus names unknown chain {name}"))
+}
+
+#[test]
+fn corpus_is_complete_and_minimal() {
+    let entries = load_corpus();
+    assert_eq!(
+        entries.len(),
+        Chain::ALL.len(),
+        "one corpus entry per chain"
+    );
+    for entry in &entries {
+        chain_named(&entry.chain);
+        let setup = PaperSetup::quick(entry.horizon_secs, entry.seed);
+        // Minimality and validity: at most three actions, all within
+        // the node count and horizon the entry claims.
+        assert!(
+            entry.genome.actions.len() <= 3,
+            "{}: shrunk reproducer has {} actions",
+            entry.chain,
+            entry.genome.actions.len()
+        );
+        entry
+            .genome
+            .schedule()
+            .validate_within(setup.n, setup.horizon)
+            .unwrap_or_else(|e| panic!("{}: corpus schedule invalid: {e}", entry.chain));
+        assert_eq!(
+            entry.file_name(),
+            format!("{}.json", entry.chain.to_lowercase())
+        );
+        // The recorded discovery must have cleared the paper bar on at
+        // least the shrunk form's own claim: when the search beat the
+        // paper's worst scenario, shrinking preserved that.
+        let objective = entry.objective;
+        if entry.discovered.key(objective) > entry.paper_worst_key {
+            assert!(
+                entry.fitness.key(objective) > entry.paper_worst_key,
+                "{}: shrunk key fell to or below the paper's worst",
+                entry.chain
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_entries_replay_to_their_recorded_fitness() {
+    for entry in load_corpus() {
+        let chain = chain_named(&entry.chain);
+        let setup = PaperSetup::quick(entry.horizon_secs, entry.seed);
+        let base = setup.run_config(chain, ScenarioKind::Baseline);
+        let baseline = chain.run_with_cpu(&base, 1.0);
+
+        let mut altered = base.clone();
+        altered.faults = entry.genome.schedule();
+        altered.byzantine = entry.genome.byzantine_spec();
+        let run = chain.run_with_cpu(&altered, 1.0);
+
+        let replayed = fitness_of(&baseline, &run);
+        assert_eq!(
+            replayed, entry.fitness,
+            "{}: committed corpus fitness no longer reproduces",
+            entry.chain
+        );
+    }
+}

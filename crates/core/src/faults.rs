@@ -60,6 +60,28 @@ pub enum FaultError {
         /// The offending value.
         p: f64,
     },
+    /// A fault's window has zero length: it starts and ends at the same
+    /// instant, so it could never engage. Hand-written schedules never
+    /// do this, but search-generated ones would silently waste
+    /// evaluation budget on such no-ops, so they are rejected.
+    EmptyWindow {
+        /// Which window (e.g. "transient outage").
+        what: &'static str,
+        /// The degenerate instant.
+        at: SimTime,
+    },
+    /// An action starts at or past the run horizon (or its window ends
+    /// past it): it could never engage (or never lift) inside the run.
+    /// Only [`FaultSchedule::validate_within`] checks this — plain
+    /// [`FaultSchedule::validate`] has no horizon to check against.
+    OutOfHorizon {
+        /// Which mark (e.g. "crash", "partition heal").
+        what: &'static str,
+        /// The offending instant.
+        at: SimTime,
+        /// The run horizon.
+        horizon: SimTime,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -77,7 +99,80 @@ impl fmt::Display for FaultError {
             FaultError::InvalidProbability { what, p } => {
                 write!(f, "link-fault {what} probability {p} outside [0, 1]")
             }
+            FaultError::EmptyWindow { what, at } => {
+                write!(f, "{what} window at {at} has zero length")
+            }
+            FaultError::OutOfHorizon { what, at, horizon } => {
+                write!(f, "{what} at {at} lies outside the {horizon} run horizon")
+            }
         }
+    }
+}
+
+/// A half-open time window `[at, until)` a fault is active in.
+///
+/// The one place window arithmetic lives: both the hand-written
+/// composed schedules (`ext_chaos`) and the adversary search's genome
+/// operators build their windows through this type instead of repeating
+/// the `quarter = (until - at) / 4` integer arithmetic inline.
+///
+/// # Examples
+///
+/// ```
+/// use stabl::FaultWindow;
+/// use stabl_sim::SimTime;
+///
+/// let w = FaultWindow::new(SimTime::from_secs(10), SimTime::from_secs(30));
+/// // The second quarter of the window:
+/// let flap = w.slice(1, 4);
+/// assert_eq!(flap.at, SimTime::from_secs(15));
+/// assert_eq!(flap.until, SimTime::from_secs(20));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultWindow {
+    /// Window start (inclusive).
+    pub at: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl FaultWindow {
+    /// A window spanning `[at, until)`. No validation happens here;
+    /// degenerate windows are rejected by [`FaultSchedule::validate`].
+    pub fn new(at: SimTime, until: SimTime) -> FaultWindow {
+        FaultWindow { at, until }
+    }
+
+    /// The window length (zero if inverted).
+    pub fn duration(&self) -> SimDuration {
+        if self.until <= self.at {
+            return SimDuration::ZERO;
+        }
+        self.until - self.at
+    }
+
+    /// `true` if the window selects no time at all (`until <= at`).
+    pub fn is_degenerate(&self) -> bool {
+        self.until <= self.at
+    }
+
+    /// Slice `i` of `k` equal parts (integer microseconds; the final
+    /// slice absorbs the division remainder so `slice(k - 1, k)` always
+    /// ends exactly at `until`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or `i >= k`.
+    pub fn slice(&self, i: usize, k: usize) -> FaultWindow {
+        assert!(k > 0 && i < k, "slice {i} of {k} is out of range");
+        let part = self.duration().as_micros() / k as u64;
+        let start = self.at + SimDuration::from_micros(part * i as u64);
+        let end = if i + 1 == k {
+            self.until
+        } else {
+            self.at + SimDuration::from_micros(part * (i as u64 + 1))
+        };
+        FaultWindow::new(start, end)
     }
 }
 
@@ -249,58 +344,122 @@ impl FaultAction {
         }
     }
 
+    /// The injection instant: when the action first touches the run.
+    pub fn start(&self) -> SimTime {
+        match self {
+            FaultAction::Crash { at, .. }
+            | FaultAction::Transient { at, .. }
+            | FaultAction::Partition { at, .. }
+            | FaultAction::Slowdown { at, .. }
+            | FaultAction::LinkDegrade { at, .. } => *at,
+        }
+    }
+
+    /// The action's active window, `None` for a `Crash` (which has an
+    /// injection instant but no end).
+    pub fn window(&self) -> Option<FaultWindow> {
+        match self {
+            FaultAction::Crash { .. } => None,
+            FaultAction::Transient { at, recover_at, .. } => {
+                Some(FaultWindow::new(*at, *recover_at))
+            }
+            FaultAction::Partition { at, heal_at, .. } => Some(FaultWindow::new(*at, *heal_at)),
+            FaultAction::Slowdown { at, until, .. }
+            | FaultAction::LinkDegrade { at, until, .. } => Some(FaultWindow::new(*at, *until)),
+        }
+    }
+
+    /// The same action re-timed to `window` (a `Crash` keeps only the
+    /// window start). The one mutation the adversary search's
+    /// perturb/tighten operators need.
+    #[must_use]
+    pub fn with_window(mut self, window: FaultWindow) -> FaultAction {
+        match &mut self {
+            FaultAction::Crash { at, .. } => *at = window.at,
+            FaultAction::Transient { at, recover_at, .. } => {
+                *at = window.at;
+                *recover_at = window.until;
+            }
+            FaultAction::Partition { at, heal_at, .. } => {
+                *at = window.at;
+                *heal_at = window.until;
+            }
+            FaultAction::Slowdown { at, until, .. }
+            | FaultAction::LinkDegrade { at, until, .. } => {
+                *at = window.at;
+                *until = window.until;
+            }
+        }
+        self
+    }
+
+    /// The `what` labels for this action's window errors.
+    fn window_label(&self) -> (&'static str, &'static str) {
+        match self {
+            FaultAction::Crash { .. } => ("crash", "crash"),
+            FaultAction::Transient { .. } => ("transient outage", "recovery precedes the failure"),
+            FaultAction::Partition { .. } => ("partition", "heal precedes the partition"),
+            FaultAction::Slowdown { .. } => ("slowdown", "slowdown ends before it starts"),
+            FaultAction::LinkDegrade { .. } => ("link fault", "link fault lifts before it starts"),
+        }
+    }
+
     fn validate(&self, n: usize) -> Result<(), FaultError> {
         for node in self.referenced_nodes() {
             if node.index() >= n {
                 return Err(FaultError::VictimOutOfRange { node, n });
             }
         }
-        match self {
-            FaultAction::Crash { .. } => {}
-            FaultAction::Transient { at, recover_at, .. } => {
-                if at > recover_at {
-                    return Err(FaultError::InvertedWindow {
-                        what: "recovery precedes the failure",
-                        start: *at,
-                        end: *recover_at,
-                    });
+        let (what, inverted_what) = self.window_label();
+        if let Some(window) = self.window() {
+            if window.at > window.until {
+                return Err(FaultError::InvertedWindow {
+                    what: inverted_what,
+                    start: window.at,
+                    end: window.until,
+                });
+            }
+            if window.at == window.until {
+                return Err(FaultError::EmptyWindow {
+                    what,
+                    at: window.at,
+                });
+            }
+        }
+        if let FaultAction::LinkDegrade { fault, .. } = self {
+            for (what, p) in [
+                ("drop", fault.drop_p()),
+                ("duplicate", fault.dup_p()),
+                ("reorder", fault.reorder_p()),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(FaultError::InvalidProbability { what, p });
                 }
             }
-            FaultAction::Partition { at, heal_at, .. } => {
-                if at > heal_at {
-                    return Err(FaultError::InvertedWindow {
-                        what: "heal precedes the partition",
-                        start: *at,
-                        end: *heal_at,
-                    });
-                }
-            }
-            FaultAction::Slowdown { at, until, .. } => {
-                if at > until {
-                    return Err(FaultError::InvertedWindow {
-                        what: "slowdown ends before it starts",
-                        start: *at,
-                        end: *until,
-                    });
-                }
-            }
-            FaultAction::LinkDegrade { fault, at, until } => {
-                if at > until {
-                    return Err(FaultError::InvertedWindow {
-                        what: "link fault lifts before it starts",
-                        start: *at,
-                        end: *until,
-                    });
-                }
-                for (what, p) in [
-                    ("drop", fault.drop_p()),
-                    ("duplicate", fault.dup_p()),
-                    ("reorder", fault.reorder_p()),
-                ] {
-                    if !(0.0..=1.0).contains(&p) {
-                        return Err(FaultError::InvalidProbability { what, p });
-                    }
-                }
+        }
+        Ok(())
+    }
+
+    /// Checks the action's marks against a run horizon: every action
+    /// must start strictly before the horizon, and windowed actions
+    /// must end at or before it (a window that outlives the run could
+    /// never lift, and a start past the horizon never engages).
+    fn validate_horizon(&self, horizon: SimTime) -> Result<(), FaultError> {
+        let (what, _) = self.window_label();
+        if self.start() >= horizon {
+            return Err(FaultError::OutOfHorizon {
+                what,
+                at: self.start(),
+                horizon,
+            });
+        }
+        if let Some(window) = self.window() {
+            if window.until > horizon {
+                return Err(FaultError::OutOfHorizon {
+                    what,
+                    at: window.until,
+                    horizon,
+                });
             }
         }
         Ok(())
@@ -467,6 +626,7 @@ impl FaultSchedule {
     ///
     /// [`FaultError::VictimOutOfRange`] for node ids ≥ `n`,
     /// [`FaultError::InvertedWindow`] for end-before-start windows,
+    /// [`FaultError::EmptyWindow`] for zero-length windows,
     /// [`FaultError::InvalidProbability`] for out-of-range link-fault
     /// probabilities and [`FaultError::DuplicateVictim`] if a node is
     /// targeted by more than one action.
@@ -481,6 +641,24 @@ impl FaultSchedule {
                     return Err(FaultError::DuplicateVictim { node: *node });
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// [`FaultSchedule::validate`] plus horizon bounds: every action
+    /// must start strictly before `horizon` and every window must end at
+    /// or before it. The adversary search validates its genomes through
+    /// this so no evaluation budget is spent on actions that could never
+    /// engage (or never lift) inside the run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FaultSchedule::validate`] reports, plus
+    /// [`FaultError::OutOfHorizon`] for marks outside `[0, horizon]`.
+    pub fn validate_within(&self, n: usize, horizon: SimTime) -> Result<(), FaultError> {
+        self.validate(n)?;
+        for action in &self.actions {
+            action.validate_horizon(horizon)?;
         }
         Ok(())
     }
@@ -903,6 +1081,173 @@ mod tests {
             n: 4,
         };
         assert!(err.to_string().contains("outside the 4-node network"));
+    }
+
+    #[test]
+    fn empty_transient_window_rejected() {
+        let schedule =
+            FaultSchedule::transient(nodes(&[1]), SimTime::from_secs(2), SimTime::from_secs(2));
+        assert_eq!(
+            schedule.validate(4),
+            Err(FaultError::EmptyWindow {
+                what: "transient outage",
+                at: SimTime::from_secs(2)
+            })
+        );
+    }
+
+    #[test]
+    fn empty_partition_window_rejected() {
+        let schedule =
+            FaultSchedule::partition(nodes(&[1]), SimTime::from_secs(3), SimTime::from_secs(3));
+        assert_eq!(
+            schedule.validate(4),
+            Err(FaultError::EmptyWindow {
+                what: "partition",
+                at: SimTime::from_secs(3)
+            })
+        );
+    }
+
+    #[test]
+    fn empty_slowdown_window_rejected() {
+        let schedule = FaultSchedule::slowdown(
+            nodes(&[1]),
+            SimDuration::from_millis(100),
+            SimTime::from_secs(1),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(
+            schedule.validate(4),
+            Err(FaultError::EmptyWindow {
+                what: "slowdown",
+                at: SimTime::from_secs(1)
+            })
+        );
+    }
+
+    #[test]
+    fn empty_link_degrade_window_rejected() {
+        let schedule = FaultSchedule::link_degrade(
+            LinkFault::all().with_drop(0.1),
+            SimTime::from_secs(4),
+            SimTime::from_secs(4),
+        );
+        assert_eq!(
+            schedule.validate(4),
+            Err(FaultError::EmptyWindow {
+                what: "link fault",
+                at: SimTime::from_secs(4)
+            })
+        );
+    }
+
+    #[test]
+    fn crash_at_any_instant_still_valid() {
+        // A crash has no window, so the zero-length rule never applies.
+        let schedule = FaultSchedule::crash(nodes(&[1]), SimTime::ZERO);
+        assert_eq!(schedule.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn crash_past_horizon_rejected() {
+        let schedule = FaultSchedule::crash(nodes(&[1]), SimTime::from_secs(10));
+        // Plain validate has no horizon to check against.
+        assert_eq!(schedule.validate(4), Ok(()));
+        assert_eq!(
+            schedule.validate_within(4, SimTime::from_secs(10)),
+            Err(FaultError::OutOfHorizon {
+                what: "crash",
+                at: SimTime::from_secs(10),
+                horizon: SimTime::from_secs(10)
+            })
+        );
+        assert_eq!(schedule.validate_within(4, SimTime::from_secs(11)), Ok(()));
+    }
+
+    #[test]
+    fn window_end_past_horizon_rejected() {
+        let schedule =
+            FaultSchedule::partition(nodes(&[1]), SimTime::from_secs(5), SimTime::from_secs(12));
+        assert_eq!(
+            schedule.validate_within(4, SimTime::from_secs(10)),
+            Err(FaultError::OutOfHorizon {
+                what: "partition",
+                at: SimTime::from_secs(12),
+                horizon: SimTime::from_secs(10)
+            })
+        );
+        // Ending exactly at the horizon is fine.
+        assert_eq!(schedule.validate_within(4, SimTime::from_secs(12)), Ok(()));
+    }
+
+    #[test]
+    fn out_of_horizon_message_names_the_horizon() {
+        let err = FaultError::OutOfHorizon {
+            what: "slowdown",
+            at: SimTime::from_secs(40),
+            horizon: SimTime::from_secs(30),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("slowdown"), "{msg}");
+        assert!(msg.contains("horizon"), "{msg}");
+    }
+
+    #[test]
+    fn fault_window_slice_partitions_exactly() {
+        let w = FaultWindow::new(SimTime::from_secs(10), SimTime::from_secs(30));
+        assert_eq!(w.duration(), SimDuration::from_secs(20));
+        assert!(!w.is_degenerate());
+        // Slices tile the window: each starts where the previous ended,
+        // and the last ends exactly at `until`.
+        let mut cursor = w.at;
+        for i in 0..4 {
+            let s = w.slice(i, 4);
+            assert_eq!(s.at, cursor);
+            cursor = s.until;
+        }
+        assert_eq!(cursor, w.until);
+        // Degenerate windows slice into degenerate windows, no panic.
+        let d = FaultWindow::new(SimTime::from_secs(5), SimTime::from_secs(5));
+        assert!(d.is_degenerate());
+        assert_eq!(d.slice(0, 3).duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn action_window_roundtrip() {
+        let action = FaultAction::Transient {
+            nodes: nodes(&[2]),
+            at: SimTime::from_secs(1),
+            recover_at: SimTime::from_secs(4),
+        };
+        let w = action.window().expect("transient has a window");
+        assert_eq!(
+            w,
+            FaultWindow::new(SimTime::from_secs(1), SimTime::from_secs(4))
+        );
+        assert_eq!(action.start(), SimTime::from_secs(1));
+        let moved = action.clone().with_window(FaultWindow::new(
+            SimTime::from_secs(2),
+            SimTime::from_secs(6),
+        ));
+        assert_eq!(
+            moved.window(),
+            Some(FaultWindow::new(
+                SimTime::from_secs(2),
+                SimTime::from_secs(6)
+            ))
+        );
+        // Crash keeps only the start.
+        let crash = FaultAction::Crash {
+            nodes: nodes(&[0]),
+            at: SimTime::ZERO,
+        }
+        .with_window(FaultWindow::new(
+            SimTime::from_secs(3),
+            SimTime::from_secs(9),
+        ));
+        assert_eq!(crash.start(), SimTime::from_secs(3));
+        assert_eq!(crash.window(), None);
     }
 
     #[test]

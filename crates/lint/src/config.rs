@@ -59,6 +59,7 @@ impl Default for Config {
                 "crates/redbelly/src".to_owned(),
                 "crates/solana/src".to_owned(),
                 "crates/stats/src".to_owned(),
+                "crates/adversary/src".to_owned(),
             ],
             robustness: vec![
                 "crates/core/src".to_owned(),
@@ -72,6 +73,7 @@ impl Default for Config {
                 "crates/types/src".to_owned(),
                 "crates/bench/src/engine.rs".to_owned(),
                 "crates/stats/src".to_owned(),
+                "crates/adversary/src".to_owned(),
             ],
             manifest: Some("crates/bench/src/engine.rs".to_owned()),
         }

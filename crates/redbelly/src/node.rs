@@ -32,6 +32,23 @@ pub enum RedbellyMsg {
         /// Echoed estimate.
         value: bool,
     },
+    /// A re-sent echo helping a peer stuck in an earlier round. Carries
+    /// the same payload as [`RedbellyMsg::Echo`] but never triggers a
+    /// help reply of its own: if both ends have advanced past `round`
+    /// (in-flight races, retransmissions, link-level duplicates), plain
+    /// echoes would ping-pong between them indefinitely — and under a
+    /// duplicating link fault that loop *amplifies* each hop, blowing
+    /// up the event queue exponentially.
+    EchoHelp {
+        /// Superblock height.
+        height: u64,
+        /// Proposer slot the instance decides about.
+        slot: u32,
+        /// Binary-consensus round.
+        round: u64,
+        /// Echoed estimate.
+        value: bool,
+    },
     /// Binary-consensus decision for (height, slot).
     Decide {
         /// Superblock height.
@@ -562,7 +579,7 @@ impl Protocol for RedbellyNode {
                 if let Some(value) = stale_help {
                     ctx.send(
                         from,
-                        RedbellyMsg::Echo {
+                        RedbellyMsg::EchoHelp {
                             height,
                             slot,
                             round,
@@ -570,6 +587,20 @@ impl Protocol for RedbellyNode {
                         },
                     );
                 }
+                self.emit(height, slot, actions, ctx);
+            }
+            RedbellyMsg::EchoHelp {
+                height,
+                slot,
+                round,
+                value,
+            } => {
+                if height < self.height || slot as usize >= self.n {
+                    return;
+                }
+                let me = self.id;
+                let state = self.height_state(height);
+                let actions = state.instances[slot as usize].on_echo(me, from, round, value);
                 self.emit(height, slot, actions, ctx);
             }
             RedbellyMsg::Decide {
@@ -841,6 +872,34 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn duplicating_link_with_quorum_exact_crashes_terminates() {
+        // Regression: a duplicating link fault over a window where
+        // exactly t nodes crash leaves the survivors quorum-exact, so
+        // instances run multiple rounds and stale echoes circulate. If
+        // stale-echo help could trigger further help, every link-level
+        // duplicate would grow the circulating population ~(1 + dup_p)×
+        // per hop — an event-queue explosion that never reaches the
+        // horizon. With help carried by EchoHelp (which is never
+        // answered), the run must finish promptly.
+        use stabl_sim::LinkFault;
+        let mut s = sim(10, 9);
+        submit_stream(&mut s, 10, 100, 1, 12);
+        s.schedule_link_fault(
+            SimTime::from_secs(7),
+            SimTime::from_secs(12),
+            LinkFault::all().with_drop(0.05).with_duplicate(0.15),
+        );
+        for i in [6u32, 7, 9] {
+            s.schedule_crash(SimTime::from_secs(8), NodeId::new(i));
+        }
+        s.run_until(SimTime::from_secs(20));
+        assert!(
+            s.node(NodeId::new(0)).chain_height() > 3,
+            "quorum-exact survivors keep committing through the fault"
+        );
     }
 
     #[test]
