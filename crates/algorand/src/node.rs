@@ -176,6 +176,9 @@ impl AlgorandNode {
 
     fn enter_round(&mut self, round: u64, ctx: &mut Ctx<'_, Self>) {
         ctx.span("ba-round");
+        ctx.gauge("round", round);
+        ctx.gauge("mempool_depth", self.pool.len() as u64);
+        ctx.gauge("connections", self.conn.connected_peers().len() as u64);
         self.round = round;
         self.attempt = 0;
         self.round_start = ctx.now();
@@ -359,6 +362,7 @@ impl AlgorandNode {
         self.exec_busy_until = done_at;
         let height = block.height();
         self.exec_queue.push((height, done_at));
+        ctx.gauge("exec_backlog", self.exec_queue.len() as u64);
         ctx.set_timer(done_at - ctx.now(), AlgorandTimer::ExecDone);
         self.chain.push(block);
         self.enter_round(height + 1, ctx);

@@ -183,6 +183,10 @@ impl AptosNode {
 
     fn enter_round(&mut self, height: u64, round: u64, ctx: &mut Ctx<'_, Self>) {
         ctx.span("bft-round");
+        ctx.gauge("round", round);
+        ctx.gauge("height", height);
+        ctx.gauge("mempool_depth", self.pool.len() as u64);
+        ctx.gauge("connections", self.conn.connected_peers().len() as u64);
         self.height = height;
         self.round = round;
         self.proposal = None;

@@ -361,6 +361,9 @@ impl AvalancheNode {
                 let block = Block::new(parent, height, self.id, txs);
                 let hash = block.hash();
                 ctx.span("propose");
+                ctx.gauge("height", height);
+                ctx.gauge("mempool_depth", self.pool.len() as u64);
+                ctx.gauge("pending_txs", self.pending.len() as u64);
                 self.throttler.charge_local(
                     ctx.now(),
                     self.config.cost_proposal_base
@@ -395,6 +398,7 @@ impl AvalancheNode {
             return;
         }
         ctx.span("snowball-poll");
+        ctx.gauge("outstanding_polls", self.outstanding.len() as u64 + 1);
         let id = self.next_poll;
         self.next_poll += 1;
         let peers = self.sample_peers(ctx, self.k_eff);

@@ -1,0 +1,165 @@
+//! Diagnosis extension: explain *why* each chain slows down or loses
+//! liveness, per run, from the structured event stream.
+//!
+//! For every chain this binary diagnoses the paper's four altered
+//! scenarios plus (when present) the committed adversary-search
+//! reproducer from `results/adversary/corpus/<chain>.json`, producing
+//! under `<out>/diagnose/`:
+//!
+//! * `<chain>_<scenario>.json` — the full [`Diagnosis`]: metrics
+//!   timeline, latency blame table and (for stalled runs) the liveness
+//!   post-mortem with its verdict;
+//! * `<chain>_<scenario>.html` — a self-contained timeline report with
+//!   per-gauge sparklines, fault-window shading and the blame table;
+//! * `<chain>_<scenario>_timeline.jsonl` — the metric frames, one JSON
+//!   object per line;
+//! * `diagnose_summary.json` — one row per run: commit counts, the
+//!   dominant latency cause and the stall verdict.
+//!
+//! Every cell is also re-run untraced and byte-compared — diagnosis
+//! must observe, never steer. All artifacts are pure functions of the
+//! deterministic run artifacts, so two invocations produce identical
+//! bytes (the CI smoke job asserts this).
+//!
+//! [`Diagnosis`]: stabl::diagnose::Diagnosis
+
+use std::fs;
+
+use stabl::diagnose::{diagnose_run, diagnosis_json, html_report, timeline_jsonl, DEFAULT_CADENCE};
+use stabl::{CaptureLevel, Chain, RunConfig, RunResult, ScenarioKind};
+use stabl_adversary::CorpusEntry;
+use stabl_bench::{engine::scenario_cores, BenchOpts};
+
+/// One diagnosable cell: a label, its config and the CPU-cores factor.
+struct Cell {
+    label: String,
+    file_stem: String,
+    config: RunConfig,
+    cores: f64,
+}
+
+fn paper_cells(opts: &BenchOpts, chain: Chain) -> Vec<Cell> {
+    ScenarioKind::ALTERED
+        .iter()
+        .map(|&kind| Cell {
+            label: format!("{}/{}", chain.name(), kind.name()),
+            file_stem: format!("{}_{}", chain.name().to_lowercase(), kind.name()),
+            config: opts.setup.run_config(chain, kind),
+            cores: scenario_cores(kind),
+        })
+        .collect()
+}
+
+/// The committed worst-case reproducer for `chain`, replayed exactly as
+/// the adversary search evaluated it (baseline config of the corpus
+/// entry's quick setup, plus the shrunk genome's schedule and spec).
+fn corpus_cell(opts: &BenchOpts, chain: Chain) -> Option<Cell> {
+    let path = opts
+        .out_dir
+        .join("adversary/corpus")
+        .join(format!("{}.json", chain.name().to_lowercase()));
+    let text = fs::read_to_string(&path).ok()?;
+    let entry: CorpusEntry = match serde_json::from_str(&text) {
+        Ok(entry) => entry,
+        Err(err) => {
+            eprintln!("skipping {}: {err}", path.display());
+            return None;
+        }
+    };
+    let setup = stabl::PaperSetup::quick(entry.horizon_secs, entry.seed);
+    let mut config = setup.run_config(chain, ScenarioKind::Baseline);
+    config.faults = entry.genome.schedule();
+    config.byzantine = entry.genome.byzantine_spec();
+    Some(Cell {
+        label: format!("{}/adversary", chain.name()),
+        file_stem: format!("{}_adversary", chain.name().to_lowercase()),
+        config,
+        cores: 1.0,
+    })
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    fs::create_dir_all(opts.out_dir.join("diagnose")).expect("create diagnose directory");
+
+    let mut summary = Vec::new();
+    println!(
+        "{:<22} {:>8} {:>8} {:>9}  diagnosis",
+        "run", "commits", "events", "liveness"
+    );
+    for chain in Chain::ALL {
+        let mut cells = paper_cells(&opts, chain);
+        cells.extend(corpus_cell(&opts, chain));
+        for cell in cells {
+            let traced = chain.run_traced_with_cpu(&cell.config, cell.cores, CaptureLevel::Full);
+            let untraced: RunResult = chain.run_with_cpu(&cell.config, cell.cores);
+            assert_eq!(
+                serde_json::to_string(&traced.result).expect("serialise traced result"),
+                serde_json::to_string(&untraced).expect("serialise untraced result"),
+                "{}: Full-capture run diverged from the untraced run",
+                cell.label
+            );
+
+            let run = diagnose_run(
+                &cell.label,
+                &cell.config,
+                &traced.result,
+                &traced.trace,
+                DEFAULT_CADENCE,
+            );
+            let diagnosis = &run.diagnosis;
+            opts.write_text(
+                &format!("diagnose/{}.json", cell.file_stem),
+                &diagnosis_json(diagnosis),
+            );
+            opts.write_text(
+                &format!("diagnose/{}.html", cell.file_stem),
+                &html_report(&run),
+            );
+            opts.write_text(
+                &format!("diagnose/{}_timeline.jsonl", cell.file_stem),
+                &timeline_jsonl(&run.timeline),
+            );
+
+            // The dominant latency cause: most commits attributed, ties
+            // broken by the (already sorted) cause label.
+            let top_cause = diagnosis.blame.as_ref().and_then(|blame| {
+                blame
+                    .causes
+                    .iter()
+                    .max_by(|a, b| a.commits.cmp(&b.commits).then(b.cause.cmp(&a.cause)))
+                    .map(|c| c.cause.clone())
+            });
+            let verdict = diagnosis
+                .post_mortem
+                .as_ref()
+                .map(|post_mortem| post_mortem.verdict.clone());
+            println!(
+                "{:<22} {:>8} {:>8} {:>9}  {}",
+                cell.label,
+                diagnosis.committed,
+                traced.trace.events.len(),
+                if diagnosis.lost_liveness {
+                    "LOST"
+                } else {
+                    "ok"
+                },
+                verdict.as_deref().or(top_cause.as_deref()).unwrap_or("-"),
+            );
+            summary.push(serde_json::json!({
+                "label": diagnosis.label.clone(),
+                "chain": chain.name(),
+                "committed": diagnosis.committed,
+                "submitted": diagnosis.submitted,
+                "lost_liveness": diagnosis.lost_liveness,
+                "events_recorded": traced.trace.events.len() as u64,
+                "events_dropped": diagnosis.dropped_events,
+                "dropped_trace_lines": diagnosis.dropped_trace_lines,
+                "top_cause": top_cause,
+                "verdict": verdict,
+            }));
+        }
+    }
+    opts.write_json("diagnose/diagnose_summary.json", &summary);
+    println!("\ndiagnoses verified byte-neutral: Full capture and Off produced identical results");
+}

@@ -49,6 +49,15 @@ fn main() {
             &stabl::observe::events_jsonl(&traced.trace),
         );
 
+        if traced.result.stats.dropped_trace_lines > 0 {
+            eprintln!(
+                "WARNING: {}: {} free-text trace lines were dropped at the kernel ring — \
+                 the textual trace is incomplete",
+                chain.name(),
+                traced.result.stats.dropped_trace_lines
+            );
+        }
+
         let counters = &traced.trace.counters;
         let stages = &traced.result.stages;
         println!(
@@ -75,6 +84,7 @@ fn main() {
             "capture": traced.trace.capture.name(),
             "events_recorded": traced.trace.events.len() as u64,
             "events_dropped": traced.trace.dropped_events,
+            "trace_lines_dropped": traced.result.stats.dropped_trace_lines,
             "counters": serde_json::to_value(counters),
             "queueing": stage(&stages.queueing),
             "consensus": stage(&stages.consensus),

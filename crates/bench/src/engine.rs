@@ -43,8 +43,12 @@ use stabl_types::Sha256;
 /// v5: the adversary-search types (`Genome`, `Fitness`, `CorpusEntry`
 /// and friends) joined the serialised surface, and `FaultError` grew
 /// window-validity variants that tightened which schedules ever reach a
-/// run.
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+/// run. v6: the diagnosis types (`MetricsTimeline`, `BlameTable`,
+/// `LivenessPostMortem`, `Diagnosis` and friends) joined the serialised
+/// surface, `SimEvent` gained the `Gauge` variant (`EventCounters`
+/// gained `gauge_samples`), `RunSummary` gained `dropped_trace_lines`,
+/// and `GateReport` gained the optional utilisation summary.
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 // The cache-schema manifest: every type with a `Serialize` impl in the
 // `RunResult`-reachable crates must be listed here, and `stabl-lint`
@@ -57,8 +61,8 @@ pub const CACHE_SCHEMA_VERSION: u32 = 5;
 // not be memoised), and so adds no `Serialize` types to the manifest.
 // The kernel's internal calendar-queue types (`Agenda`, `MsgArena`,
 // `TimerRegistry`) carry no `Serialize` impls either — the serialised
-// surface (`SimStats`, `RunResult`, …) is unchanged by the PR 6 kernel
-// rewrite, which is why CACHE_SCHEMA_VERSION stays at 4.
+// surface (`SimStats`, `RunResult`, …) was unchanged by the kernel
+// rewrite, which is why that refactor needed no version bump.
 // stabl-lint: cache-schema: RunResult, RunSummary, SensitivityRecord, RadarRow
 // stabl-lint: cache-schema: LatencyHistogram, StageLatencies
 // stabl-lint: cache-schema: CellTelemetry, EngineTelemetry
@@ -69,10 +73,14 @@ pub const CACHE_SCHEMA_VERSION: u32 = 5;
 // stabl-lint: cache-schema: MeanVar, QuantileSketch, SeedSequence
 // stabl-lint: cache-schema: ConfidenceInterval, CellObservation, ReplicateScore
 // stabl-lint: cache-schema: MetricCi, ReplicatedCell, ReplicatedCampaign
-// stabl-lint: cache-schema: MetricVerdict, GateReport
+// stabl-lint: cache-schema: MetricVerdict, GateReport, UtilizationSummary
 // stabl-lint: cache-schema: Genome, ByzGene, Fitness, Objective
 // stabl-lint: cache-schema: Strategy, SearchConfig, SearchTrace, TraceStep
 // stabl-lint: cache-schema: SearchOutcome, ShrinkOutcome, CorpusEntry, ScoreCi
+// stabl-lint: cache-schema: FrameCounts, GaugeSeries, MetricsFrame, MetricsTimeline
+// stabl-lint: cache-schema: BlameCause, TxBlame, StageSplit, BlameTable
+// stabl-lint: cache-schema: FaultDescription, StalledPhase, LivenessPostMortem
+// stabl-lint: cache-schema: Diagnosis
 
 /// One simulation run the engine can schedule: a display label, the
 /// material its cache key is derived from, and the work itself.

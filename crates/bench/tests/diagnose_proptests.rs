@@ -1,0 +1,175 @@
+//! Property tests for the diagnosis subsystem (`stabl::diagnose`).
+//!
+//! Two load-bearing properties:
+//!
+//! 1. **Frames are capture-level independent.** The Full==Off guarantee
+//!    (tracing observes, never steers) extends to the metrics pipeline:
+//!    a run's serialised `RunResult` is identical whether it was traced
+//!    or not, and the gauge series plus every non-bulky frame counter of
+//!    a timeline built from an `Events`-level trace equal the ones built
+//!    from a `Full`-level trace (only the per-message counters, which
+//!    `Events` deliberately does not record, may differ).
+//! 2. **Timeline merge is associative and order-insensitive.** Folding
+//!    per-chunk timelines in any grouping or order equals the one-shot
+//!    timeline over the concatenated event stream, bit-for-bit — the
+//!    same contract the stats sketches give the replication engine.
+
+use proptest::prelude::*;
+
+use stabl::diagnose::{timeline_jsonl, MetricsTimeline};
+use stabl::{CaptureLevel, Chain, PaperSetup, ScenarioKind, SimEvent};
+use stabl_bench::engine::scenario_cores;
+use stabl_sim::{EventCounters, NodeId, SimDuration, SimTime, TimedEvent};
+
+const METRICS: [&str; 3] = ["mempool_depth", "round", "connections"];
+
+/// A synthetic gauge stream: `(time_ms, node, metric_idx, value)`.
+fn gauge_stream() -> impl Strategy<Value = Vec<(u64, u32, usize, u64)>> {
+    proptest::collection::vec(
+        (0u64..10_000, 0u32..5, 0usize..METRICS.len(), 0u64..1_000),
+        0..80,
+    )
+}
+
+fn trace_of(events: Vec<TimedEvent>) -> stabl::RunTrace {
+    stabl::RunTrace {
+        capture: CaptureLevel::Events,
+        n: 5,
+        horizon: SimTime::from_secs(10),
+        events,
+        counters: EventCounters::default(),
+        dropped_events: 0,
+    }
+}
+
+fn timed_gauges(samples: &[(u64, u32, usize, u64)], seq_base: u64) -> Vec<TimedEvent> {
+    samples
+        .iter()
+        .enumerate()
+        .map(|(i, &(t_ms, node, metric, value))| TimedEvent {
+            time: SimTime::from_millis(t_ms),
+            seq: seq_base + i as u64,
+            event: SimEvent::Gauge {
+                node: NodeId::new(node),
+                metric: METRICS[metric],
+                value,
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chunked folds equal the one-shot timeline bit-for-bit, for any
+    /// split points, any grouping and either merge order.
+    #[test]
+    fn timeline_merge_is_associative_and_order_insensitive(
+        samples in gauge_stream(),
+        cut_a in 0usize..80,
+        cut_b in 0usize..80,
+    ) {
+        let cadence = SimDuration::from_secs(1);
+        let i = cut_a.min(samples.len());
+        let j = cut_b.min(samples.len()).max(i);
+        // Sequence numbers are globally unique across chunks, exactly as
+        // one recorder would have assigned them.
+        let events = timed_gauges(&samples, 0);
+        let one_shot = MetricsTimeline::from_trace(&trace_of(events.clone()), cadence);
+        let a = MetricsTimeline::from_trace(&trace_of(events[..i].to_vec()), cadence);
+        let b = MetricsTimeline::from_trace(&trace_of(events[i..j].to_vec()), cadence);
+        let c = MetricsTimeline::from_trace(&trace_of(events[j..].to_vec()), cadence);
+
+        // ((a ⊕ b) ⊕ c) — the left-fold a replicated campaign would do.
+        let mut left = a.clone();
+        left.merge(&b).map_err(|e| TestCaseError::fail(e.clone()))?;
+        left.merge(&c).map_err(|e| TestCaseError::fail(e.clone()))?;
+        // (a ⊕ (b ⊕ c)) — regrouped.
+        let mut bc = b.clone();
+        bc.merge(&c).map_err(|e| TestCaseError::fail(e.clone()))?;
+        let mut right = a.clone();
+        right.merge(&bc).map_err(|e| TestCaseError::fail(e.clone()))?;
+        // ((c ⊕ b) ⊕ a) — fully reversed.
+        let mut reversed = c.clone();
+        reversed.merge(&b).map_err(|e| TestCaseError::fail(e.clone()))?;
+        reversed.merge(&a).map_err(|e| TestCaseError::fail(e.clone()))?;
+
+        prop_assert_eq!(&left, &right, "merge must be associative");
+        prop_assert_eq!(&left, &reversed, "merge must be order-insensitive");
+        prop_assert_eq!(&left, &one_shot, "chunked fold must equal the one-shot timeline");
+        prop_assert_eq!(
+            timeline_jsonl(&left),
+            timeline_jsonl(&one_shot),
+            "and serialise to identical bytes"
+        );
+    }
+
+    /// Tracing never steers, and the metrics frames do not depend on
+    /// the capture level beyond what each level records: gauges and all
+    /// non-bulky counters agree between `Events` and `Full` timelines.
+    #[test]
+    fn frames_are_capture_level_independent(
+        seed in 0u64..1_000,
+        chain_idx in 0usize..5,
+        kind_idx in 0usize..4,
+    ) {
+        let chain = Chain::ALL[chain_idx];
+        let kind = ScenarioKind::ALTERED[kind_idx];
+        let config = PaperSetup::quick(8, seed).run_config(chain, kind);
+        let cores = scenario_cores(kind);
+
+        let untraced = chain.run_with_cpu(&config, cores);
+        let events = chain.run_traced_with_cpu(&config, cores, CaptureLevel::Events);
+        let full = chain.run_traced_with_cpu(&config, cores, CaptureLevel::Full);
+
+        // Full == Off at the result level: tracing observed, never steered.
+        let json_off = serde_json::to_string(&untraced)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let json_events = serde_json::to_string(&events.result)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let json_full = serde_json::to_string(&full.result)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(&json_off, &json_events, "Events capture steered the run");
+        prop_assert_eq!(&json_off, &json_full, "Full capture steered the run");
+
+        // Ring eviction would make the oldest frames under-count and void
+        // the comparison; the quick 8 s runs stay well under the cap.
+        prop_assert_eq!(events.trace.dropped_events, 0);
+        prop_assert_eq!(full.trace.dropped_events, 0);
+
+        let cadence = SimDuration::from_secs(1);
+        let from_events = MetricsTimeline::from_trace(&events.trace, cadence);
+        let from_full = MetricsTimeline::from_trace(&full.trace, cadence);
+        prop_assert_eq!(from_events.frames.len(), from_full.frames.len());
+        prop_assert_eq!(from_events.n, from_full.n);
+
+        for (fe, ff) in from_events.frames.iter().zip(&from_full.frames) {
+            // Gauge series must agree exactly — up to the recorder
+            // sequence numbers, which count bulky events too at Full.
+            let strip = |frame: &stabl::diagnose::MetricsFrame| {
+                let mut gauges = frame.gauges.clone();
+                for g in &mut gauges {
+                    g.last_seq = 0;
+                }
+                gauges
+            };
+            prop_assert_eq!(
+                strip(fe),
+                strip(ff),
+                "gauges diverged in frame {}",
+                fe.index
+            );
+            // Every counter except the per-message ones (only recorded
+            // at Full) must agree.
+            let mut ce = fe.counts.clone();
+            let mut cf = ff.counts.clone();
+            ce.sent = 0;
+            cf.sent = 0;
+            ce.delivered = 0;
+            cf.delivered = 0;
+            ce.dropped = 0;
+            cf.dropped = 0;
+            prop_assert_eq!(ce, cf, "non-bulky counts diverged in frame {}", fe.index);
+        }
+    }
+}

@@ -32,6 +32,7 @@
 
 mod chains;
 mod client;
+pub mod diagnose;
 mod faults;
 mod harness;
 pub mod metrics;

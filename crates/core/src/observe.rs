@@ -135,7 +135,9 @@ pub fn chrome_trace_json(trace: &RunTrace, label: &str) -> String {
             SimEvent::Committed { node } => {
                 events.push(instant("commit".into(), tid_of(*node), "t"));
             }
-            // Spans were rendered above; hops and logs stay in JSONL.
+            // Spans were rendered above; hops, logs and gauge samples
+            // stay in JSONL (gauges get their own timeline in the
+            // diagnose HTML report).
             SimEvent::Phase { .. }
             | SimEvent::MessageSent { .. }
             | SimEvent::MessageDelivered { .. }
@@ -144,7 +146,8 @@ pub fn chrome_trace_json(trace: &RunTrace, label: &str) -> String {
             | SimEvent::TimerStale { .. }
             | SimEvent::RequestDelivered { .. }
             | SimEvent::RequestDropped { .. }
-            | SimEvent::Log { .. } => {}
+            | SimEvent::Log { .. }
+            | SimEvent::Gauge { .. } => {}
         }
     }
 

@@ -30,6 +30,10 @@ pub struct RunSummary {
     pub lost_liveness: bool,
     /// Validators that aborted fatally.
     pub panicked_nodes: usize,
+    /// Free-text trace lines evicted from the kernel's bounded ring —
+    /// non-zero means the run's textual trace is incomplete and any
+    /// trace-derived analysis under-counts.
+    pub dropped_trace_lines: u64,
 }
 
 impl RunSummary {
@@ -57,6 +61,7 @@ impl RunSummary {
                 nodes.dedup();
                 nodes.len()
             },
+            dropped_trace_lines: result.stats.dropped_trace_lines,
         }
     }
 }
@@ -72,6 +77,13 @@ impl fmt::Display for RunSummary {
         }
         if self.panicked_nodes > 0 {
             write!(f, ", {} nodes panicked", self.panicked_nodes)?;
+        }
+        if self.dropped_trace_lines > 0 {
+            write!(
+                f,
+                ", WARNING: {} trace lines dropped",
+                self.dropped_trace_lines
+            )?;
         }
         Ok(())
     }
@@ -228,6 +240,21 @@ mod tests {
         assert_eq!(summary.p50_latency, None);
         assert_eq!(summary.p95_latency, None);
         assert_eq!(summary.max_latency, None);
+    }
+
+    #[test]
+    fn summary_surfaces_dropped_trace_lines() {
+        let mut run = result_with_latencies(&[0.5]);
+        assert!(!RunSummary::of(&run).to_string().contains("WARNING"));
+        run.stats.dropped_trace_lines = 7;
+        let summary = RunSummary::of(&run);
+        assert_eq!(summary.dropped_trace_lines, 7);
+        assert!(
+            summary
+                .to_string()
+                .contains("WARNING: 7 trace lines dropped"),
+            "{summary}"
+        );
     }
 
     #[test]

@@ -214,6 +214,10 @@ impl RedbellyNode {
 
     fn enter_height(&mut self, height: u64, ctx: &mut Ctx<'_, Self>) {
         ctx.span("dbft-height");
+        ctx.gauge("height", height);
+        ctx.gauge("mempool_depth", self.pool.len() as u64);
+        ctx.gauge("connections", self.conn.connected_peers().len() as u64);
+        ctx.gauge("open_heights", self.heights.len() as u64);
         self.height = height;
         self.heights.retain(|h, _| *h >= height);
         let now = ctx.now();

@@ -340,6 +340,9 @@ impl<P: Protocol> ByzantineWrapper<P> {
                 Effect::Panic(reason) => ctx.effects.push(Effect::Panic(reason)),
                 Effect::Log(line) => ctx.effects.push(Effect::Log(line)),
                 Effect::Span(phase) => ctx.effects.push(Effect::Span(phase)),
+                Effect::Gauge { metric, value } => {
+                    ctx.effects.push(Effect::Gauge { metric, value })
+                }
             }
         }
         if let Some(msg) = fresh {

@@ -96,6 +96,10 @@ pub(crate) enum Effect<P: Protocol> {
     Panic(String),
     Log(String),
     Span(&'static str),
+    Gauge {
+        metric: &'static str,
+        value: u64,
+    },
 }
 
 /// The execution context passed to every [`Protocol`] callback.
@@ -210,6 +214,22 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     pub fn span(&mut self, phase: &'static str) {
         if self.capture >= CaptureLevel::Events {
             self.effects.push(Effect::Span(phase));
+        }
+    }
+
+    /// Samples the named per-node metric (e.g. `"mempool_depth"`,
+    /// `"round"`, `"connections"`), recorded as a typed
+    /// [`SimEvent::Gauge`] from [`CaptureLevel::Events`] up.
+    ///
+    /// Like [`Ctx::span`], a no-op below that level and
+    /// deterministic-neutral above it: the sample only records, it never
+    /// feeds back into protocol state or the RNG, so gauges can be
+    /// emitted unconditionally on hot paths.
+    ///
+    /// [`SimEvent::Gauge`]: crate::SimEvent::Gauge
+    pub fn gauge(&mut self, metric: &'static str, value: u64) {
+        if self.capture >= CaptureLevel::Events {
+            self.effects.push(Effect::Gauge { metric, value });
         }
     }
 }

@@ -208,6 +208,15 @@ impl Serialize for SimEvent {
                 fields.push(("node".to_owned(), node.to_content()));
                 fields.push(("line".to_owned(), line.to_content()));
             }
+            SimEvent::Gauge {
+                node,
+                metric,
+                value,
+            } => {
+                fields.push(("node".to_owned(), node.to_content()));
+                fields.push(("metric".to_owned(), Content::Str((*metric).to_owned())));
+                fields.push(("value".to_owned(), value.to_content()));
+            }
         }
         Content::Map(fields)
     }
@@ -276,6 +285,7 @@ impl Serialize for EventCounters {
             ("commits".to_owned(), self.commits.to_content()),
             ("phase_marks".to_owned(), self.phase_marks.to_content()),
             ("log_lines".to_owned(), self.log_lines.to_content()),
+            ("gauge_samples".to_owned(), self.gauge_samples.to_content()),
         ])
     }
 }
@@ -301,6 +311,7 @@ impl Deserialize for EventCounters {
             commits: serde::__private::field(content, "commits")?,
             phase_marks: serde::__private::field(content, "phase_marks")?,
             log_lines: serde::__private::field(content, "log_lines")?,
+            gauge_samples: serde::__private::field(content, "gauge_samples")?,
         })
     }
 }

@@ -831,6 +831,16 @@ impl<P: Protocol> Simulation<P> {
                     self.recorder
                         .record(self.now, SimEvent::Phase { node: from, phase });
                 }
+                Effect::Gauge { metric, value } => {
+                    self.recorder.record(
+                        self.now,
+                        SimEvent::Gauge {
+                            node: from,
+                            metric,
+                            value,
+                        },
+                    );
+                }
                 Effect::Log(line) => {
                     self.recorder.record(
                         self.now,

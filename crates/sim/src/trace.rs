@@ -225,6 +225,18 @@ pub enum SimEvent {
         /// The logged text.
         line: String,
     },
+    /// A protocol sampled a named per-node metric via [`Ctx::gauge`]
+    /// (e.g. mempool depth, current round, open connections).
+    ///
+    /// [`Ctx::gauge`]: crate::Ctx::gauge
+    Gauge {
+        /// The node reporting the sample.
+        node: NodeId,
+        /// The metric name (a stable static label, e.g. `"mempool_depth"`).
+        metric: &'static str,
+        /// The sampled value.
+        value: u64,
+    },
 }
 
 impl SimEvent {
@@ -249,6 +261,7 @@ impl SimEvent {
             SimEvent::Committed { .. } => "committed",
             SimEvent::Phase { .. } => "phase",
             SimEvent::Log { .. } => "log",
+            SimEvent::Gauge { .. } => "gauge",
         }
     }
 
@@ -264,7 +277,8 @@ impl SimEvent {
             | SimEvent::RequestDropped { node }
             | SimEvent::Committed { node }
             | SimEvent::Phase { node, .. }
-            | SimEvent::Log { node, .. } => Some(*node),
+            | SimEvent::Log { node, .. }
+            | SimEvent::Gauge { node, .. } => Some(*node),
             SimEvent::MessageSent { to, .. }
             | SimEvent::MessageDelivered { to, .. }
             | SimEvent::MessageDropped { to, .. } => Some(*to),
@@ -350,6 +364,10 @@ pub struct EventCounters {
     pub phase_marks: u64,
     /// `Log` events.
     pub log_lines: u64,
+    /// `Gauge` samples from [`Ctx::gauge`].
+    ///
+    /// [`Ctx::gauge`]: crate::Ctx::gauge
+    pub gauge_samples: u64,
 }
 
 impl EventCounters {
@@ -373,6 +391,7 @@ impl EventCounters {
             SimEvent::Committed { .. } => &mut self.commits,
             SimEvent::Phase { .. } => &mut self.phase_marks,
             SimEvent::Log { .. } => &mut self.log_lines,
+            SimEvent::Gauge { .. } => &mut self.gauge_samples,
         };
         *slot += 1;
     }
@@ -397,6 +416,7 @@ impl EventCounters {
             + self.commits
             + self.phase_marks
             + self.log_lines
+            + self.gauge_samples
     }
 }
 
@@ -588,6 +608,22 @@ mod tests {
     }
 
     #[test]
+    fn gauge_samples_store_and_count() {
+        let mut rec = EventRecorder::new(CaptureLevel::Events, 16);
+        rec.record(
+            SimTime::from_millis(1),
+            SimEvent::Gauge {
+                node: NodeId::new(2),
+                metric: "round",
+                value: 4,
+            },
+        );
+        assert_eq!(rec.len(), 1, "gauges are not bulky: stored at Events");
+        assert_eq!(rec.counters().gauge_samples, 1);
+        assert_eq!(rec.counters().total(), 1);
+    }
+
+    #[test]
     fn kind_names_are_distinct() {
         let events = [
             commit(0),
@@ -602,6 +638,11 @@ mod tests {
                 kind: FaultKind::Partition,
             },
             SimEvent::ClientGaveUp { client: 3 },
+            SimEvent::Gauge {
+                node: NodeId::new(0),
+                metric: "mempool_depth",
+                value: 7,
+            },
         ];
         let kinds: std::collections::HashSet<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len());

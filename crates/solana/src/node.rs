@@ -138,6 +138,8 @@ impl SolanaNode {
 
     fn handle_slot_start(&mut self, slot: u64, ctx: &mut Ctx<'_, Self>) {
         self.current_slot = slot;
+        ctx.gauge("slot", slot);
+        ctx.gauge("client_backlog", self.outbox.len() as u64);
         self.run_eah_checks(slot, ctx);
         // Leader duty: produce the slot's block three quarters in, after
         // forwarded transactions had time to arrive.
@@ -212,6 +214,7 @@ impl SolanaNode {
 
     fn produce_block(&mut self, slot: u64, ctx: &mut Ctx<'_, Self>) {
         ctx.span("produce");
+        ctx.gauge("mempool_depth", self.buffer.len() as u64);
         let txs = self.buffer.take_ready(self.config.max_block_txs);
         let parent = self
             .blocks

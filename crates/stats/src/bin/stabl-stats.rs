@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! stabl-stats gate --golden DIR --fresh DIR [--slack FACTOR] [--out FILE]
+//!                  [--telemetry FILE]
 //! ```
 //!
 //! Diffs every `*_ci.json` replicated-campaign artifact under the
@@ -9,22 +10,28 @@
 //! fresh tree, prints the human verdict table, and (with `--out`)
 //! writes the machine-readable `BENCH_stats.json` gate report.
 //!
+//! With `--telemetry` the fresh run's `*_telemetry.json` wall-clock
+//! sidecar is folded into the report as a worker-pool utilisation
+//! summary — informational only, it never moves the verdict.
+//!
 //! Exit codes: 0 clean (within-CI and suspects only), 1 at least one
 //! regression, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process;
 
-use stabl_stats::gate::{compare_trees, GATE_DEFAULT_SLACK};
+use stabl_stats::gate::{compare_trees, load_utilization, GATE_DEFAULT_SLACK};
 
 struct Args {
     golden: PathBuf,
     fresh: PathBuf,
     slack: f64,
     out: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
 }
 
-const USAGE: &str = "stabl-stats gate --golden DIR --fresh DIR [--slack FACTOR] [--out FILE]";
+const USAGE: &str = "stabl-stats gate --golden DIR --fresh DIR [--slack FACTOR] [--out FILE] \
+                     [--telemetry FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut fresh = None;
     let mut slack = GATE_DEFAULT_SLACK;
     let mut out = None;
+    let mut telemetry = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--golden" => {
@@ -58,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file")?)),
+            "--telemetry" => {
+                telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a file")?))
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 process::exit(0);
@@ -70,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         fresh: fresh.ok_or("--fresh is required")?,
         slack,
         out,
+        telemetry,
     })
 }
 
@@ -83,13 +95,23 @@ fn main() {
         }
     };
 
-    let report = match compare_trees(&args.golden, &args.fresh, args.slack) {
+    let mut report = match compare_trees(&args.golden, &args.fresh, args.slack) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("stabl-stats: {e}");
             process::exit(2);
         }
     };
+
+    if let Some(telemetry) = &args.telemetry {
+        match load_utilization(telemetry) {
+            Ok(summary) => report.utilization = Some(summary),
+            Err(e) => {
+                eprintln!("stabl-stats: {e}");
+                process::exit(2);
+            }
+        }
+    }
 
     print!("{}", report.render());
 

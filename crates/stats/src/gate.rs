@@ -76,6 +76,88 @@ pub struct MetricVerdict {
     pub detail: String,
 }
 
+/// Worker-pool utilisation folded out of a `*_telemetry.json` artefact
+/// (the wall-clock sidecar the replicated-campaign binaries write next
+/// to their determinism-gated campaign JSON).
+///
+/// Purely informational: utilisation never moves a gate verdict — it
+/// rides along in `BENCH_stats.json` so a bench-trajectory reader can
+/// spot pool starvation or straggler cells next to the statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSummary {
+    /// Worker threads the batch used.
+    pub workers: u64,
+    /// Cells scheduled (cache probes included).
+    pub cells: u64,
+    /// Cells answered from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Cells actually simulated.
+    pub executed: u64,
+    /// Wall-clock time of the whole batch, milliseconds.
+    pub wall_ms: u64,
+    /// Milliseconds workers spent busy, summed over all cells.
+    pub busy_ms: u64,
+    /// Fraction of pool capacity (`workers x wall_ms`) that was busy.
+    pub utilization: f64,
+    /// Label of the slowest executed cell, if any cell executed.
+    pub slowest_cell: Option<String>,
+    /// Worker-occupancy of that slowest cell, milliseconds.
+    pub slowest_wall_ms: Option<u64>,
+}
+
+/// One cell of the telemetry sidecar (mirror of the bench crate's
+/// `CellTelemetry`; a local mirror keeps the dependency arrow pointing
+/// bench → stats).
+#[derive(Clone, Debug, PartialEq, Deserialize)]
+struct TelemetryCell {
+    label: String,
+    cached: bool,
+    wall_ms: u64,
+}
+
+/// The telemetry sidecar itself (mirror of `EngineTelemetry`).
+#[derive(Clone, Debug, PartialEq, Deserialize)]
+struct TelemetryFile {
+    cells: Vec<TelemetryCell>,
+    cache_hits: u64,
+    executed: u64,
+    workers: u64,
+    wall_ms: u64,
+    utilization: f64,
+}
+
+/// Loads a `*_telemetry.json` sidecar and folds it into the
+/// utilisation summary carried by [`GateReport`].
+pub fn load_utilization(path: &Path) -> Result<UtilizationSummary, GateError> {
+    let text = fs::read_to_string(path).map_err(|e| GateError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let telemetry: TelemetryFile = serde_json::from_str(&text).map_err(|e| GateError::Parse {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let busy_ms = telemetry.cells.iter().map(|c| c.wall_ms).sum();
+    // Slowest *executed* cell, ties broken by label so the summary is
+    // deterministic for a fixed sidecar.
+    let slowest = telemetry
+        .cells
+        .iter()
+        .filter(|c| !c.cached)
+        .max_by(|a, b| a.wall_ms.cmp(&b.wall_ms).then(b.label.cmp(&a.label)));
+    Ok(UtilizationSummary {
+        workers: telemetry.workers,
+        cells: telemetry.cells.len() as u64,
+        cache_hits: telemetry.cache_hits,
+        executed: telemetry.executed,
+        wall_ms: telemetry.wall_ms,
+        busy_ms,
+        utilization: telemetry.utilization,
+        slowest_cell: slowest.map(|c| c.label.clone()),
+        slowest_wall_ms: slowest.map(|c| c.wall_ms),
+    })
+}
+
 /// The gate's aggregate result over two artifact trees.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GateReport {
@@ -93,6 +175,10 @@ pub struct GateReport {
     pub regressions: u64,
     /// Every metric-level verdict, in deterministic order.
     pub verdicts: Vec<MetricVerdict>,
+    /// Worker-pool utilisation of the fresh run, when the caller passed
+    /// a telemetry sidecar (`--telemetry`). Informational only: never
+    /// contributes to the verdict counts above.
+    pub utilization: Option<UtilizationSummary>,
 }
 
 impl GateReport {
@@ -151,6 +237,22 @@ impl GateReport {
             self.regressions,
             self.worst()
         ));
+        if let Some(u) = &self.utilization {
+            out.push_str(&format!(
+                "pool: {} workers, {} cells ({} executed, {} cached), \
+                 {} ms wall, utilization {:.1}%",
+                u.workers,
+                u.cells,
+                u.executed,
+                u.cache_hits,
+                u.wall_ms,
+                u.utilization * 100.0,
+            ));
+            if let (Some(label), Some(ms)) = (&u.slowest_cell, u.slowest_wall_ms) {
+                out.push_str(&format!(", slowest cell {label} ({ms} ms)"));
+            }
+            out.push('\n');
+        }
         out
     }
 
@@ -430,6 +532,7 @@ pub fn compare_trees(
         suspect: 0,
         regressions: 0,
         verdicts: Vec::new(),
+        utilization: None,
     };
     for rel in artifacts {
         let rel_name = rel.display().to_string();
@@ -486,6 +589,7 @@ mod tests {
             suspect: 0,
             regressions: 0,
             verdicts: Vec::new(),
+            utilization: None,
         }
     }
 
@@ -629,6 +733,64 @@ mod tests {
             GATE_DEFAULT_SLACK,
         );
         assert!(report.regressions > 0);
+    }
+
+    #[test]
+    fn utilization_summary_folds_telemetry_and_renders() {
+        let dir = std::env::temp_dir().join(format!("stabl-gate-util-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("fig3_sensitivity_ci_telemetry.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "cells": [
+                    {"label": "Redbelly/crash", "cached": false, "wall_ms": 120},
+                    {"label": "Solana/crash", "cached": false, "wall_ms": 340},
+                    {"label": "Aptos/crash", "cached": true, "wall_ms": 1}
+                ],
+                "cache_hits": 1,
+                "executed": 2,
+                "workers": 4,
+                "wall_ms": 400,
+                "utilization": 0.288125
+            }"#,
+        )
+        .expect("write telemetry");
+        let summary = load_utilization(&path).expect("load telemetry");
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(summary.workers, 4);
+        assert_eq!(summary.cells, 3);
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.executed, 2);
+        assert_eq!(summary.busy_ms, 461);
+        assert_eq!(summary.slowest_cell.as_deref(), Some("Solana/crash"));
+        assert_eq!(summary.slowest_wall_ms, Some(340));
+
+        let mut report = fresh_report(GATE_DEFAULT_SLACK);
+        assert!(!report.render().contains("pool:"));
+        report.utilization = Some(summary);
+        let rendered = report.render();
+        assert!(
+            rendered.contains("pool: 4 workers, 3 cells (2 executed, 1 cached)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("utilization 28.8%") && rendered.contains("Solana/crash (340 ms)"),
+            "{rendered}"
+        );
+
+        // The summary survives the BENCH_stats.json round trip, and a
+        // report written before the field existed still parses.
+        let json = serde_json::to_string(&report).expect("serialise");
+        let back: GateReport = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(report, back);
+        let legacy: GateReport = serde_json::from_str(
+            r#"{"slack": 3.0, "files": 0, "cells": 0, "within": 0,
+                "suspect": 0, "regressions": 0, "verdicts": []}"#,
+        )
+        .expect("legacy report parses");
+        assert_eq!(legacy.utilization, None);
     }
 
     #[test]
