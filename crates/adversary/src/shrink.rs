@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 use stabl::FaultWindow;
-use stabl_sim::SimTime;
+use stabl_sim::{SimDuration, SimTime};
 
 use crate::fitness::{Evaluate, Fitness, Objective};
 use crate::genome::Genome;
@@ -173,7 +173,10 @@ fn drop_last_victim(genome: &mut Genome, idx: usize) {
 }
 
 fn midpoint(window: FaultWindow) -> SimTime {
-    SimTime::from_micros((window.at.as_micros() + window.until.as_micros()) / 2)
+    // Offset form rather than (at + until) / 2: saturating SimTime ops
+    // only, no raw micros arithmetic (N-003), and no overflow near the
+    // top of the u64 range. Exact whenever until >= at.
+    window.at + SimDuration::from_micros(window.until.saturating_since(window.at).as_micros() / 2)
 }
 
 #[cfg(test)]

@@ -185,7 +185,7 @@ mod prop_tests {
             let mut expected_total = 0u64;
             for poll in polls {
                 let values: Vec<Hash32> = poll.into_iter().map(hash).collect();
-                let mut counts = std::collections::HashMap::new();
+                let mut counts = std::collections::BTreeMap::new();
                 for v in &values {
                     *counts.entry(*v).or_insert(0usize) += 1;
                 }

@@ -2,7 +2,7 @@
 //! workload through clients, injects the fault schedule and collects
 //! the client-observed latency distribution.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use stabl_sim::{
     ByzConfig, ByzantineSpec, ByzantineWrapper, CaptureLevel, DetRng, EventCounters, LatencyModel,
@@ -217,8 +217,8 @@ where
 /// boundary).
 fn drain_commits<P: Protocol<Commit = TxId>>(
     sim: &mut Simulation<P>,
-    first_commit: &mut HashMap<(u32, TxId), SimTime>,
-    earliest_commit: &mut HashMap<TxId, SimTime>,
+    first_commit: &mut BTreeMap<(u32, TxId), SimTime>,
+    earliest_commit: &mut BTreeMap<TxId, SimTime>,
     last_commit: &mut SimTime,
 ) {
     for record in sim.take_commits() {
@@ -239,7 +239,7 @@ fn resolution(
     byzantine_rpc: &[NodeId],
     id: TxId,
     quorum: usize,
-    first_commit: &HashMap<(u32, TxId), SimTime>,
+    first_commit: &BTreeMap<(u32, TxId), SimTime>,
 ) -> Option<SimTime> {
     let mut observed: Vec<SimTime> = contacted
         .iter()
@@ -295,8 +295,8 @@ where
         }
     }
 
-    let mut first_commit: HashMap<(u32, TxId), SimTime> = HashMap::new();
-    let mut earliest_commit: HashMap<TxId, SimTime> = HashMap::new();
+    let mut first_commit: BTreeMap<(u32, TxId), SimTime> = BTreeMap::new();
+    let mut earliest_commit: BTreeMap<TxId, SimTime> = BTreeMap::new();
     let mut last_commit = SimTime::ZERO;
     let mut retries = 0u64;
     let mut give_ups = 0u64;

@@ -1,0 +1,325 @@
+//! The `lint-baseline.json` ratchet.
+//!
+//! New rule families land against an existing codebase, so findings
+//! gate through a committed baseline: a finding listed there is *debt*
+//! (reported, but not a build failure), anything beyond it is *new*
+//! (fails the build), and debt may only shrink — once a finding is
+//! fixed, [`apply`] flags the now-oversized baseline entry with B-001
+//! so the ratchet is tightened in the same change.
+//!
+//! Format (written by `stabl-lint --write-baseline`, hand-parsed here
+//! because the linter is dependency-free):
+//!
+//! ```json
+//! {"version":1,"entries":[
+//! {"rule":"D-003","file":"crates/x/src/lib.rs","count":2}
+//! ]}
+//! ```
+//!
+//! Entries are keyed `(rule, file)` with a count, not line numbers:
+//! lines shift on every edit, which would make the baseline churn; a
+//! per-file count is stable and still ratchets monotonically.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{Diagnostic, Severity};
+
+/// One baseline entry: up to `count` findings of `rule` in `file` are
+/// tolerated debt.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule id (`D-003`, …).
+    pub rule: String,
+    /// Workspace-relative file the debt lives in.
+    pub file: String,
+    /// Number of tolerated findings.
+    pub count: u64,
+}
+
+/// A parsed `lint-baseline.json`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries, sorted by (rule, file).
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the baseline dialect written by [`Baseline::render`]. The
+    /// scanner is shape-tolerant (whitespace, key order) but only
+    /// understands objects with `rule` / `file` string values and a
+    /// `count` number.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut i = 0usize;
+        let mut key: Option<String> = None;
+        let mut rule: Option<String> = None;
+        let mut file: Option<String> = None;
+        let mut count: Option<u64> = None;
+        let mut entries = Vec::new();
+        while i < chars.len() {
+            match chars[i] {
+                '"' => {
+                    let (s, next) = parse_string(&chars, i)?;
+                    i = next;
+                    // A string followed by `:` is a key; otherwise it is
+                    // the value of the pending key.
+                    let mut j = i;
+                    while j < chars.len() && chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&':') {
+                        key = Some(s);
+                        i = j + 1;
+                    } else {
+                        match key.take().as_deref() {
+                            Some("rule") => rule = Some(s),
+                            Some("file") => file = Some(s),
+                            _ => {}
+                        }
+                    }
+                }
+                '0'..='9' => {
+                    let mut n = 0u64;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(chars[i] as u64 - '0' as u64))
+                            .ok_or_else(|| "count overflows u64".to_owned())?;
+                        i += 1;
+                    }
+                    if key.take().as_deref() == Some("count") {
+                        count = Some(n);
+                    }
+                }
+                '}' => {
+                    if let (Some(r), Some(f), Some(c)) = (rule.take(), file.take(), count.take()) {
+                        entries.push(BaselineEntry {
+                            rule: r,
+                            file: f,
+                            count: c,
+                        });
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        entries.sort();
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline from a report's unsuppressed error findings
+    /// (B-001 meta-findings excluded — the ratchet cannot baseline
+    /// itself).
+    pub fn from_diagnostics<'a>(diags: impl Iterator<Item = &'a Diagnostic>) -> Baseline {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for d in diags {
+            if d.suppressed.is_none() && d.severity == Severity::Error && d.rule != "B-001" {
+                *counts
+                    .entry((d.rule.to_owned(), d.file.clone()))
+                    .or_default() += 1;
+            }
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((rule, file), count)| BaselineEntry { rule, file, count })
+                .collect(),
+        }
+    }
+
+    /// Renders the baseline deterministically (sorted, one entry per
+    /// line) so the committed file diffs cleanly.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"entries\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"rule\":{},\"file\":{},\"count\":{}}}",
+                crate::engine::json_str(&e.rule),
+                crate::engine::json_str(&e.file),
+                e.count
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn parse_string(chars: &[char], open: usize) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let esc = chars.get(i + 1).copied().ok_or("dangling escape")?;
+                out.push(match esc {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                });
+                i += 2;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err("unterminated string in baseline".to_owned())
+}
+
+/// Applies `baseline` to `diags`: marks tolerated findings as
+/// baselined (oldest first, in the report's sorted order) and returns
+/// B-001 diagnostics for entries whose debt has shrunk — the caller
+/// appends them so a stale baseline fails the build until ratcheted
+/// down.
+pub fn apply(baseline: &Baseline, baseline_rel: &str, diags: &mut [Diagnostic]) -> Vec<Diagnostic> {
+    let mut by_key: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for (i, d) in diags.iter().enumerate() {
+        if d.suppressed.is_none() && d.severity == Severity::Error && d.rule != "B-001" {
+            by_key
+                .entry((d.rule.to_owned(), d.file.clone()))
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut stale = Vec::new();
+    for e in &baseline.entries {
+        let key = (e.rule.clone(), e.file.clone());
+        let current = by_key.get(&key).map_or(&[][..], Vec::as_slice);
+        let have = current.len() as u64;
+        if have < e.count {
+            stale.push(Diagnostic::new(
+                "B-001",
+                baseline_rel,
+                1,
+                1,
+                format!(
+                    "baseline allows {} × {} in `{}` but only {} remain — ratchet down \
+                     (stabl-lint --write-baseline)",
+                    e.count, e.rule, e.file, have
+                ),
+            ));
+        }
+        for &idx in current.iter().take(e.count as usize) {
+            diags[idx].baselined = true;
+        }
+    }
+    stale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic::new(rule, file, line, 1, format!("{rule} at {line}"))
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "D-003".to_owned(),
+                    file: "crates/x/src/a.rs".to_owned(),
+                    count: 2,
+                },
+                BaselineEntry {
+                    rule: "N-003".to_owned(),
+                    file: "crates/y/src/b.rs".to_owned(),
+                    count: 1,
+                },
+            ],
+        };
+        assert_eq!(Baseline::parse(&b.render()).expect("parses"), b);
+        assert_eq!(
+            Baseline::parse("{\"version\":1,\"entries\":[]}").expect("parses"),
+            Baseline::default()
+        );
+    }
+
+    #[test]
+    fn baselined_findings_within_the_count_are_tolerated() {
+        let mut diags = vec![diag("D-003", "f.rs", 3), diag("D-003", "f.rs", 9)];
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "D-003".to_owned(),
+                file: "f.rs".to_owned(),
+                count: 2,
+            }],
+        };
+        let stale = apply(&b, "lint-baseline.json", &mut diags);
+        assert!(stale.is_empty());
+        assert!(diags.iter().all(|d| d.baselined));
+    }
+
+    #[test]
+    fn findings_beyond_the_count_stay_errors() {
+        let mut diags = vec![
+            diag("D-003", "f.rs", 3),
+            diag("D-003", "f.rs", 9),
+            diag("D-003", "f.rs", 12),
+        ];
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "D-003".to_owned(),
+                file: "f.rs".to_owned(),
+                count: 2,
+            }],
+        };
+        let stale = apply(&b, "lint-baseline.json", &mut diags);
+        assert!(stale.is_empty());
+        assert_eq!(diags.iter().filter(|d| d.baselined).count(), 2);
+        assert!(!diags[2].baselined, "the newest finding fails the build");
+    }
+
+    #[test]
+    fn shrunk_debt_produces_a_stale_entry_error() {
+        let mut diags = vec![diag("D-003", "f.rs", 3)];
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "D-003".to_owned(),
+                    file: "f.rs".to_owned(),
+                    count: 2,
+                },
+                BaselineEntry {
+                    rule: "N-001".to_owned(),
+                    file: "gone.rs".to_owned(),
+                    count: 1,
+                },
+            ],
+        };
+        let stale = apply(&b, "lint-baseline.json", &mut diags);
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert!(stale.iter().all(|d| d.rule == "B-001"));
+        assert!(stale[0].message.contains("only 1 remain"));
+        assert!(stale[1].message.contains("only 0 remain"));
+    }
+
+    #[test]
+    fn from_diagnostics_counts_unsuppressed_errors_only() {
+        let mut suppressed = diag("D-003", "f.rs", 5);
+        suppressed.suppressed = Some("reason".to_owned());
+        let diags = [
+            diag("D-003", "f.rs", 3),
+            suppressed,
+            diag("B-001", "lint-baseline.json", 1),
+        ];
+        let b = Baseline::from_diagnostics(diags.iter());
+        assert_eq!(
+            b.entries,
+            vec![BaselineEntry {
+                rule: "D-003".to_owned(),
+                file: "f.rs".to_owned(),
+                count: 1,
+            }]
+        );
+    }
+}

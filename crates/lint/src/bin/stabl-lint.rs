@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! stabl-lint [--root DIR] [--config FILE] [--format human|json]
+//!            [--baseline FILE] [--no-baseline] [--write-baseline]
 //!            [--show-suppressed] [--list-rules]
 //! ```
 //!
+//! `--write-baseline` renders the current unsuppressed error findings
+//! to the baseline file (the ratchet) and exits 0 — it is how debt is
+//! recorded once and how a stale baseline is shrunk after a fix.
+//!
 //! Exit codes: 0 clean, 1 unsuppressed errors, 2 usage or I/O error.
 
+use stabl_lint::baseline::Baseline;
 use stabl_lint::{Config, Engine, RULES};
 use std::path::PathBuf;
 use std::process;
@@ -14,6 +20,9 @@ use std::process;
 struct Args {
     root: Option<PathBuf>,
     config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
     json: bool,
     show_suppressed: bool,
     list_rules: bool,
@@ -23,6 +32,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         config: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
         json: false,
         show_suppressed: false,
         list_rules: false,
@@ -36,6 +48,11 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?))
             }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?))
+            }
+            "--no-baseline" => args.no_baseline = true,
+            "--write-baseline" => args.write_baseline = true,
             "--format" => match it.next().as_deref() {
                 Some("json") => args.json = true,
                 Some("human") => args.json = false,
@@ -46,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "stabl-lint [--root DIR] [--config FILE] [--format human|json] \
+                     [--baseline FILE] [--no-baseline] [--write-baseline] \
                      [--show-suppressed] [--list-rules]"
                 );
                 process::exit(0);
@@ -88,7 +106,7 @@ fn main() {
     }
 
     let root = args.root.unwrap_or_else(find_root);
-    let engine = match &args.config {
+    let mut engine = match &args.config {
         Some(path) => {
             let src = match std::fs::read_to_string(path) {
                 Ok(src) => src,
@@ -113,6 +131,13 @@ fn main() {
             }
         },
     };
+    if args.no_baseline || args.write_baseline {
+        // --write-baseline scans without the old ratchet so the new
+        // file records the true current debt.
+        engine = engine.without_baseline();
+    } else if let Some(path) = &args.baseline {
+        engine = engine.with_baseline(path);
+    }
 
     let report = match engine.run() {
         Ok(report) => report,
@@ -121,6 +146,23 @@ fn main() {
             process::exit(2);
         }
     };
+
+    if args.write_baseline {
+        let baseline = Baseline::from_diagnostics(report.diagnostics.iter());
+        let path = args
+            .baseline
+            .unwrap_or_else(|| root.join("lint-baseline.json"));
+        if let Err(e) = std::fs::write(&path, baseline.render()) {
+            eprintln!("stabl-lint: cannot write {}: {e}", path.display());
+            process::exit(2);
+        }
+        println!(
+            "stabl-lint: wrote {} ({} entries)",
+            path.display(),
+            baseline.entries.len()
+        );
+        return;
+    }
 
     if args.json {
         print!("{}", report.json());

@@ -38,6 +38,27 @@ pub struct Config {
     pub cache: Vec<String>,
     /// File holding the `CACHE_SCHEMA_VERSION` manifest comments.
     pub manifest: Option<String>,
+    /// Path prefixes the shard-safety rules (P-*) certify.
+    pub shard: Vec<String>,
+    /// Path prefixes E-001 discovers `impl Protocol` blocks in.
+    pub exhaustive: Vec<String>,
+    /// Explicit enum → cover-file obligations for E-002.
+    pub covers: Vec<CoverSpec>,
+    /// Path prefixes the numeric-determinism rules (N-*) apply to.
+    pub numeric: Vec<String>,
+}
+
+/// One `[exhaustive] covers` triple, written in `lint.toml` as a
+/// whitespace-separated string:
+/// `"SimEvent crates/sim/src/trace.rs crates/core/src/observe.rs"`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverSpec {
+    /// The enum whose variants must all be covered.
+    pub enum_name: String,
+    /// The file defining the enum.
+    pub def_file: String,
+    /// The file that must hold a pattern for every variant.
+    pub cover_file: String,
 }
 
 impl Default for Config {
@@ -50,6 +71,7 @@ impl Default for Config {
                 "vendor".to_owned(),
                 ".git".to_owned(),
                 "crates/lint/tests/fixtures".to_owned(),
+                "results".to_owned(),
             ],
             determinism: vec![
                 "crates/sim/src".to_owned(),
@@ -58,6 +80,8 @@ impl Default for Config {
                 "crates/avalanche/src".to_owned(),
                 "crates/redbelly/src".to_owned(),
                 "crates/solana/src".to_owned(),
+                "crates/core/src".to_owned(),
+                "crates/types/src".to_owned(),
                 "crates/stats/src".to_owned(),
                 "crates/adversary/src".to_owned(),
             ],
@@ -76,6 +100,46 @@ impl Default for Config {
                 "crates/adversary/src".to_owned(),
             ],
             manifest: Some("crates/bench/src/engine.rs".to_owned()),
+            shard: vec![
+                "crates/sim/src".to_owned(),
+                "crates/algorand/src".to_owned(),
+                "crates/aptos/src".to_owned(),
+                "crates/avalanche/src".to_owned(),
+                "crates/redbelly/src".to_owned(),
+                "crates/solana/src".to_owned(),
+            ],
+            exhaustive: vec![
+                "crates/sim/src".to_owned(),
+                "crates/algorand/src".to_owned(),
+                "crates/aptos/src".to_owned(),
+                "crates/avalanche/src".to_owned(),
+                "crates/redbelly/src".to_owned(),
+                "crates/solana/src".to_owned(),
+            ],
+            covers: vec![
+                CoverSpec {
+                    enum_name: "SimEvent".to_owned(),
+                    def_file: "crates/sim/src/trace.rs".to_owned(),
+                    cover_file: "crates/core/src/observe.rs".to_owned(),
+                },
+                CoverSpec {
+                    enum_name: "SimEvent".to_owned(),
+                    def_file: "crates/sim/src/trace.rs".to_owned(),
+                    cover_file: "crates/core/src/diagnose.rs".to_owned(),
+                },
+            ],
+            numeric: vec![
+                "crates/sim/src".to_owned(),
+                "crates/algorand/src".to_owned(),
+                "crates/aptos/src".to_owned(),
+                "crates/avalanche/src".to_owned(),
+                "crates/redbelly/src".to_owned(),
+                "crates/solana/src".to_owned(),
+                "crates/core/src".to_owned(),
+                "crates/types/src".to_owned(),
+                "crates/stats/src".to_owned(),
+                "crates/adversary/src".to_owned(),
+            ],
         }
     }
 }
@@ -107,6 +171,10 @@ impl Config {
             bins: Vec::new(),
             cache: Vec::new(),
             manifest: None,
+            shard: Vec::new(),
+            exhaustive: Vec::new(),
+            covers: Vec::new(),
+            numeric: Vec::new(),
         };
         let mut section = String::new();
         let lines: Vec<&str> = src.lines().collect();
@@ -174,6 +242,13 @@ fn apply(
             config.manifest = Some(parse_string(value, line)?);
             return Ok(());
         }
+        ("shard", "include") => Some(&mut config.shard),
+        ("exhaustive", "include") => Some(&mut config.exhaustive),
+        ("exhaustive", "covers") => {
+            config.covers = parse_covers(value, line)?;
+            return Ok(());
+        }
+        ("numeric", "include") => Some(&mut config.numeric),
         _ => None,
     };
     match slot {
@@ -197,6 +272,30 @@ fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
             line,
             message: format!("expected a quoted string, got `{value}`"),
         })
+}
+
+/// Parses `covers` entries: each array element is a three-field
+/// whitespace-separated string, `"Enum def_file cover_file"`.
+fn parse_covers(value: &str, line: usize) -> Result<Vec<CoverSpec>, ConfigError> {
+    let mut out = Vec::new();
+    for entry in parse_array(value, line)? {
+        let fields: Vec<&str> = entry.split_whitespace().collect();
+        let [enum_name, def_file, cover_file] = fields.as_slice() else {
+            return Err(ConfigError {
+                line,
+                message: format!(
+                    "covers entry `{entry}` must be `\"Enum def_file cover_file\"` \
+                     (three whitespace-separated fields)"
+                ),
+            });
+        };
+        out.push(CoverSpec {
+            enum_name: (*enum_name).to_owned(),
+            def_file: (*def_file).to_owned(),
+            cover_file: (*cover_file).to_owned(),
+        });
+    }
+    Ok(out)
 }
 
 fn parse_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
@@ -270,8 +369,25 @@ mod tests {
         // two drift, the fallback silently lints the wrong scopes.
         let src = include_str!("../../../lint.toml");
         let parsed = Config::parse(src).expect("repo lint.toml parses");
-        assert_eq!(parsed.determinism, Config::default().determinism);
-        assert_eq!(parsed.robustness, Config::default().robustness);
-        assert_eq!(parsed.manifest, Config::default().manifest);
+        assert_eq!(parsed, Config::default());
+    }
+
+    #[test]
+    fn covers_triples_parse_and_malformed_ones_fail() {
+        let config = Config::parse(
+            "[exhaustive]\ncovers = [\"SimEvent crates/sim/src/trace.rs crates/core/src/observe.rs\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            config.covers,
+            vec![CoverSpec {
+                enum_name: "SimEvent".to_owned(),
+                def_file: "crates/sim/src/trace.rs".to_owned(),
+                cover_file: "crates/core/src/observe.rs".to_owned(),
+            }]
+        );
+        let err = Config::parse("[exhaustive]\ncovers = [\"only-two fields\"]\n")
+            .expect_err("rejects two-field entry");
+        assert!(err.message.contains("three whitespace-separated fields"));
     }
 }

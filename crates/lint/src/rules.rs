@@ -3,9 +3,21 @@
 //!
 //! | id    | family      | bans |
 //! |-------|-------------|------|
+//! | B-001 | baseline    | stale `lint-baseline.json` entry (debt shrank, ratchet down) |
 //! | D-001 | determinism | `Instant::now` / `SystemTime::now` |
 //! | D-002 | determinism | `thread_rng` / `rand::random` / `OsRng` / `from_entropy` |
-//! | D-003 | determinism | `HashMap` / `HashSet` in protocol code |
+//! | D-003 | determinism | `HashMap` / `HashSet` in protocol code (alias-resolved) |
+//! | E-001 | exhaustive  | `Protocol::Msg` variant without a match arm in its chain crate |
+//! | E-002 | exhaustive  | configured enum variant missing from a cover file |
+//! | N-001 | numeric     | float equality comparison / `partial_cmp` |
+//! | N-002 | numeric     | truncating `as` cast of a time/seed value |
+//! | N-003 | numeric     | raw `+`/`-` on `.as_micros()`/`.as_millis()` output |
+//! | P-001 | shard       | `static mut` in a shard-certified crate |
+//! | P-002 | shard       | `thread_local!` in a shard-certified crate |
+//! | P-003 | shard       | `Rc` / `Arc` in a shard-certified crate |
+//! | P-004 | shard       | `Cell` / `RefCell` / … in a shard-certified crate |
+//! | P-005 | shard       | `Mutex` / `RwLock` / … in a shard-certified crate |
+//! | P-006 | shard       | atomic types in a shard-certified crate |
 //! | R-001 | robustness  | `.unwrap()` in non-test library code |
 //! | R-002 | robustness  | `.expect(…)` in non-test library code |
 //! | R-003 | robustness  | `panic!` / `todo!` / `unimplemented!` in non-test library code |
@@ -16,6 +28,12 @@
 //! | X-001 | meta        | malformed `stabl-lint:` suppression comment |
 //! | X-002 | meta        | suppression that suppresses nothing (warning) |
 //!
+//! The per-file token rules (D, R, S, X plus the v2 P and N families
+//! in [`crate::rules_shard`] / [`crate::rules_numeric`]) run through
+//! [`scan_analysis`]; the cross-file E rules live in
+//! [`crate::rules_exhaustive`] and the B ratchet in
+//! [`crate::baseline`], both driven by the engine.
+//!
 //! Suppression syntax, one rule per comment, reason mandatory:
 //!
 //! ```text
@@ -25,7 +43,8 @@
 //! A suppression covers its own line and the next line, so it can sit
 //! either at the end of the offending line or directly above it.
 
-use crate::lexer::{lex, test_spans, Comment, Token, TokenKind};
+use crate::lexer::{Comment, Token, TokenKind};
+use crate::symbols::{CrateGraph, FileAnalysis};
 use std::collections::BTreeSet;
 
 /// Diagnostic severity. Only [`Severity::Error`] affects the exit code.
@@ -63,6 +82,12 @@ pub struct RuleInfo {
 /// Every rule the engine knows, in id order.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
+        id: "B-001",
+        severity: Severity::Error,
+        summary: "stale lint-baseline.json entry — recorded debt no longer exists",
+        hint: "run `stabl-lint --write-baseline` and commit the shrunk baseline",
+    },
+    RuleInfo {
         id: "D-001",
         severity: Severity::Error,
         summary: "wall-clock read (Instant::now / SystemTime::now) in deterministic code",
@@ -79,6 +104,82 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Error,
         summary: "HashMap/HashSet in protocol code (iteration order is nondeterministic)",
         hint: "use BTreeMap/BTreeSet, or collect and sort before iterating",
+    },
+    RuleInfo {
+        id: "E-001",
+        severity: Severity::Error,
+        summary: "Protocol Msg variant without a match arm in its chain crate",
+        hint: "handle the variant in the node's dispatch path (or delete the variant); \
+               a silently ignored message is how liveness bugs hide",
+    },
+    RuleInfo {
+        id: "E-002",
+        severity: Severity::Error,
+        summary: "enum variant not covered by a configured cover file",
+        hint: "add the variant to the cover file's match (exporter / counter) so it \
+               cannot silently vanish from traces and post-mortems",
+    },
+    RuleInfo {
+        id: "N-001",
+        severity: Severity::Error,
+        summary: "float equality comparison (or partial_cmp) in numeric-scoped code",
+        hint: "use total_cmp or integer micros; float comparison semantics are not \
+               replay-stable",
+    },
+    RuleInfo {
+        id: "N-002",
+        severity: Severity::Error,
+        summary: "truncating `as` cast on a time/seed-typed value",
+        hint: "keep times and seeds in u64/u128, or use TryFrom so truncation is explicit",
+    },
+    RuleInfo {
+        id: "N-003",
+        severity: Severity::Error,
+        summary: "unchecked +/- on .as_micros()/.as_millis() output",
+        hint: "stay in SimTime/SimDuration and use their saturating arithmetic instead of \
+               raw integer offsets",
+    },
+    RuleInfo {
+        id: "P-001",
+        severity: Severity::Error,
+        summary: "static mut in a shard-certified crate",
+        hint: "move the state into the node struct; sharded logical processes may not \
+               share ambient state",
+    },
+    RuleInfo {
+        id: "P-002",
+        severity: Severity::Error,
+        summary: "thread_local! state in a shard-certified crate",
+        hint: "move the state into the node struct; thread identity is meaningless under \
+               logical-process sharding",
+    },
+    RuleInfo {
+        id: "P-003",
+        severity: Severity::Error,
+        summary: "shared-ownership handle (Rc/Arc) in a shard-certified crate",
+        hint: "pass owned values or &mut through the handler; aliased state breaks the \
+               pure message-passing model sharding relies on",
+    },
+    RuleInfo {
+        id: "P-004",
+        severity: Severity::Error,
+        summary: "interior mutability (Cell/RefCell/…) in a shard-certified crate",
+        hint: "use plain fields behind &mut self; hidden writes defeat shard-safety \
+               certification",
+    },
+    RuleInfo {
+        id: "P-005",
+        severity: Severity::Error,
+        summary: "lock primitive (Mutex/RwLock/…) in a shard-certified crate",
+        hint: "handlers must not synchronise behind the kernel's back; let the event \
+               kernel serialise access instead",
+    },
+    RuleInfo {
+        id: "P-006",
+        severity: Severity::Error,
+        summary: "atomic type in a shard-certified crate",
+        hint: "atomics imply cross-thread sharing; keep node state owned and let the \
+               kernel order effects",
     },
     RuleInfo {
         id: "R-001",
@@ -162,6 +263,9 @@ pub struct Diagnostic {
     pub hint: &'static str,
     /// `Some(reason)` when an inline suppression covers the finding.
     pub suppressed: Option<String>,
+    /// `true` when the committed `lint-baseline.json` tolerates the
+    /// finding as known debt (see [`crate::baseline`]).
+    pub baselined: bool,
 }
 
 /// Which rule families apply to one file.
@@ -175,6 +279,10 @@ pub struct FileScope {
     pub exit_banned: bool,
     /// S-001 applies.
     pub cache: bool,
+    /// P-rules (shard-safety certification) apply.
+    pub shard: bool,
+    /// N-rules (numeric determinism) apply.
+    pub numeric: bool,
 }
 
 /// The outcome of scanning one file.
@@ -186,6 +294,32 @@ pub struct FileScan {
     /// with positions — collected whenever the file is in *any* scope,
     /// used by the engine for manifest staleness (S-002).
     pub serialize_types: Vec<(String, u32, u32)>,
+    /// Suppressions no per-file rule consumed. The engine offers them
+    /// to cross-file diagnostics (E-*, S-002) anchored in this file
+    /// before declaring them unused (X-002).
+    pub pending: Vec<PendingSuppression>,
+}
+
+/// A well-formed suppression that matched nothing in the per-file
+/// pass.
+#[derive(Clone, Debug)]
+pub struct PendingSuppression {
+    /// Rule id the suppression names.
+    pub rule: String,
+    /// Mandatory reason text.
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Last line of the comment (for block comments).
+    pub end_line: u32,
+}
+
+impl PendingSuppression {
+    /// `true` when this suppression covers `diag` (same rule, within
+    /// the comment's own line through the line after it).
+    pub fn covers(&self, diag: &Diagnostic) -> bool {
+        self.rule == diag.rule && diag.line >= self.line && diag.line <= self.end_line + 1
+    }
 }
 
 struct Suppression {
@@ -196,22 +330,55 @@ struct Suppression {
     used: bool,
 }
 
-/// Scans one file. `manifest` is the set of type names the
-/// cache-schema manifest lists (`None` when S-rules are disabled or
-/// no manifest is configured).
+/// Scans one standalone file: analyzes it, runs the per-file rules,
+/// and converts any leftover suppressions straight to X-002 (there is
+/// no engine around to consume them).
+///
+/// `manifest` is the set of type names the cache-schema manifest lists
+/// (`None` when S-rules are disabled or no manifest is configured).
 pub fn scan_file(
     rel_path: &str,
     src: &str,
     scope: FileScope,
     manifest: Option<&BTreeSet<String>>,
 ) -> FileScan {
-    let lexed = lex(src);
-    let tokens = &lexed.tokens;
-    let spans = test_spans(tokens);
-    let in_test = |idx: usize| spans.iter().any(|&(a, b)| idx >= a && idx < b);
+    let fa = FileAnalysis::analyze(rel_path, src);
+    let mut scan = scan_analysis(&fa, scope, manifest, None);
+    flush_pending(&mut scan, rel_path);
+    scan
+}
+
+/// Converts still-pending suppressions into X-002 warnings. The engine
+/// calls this after cross-file rules had their chance; [`scan_file`]
+/// calls it immediately.
+pub fn flush_pending(scan: &mut FileScan, rel_path: &str) {
+    for sup in scan.pending.drain(..) {
+        scan.diagnostics.push(make_diag(
+            "X-002",
+            rel_path,
+            sup.line,
+            1,
+            format!("allow({}) matched no diagnostic", sup.rule),
+        ));
+    }
+}
+
+/// Runs the per-file rules over an already-analyzed file. `graph` is
+/// the file's crate call graph (used by P-rules to annotate findings
+/// with handler reachability); pass `None` when no symbol table is
+/// available.
+pub fn scan_analysis(
+    fa: &FileAnalysis,
+    scope: FileScope,
+    manifest: Option<&BTreeSet<String>>,
+    graph: Option<&CrateGraph>,
+) -> FileScan {
+    let rel_path = fa.rel.as_str();
+    let tokens = &fa.lexed.tokens;
+    let in_test = |idx: usize| fa.in_test_span(idx);
 
     let mut scan = FileScan::default();
-    let mut suppressions = parse_suppressions(&lexed.comments, rel_path, &mut scan.diagnostics);
+    let mut suppressions = parse_suppressions(&fa.lexed.comments, rel_path, &mut scan.diagnostics);
 
     let mut raw: Vec<(usize, &'static str, String)> = Vec::new(); // (token idx, rule, message)
 
@@ -220,10 +387,16 @@ pub fn scan_file(
             continue;
         }
         if scope.determinism {
-            determinism_at(tokens, i, &mut raw);
+            determinism_at(fa, i, &mut raw);
         }
         if scope.robustness {
             robustness_at(tokens, i, &mut raw);
+        }
+        if scope.shard {
+            crate::rules_shard::check_token(fa, i, graph, &mut raw);
+        }
+        if scope.numeric {
+            crate::rules_numeric::check_token(tokens, i, &mut raw);
         }
         if scope.exit_banned && matches_path2(tokens, i, "process", "exit") {
             raw.push((i, "R-004", "`process::exit` outside src/bin".to_owned()));
@@ -232,6 +405,9 @@ pub fn scan_file(
         // engine can diff the manifest, but S-001 only fires in cache
         // scope.
         collect_serialize(tokens, i, &in_test, &mut scan.serialize_types);
+    }
+    if scope.shard {
+        crate::rules_shard::check_items(fa, &mut raw);
     }
 
     if scope.cache {
@@ -273,15 +449,14 @@ pub fn scan_file(
             }
         }
     }
-    for sup in &suppressions {
+    for sup in suppressions {
         if !sup.used {
-            scan.diagnostics.push(make_diag(
-                "X-002",
-                rel_path,
-                sup.line,
-                1,
-                format!("allow({}) matched no diagnostic", sup.rule),
-            ));
+            scan.pending.push(PendingSuppression {
+                rule: sup.rule,
+                reason: sup.reason,
+                line: sup.line,
+                end_line: sup.end_line,
+            });
         }
     }
     scan
@@ -307,6 +482,7 @@ impl Diagnostic {
             message,
             hint: info.hint,
             suppressed: None,
+            baselined: false,
         }
     }
 }
@@ -341,31 +517,51 @@ fn matches_path2(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
         && ident_at(tokens, i + 3, b)
 }
 
-fn determinism_at(tokens: &[Token], i: usize, raw: &mut Vec<(usize, &'static str, String)>) {
-    for clock in ["Instant", "SystemTime"] {
-        if matches_path2(tokens, i, clock, "now") {
-            raw.push((i, "D-001", format!("wall-clock read `{clock}::now`")));
-        }
+fn determinism_at(fa: &FileAnalysis, i: usize, raw: &mut Vec<(usize, &'static str, String)>) {
+    let tokens = &fa.lexed.tokens;
+    let Some(t) = tokens.get(i) else { return };
+    if t.kind != TokenKind::Ident {
+        return;
     }
-    if ident_at(tokens, i, "thread_rng")
-        || ident_at(tokens, i, "OsRng")
-        || ident_at(tokens, i, "from_entropy")
-        || ident_at(tokens, i, "getrandom")
+    // All D-rule names resolve through the file's `use` aliases, so
+    // `use std::collections::HashMap as FastMap` (or `Instant as
+    // Clock`) cannot smuggle a banned item past the scan.
+    let resolved = fa.resolve_last(&t.text);
+    let alias = |raw_name: &str| {
+        if resolved == t.text {
+            format!("`{raw_name}`")
+        } else {
+            format!("`{}` (alias of `{raw_name}`)", t.text)
+        }
+    };
+    if (resolved == "Instant" || resolved == "SystemTime")
+        && punct_at(tokens, i + 1, ':')
+        && punct_at(tokens, i + 2, ':')
+        && ident_at(tokens, i + 3, "now")
     {
-        let t = &tokens[i];
-        raw.push((i, "D-002", format!("ambient RNG source `{}`", t.text)));
+        let msg = if resolved == t.text {
+            format!("wall-clock read `{resolved}::now`")
+        } else {
+            format!("wall-clock read `{}::now` (alias of `{resolved}`)", t.text)
+        };
+        raw.push((i, "D-001", msg));
+    }
+    if ["thread_rng", "OsRng", "from_entropy", "getrandom"].contains(&resolved) {
+        raw.push((
+            i,
+            "D-002",
+            format!("ambient RNG source {}", alias(resolved)),
+        ));
     }
     if matches_path2(tokens, i, "rand", "random") {
         raw.push((i, "D-002", "ambient RNG source `rand::random`".to_owned()));
     }
-    for container in ["HashMap", "HashSet"] {
-        if ident_at(tokens, i, container) {
-            raw.push((
-                i,
-                "D-003",
-                format!("`{container}` in protocol code (unordered iteration)"),
-            ));
-        }
+    if resolved == "HashMap" || resolved == "HashSet" {
+        raw.push((
+            i,
+            "D-003",
+            format!("{} in protocol code (unordered iteration)", alias(resolved)),
+        ));
     }
 }
 

@@ -1,0 +1,8 @@
+//! Fixture protocol message enum. `Orphan` has no match arm anywhere
+//! in this crate — E-001 must flag it at this definition.
+
+pub enum ChainMsg {
+    Ping { from: u32 },
+    Pong,
+    Orphan(u64),
+}

@@ -1,0 +1,21 @@
+//! Fixture ambient state: `static mut` (P-001) and `thread_local!`
+//! (P-002) in a shard-certified crate. The plain `static` and the
+//! test-module copy below are negative controls.
+
+pub static LIMIT: u64 = 64;
+
+pub static mut TICKS: u64 = 0;
+
+thread_local! {
+    static SCRATCH: Vec<u8> = Vec::new();
+}
+
+#[cfg(test)]
+mod tests {
+    static mut TEST_ONLY: u64 = 0;
+
+    #[test]
+    fn touches_test_state() {
+        let _ = &raw const TEST_ONLY;
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture event enum for the E-002 covers check: `Trace` is missing
+//! from `export.rs` and must be flagged at its definition here.
+
+pub enum Ev {
+    Started,
+    Finished,
+    Trace,
+}

@@ -1,0 +1,11 @@
+//! Fixture exporter covering only two of the three `Ev` variants.
+
+use crate::ev::Ev;
+
+pub fn export(ev: &Ev) -> &'static str {
+    match ev {
+        Ev::Started => "started",
+        Ev::Finished => "finished",
+        _ => "other",
+    }
+}

@@ -1,0 +1,109 @@
+//! Mutation check for the E-rules: deleting a real match arm from a
+//! real chain crate must trip E-001. This is the linter's own
+//! falsifiability test — a coverage rule that cannot detect a removed
+//! arm is theatre.
+//!
+//! The check copies `crates/avalanche/src` into a temp workspace,
+//! verifies the pristine copy produces zero E-001 findings, then
+//! textually removes the `AvalancheMsg::Accepted { … } => { … }` arm
+//! (by brace matching) and asserts E-001 fires naming `Accepted`.
+
+use stabl_lint::Engine;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+const MUTANT_CONFIG: &str =
+    "[paths]\nskip = []\n\n[exhaustive]\ninclude = [\"crates/avalanche/src\"]\n";
+
+/// Builds `<dir>/crates/avalanche/src` from the real crate plus a
+/// minimal `lint.toml` scoping only the E-rules.
+fn set_up(dir: &Path) {
+    let src_dir = dir.join("crates/avalanche/src");
+    fs::create_dir_all(&src_dir).expect("mutant src dir");
+    let real = repo_root().join("crates/avalanche/src");
+    for entry in fs::read_dir(&real).expect("read avalanche src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            fs::copy(&path, src_dir.join(path.file_name().expect("file name")))
+                .expect("copy source file");
+        }
+    }
+    fs::write(dir.join("lint.toml"), MUTANT_CONFIG).expect("write config");
+}
+
+fn e001_messages(dir: &Path) -> Vec<String> {
+    Engine::from_root(dir)
+        .expect("config parses")
+        .run()
+        .expect("scan succeeds")
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.rule == "E-001")
+        .map(|d| d.message)
+        .collect()
+}
+
+/// Removes the whole `marker … => { … }` arm from `src`, matching the
+/// body's braces so nested blocks survive.
+fn remove_arm(src: &str, marker: &str) -> String {
+    let start = src.find(marker).expect("arm marker present");
+    let body_open = start + src[start..].find("=> {").expect("arm body opens") + 3;
+    let bytes = src.as_bytes();
+    let mut depth = 0usize;
+    let mut end = body_open;
+    for (i, &b) in bytes.iter().enumerate().skip(body_open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(end > body_open, "arm body closes");
+    format!("{}{}", &src[..start], &src[end..])
+}
+
+#[test]
+fn deleting_a_msg_match_arm_trips_e001() {
+    let dir = std::env::temp_dir().join(format!("stabl-lint-mutation-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    set_up(&dir);
+
+    let pristine = e001_messages(&dir);
+    assert!(
+        pristine.is_empty(),
+        "pristine avalanche copy must be arm-complete: {pristine:?}"
+    );
+
+    let node = dir.join("crates/avalanche/src/node.rs");
+    let src = fs::read_to_string(&node).expect("read node.rs");
+    // Drop the handler arm, then the `| Accepted { .. }` leg of the
+    // cost match — E-001 counts any pattern in the crate as coverage,
+    // so simulating a silently-dropped variant means removing both.
+    let mutated = remove_arm(&src, "AvalancheMsg::Accepted { height, hash } =>");
+    let mutated = mutated.replace("| AvalancheMsg::Accepted { .. }", "");
+    assert_ne!(src, mutated);
+    fs::write(&node, mutated).expect("write mutant");
+
+    let findings = e001_messages(&dir);
+    assert!(
+        findings
+            .iter()
+            .any(|m| m.contains("AvalancheMsg::Accepted")),
+        "E-001 must name the deleted arm, got: {findings:?}"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}

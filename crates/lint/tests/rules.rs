@@ -205,6 +205,8 @@ fn scan_file_scopes_gate_rule_families() {
         robustness: true,
         exit_banned: true,
         cache: false,
+        shard: false,
+        numeric: false,
     };
     let scan = scan_file("x.rs", src, all, None);
     let rules: Vec<&str> = scan.diagnostics.iter().map(|d| d.rule).collect();

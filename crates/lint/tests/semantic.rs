@@ -1,0 +1,175 @@
+//! Integration tests for the v2 semantic rules (P/E/N families,
+//! alias-aware D-rules) and the baseline ratchet, driven through the
+//! full [`stabl_lint::Engine`] on the fixture workspace under
+//! `tests/fixtures/sem`.
+
+use stabl_lint::baseline::Baseline;
+use stabl_lint::{Diagnostic, Engine};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sem")
+}
+
+fn fixture_report() -> Vec<Diagnostic> {
+    Engine::from_root(fixture_root())
+        .expect("config parses")
+        .run()
+        .expect("scan succeeds")
+        .diagnostics
+}
+
+fn rules_at(diags: &[Diagnostic], file: &str) -> Vec<&'static str> {
+    diags
+        .iter()
+        .filter(|d| d.file == file)
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn d003_sees_through_use_aliases() {
+    let diags = fixture_report();
+    let hidden: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "D-003" && d.message.contains("alias"))
+        .collect();
+    assert!(
+        hidden
+            .iter()
+            .any(|d| d.file == "crates/chain/src/node.rs" && d.message.contains("Registry")),
+        "aliased HashMap must be flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn e001_flags_the_unmatched_variant_at_its_definition() {
+    let diags = fixture_report();
+    let orphan: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "E-001").collect();
+    assert_eq!(orphan.len(), 1, "{orphan:?}");
+    assert_eq!(orphan[0].file, "crates/chain/src/msg.rs");
+    assert!(
+        orphan[0].message.contains("ChainMsg::Orphan"),
+        "construction in an arm body is not coverage: {}",
+        orphan[0].message
+    );
+}
+
+#[test]
+fn e002_flags_the_uncovered_event_variant() {
+    let diags = fixture_report();
+    let uncovered: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "E-002").collect();
+    assert_eq!(uncovered.len(), 1, "{uncovered:?}");
+    assert_eq!(uncovered[0].file, "crates/events/src/ev.rs");
+    assert!(uncovered[0].message.contains("Ev::Trace"));
+    assert!(uncovered[0].message.contains("export.rs"));
+}
+
+#[test]
+fn n_rules_flag_float_eq_seed_cast_and_raw_time_arithmetic() {
+    let diags = fixture_report();
+    let node = rules_at(&diags, "crates/chain/src/node.rs");
+    for rule in ["N-001", "N-002", "N-003"] {
+        assert!(node.contains(&rule), "missing {rule} in {node:?}");
+    }
+}
+
+#[test]
+fn p_rules_flag_ambient_state_and_annotate_handler_paths() {
+    let diags = fixture_report();
+    let state = rules_at(&diags, "crates/chain/src/state.rs");
+    assert!(state.contains(&"P-001"), "static mut: {state:?}");
+    assert!(state.contains(&"P-002"), "thread_local!: {state:?}");
+    assert_eq!(
+        state.iter().filter(|r| **r == "P-001").count(),
+        1,
+        "the #[cfg(test)] static mut is exempt"
+    );
+    let arc_in_handler = diags.iter().find(|d| {
+        d.rule == "P-003"
+            && d.file == "crates/chain/src/node.rs"
+            && d.message.contains("reachable from handler")
+    });
+    let arc = arc_in_handler.expect("Arc reachable from on_message is flagged with a path");
+    assert!(
+        arc.message.contains("on_message → remember → share"),
+        "expected the call path, got: {}",
+        arc.message
+    );
+}
+
+#[test]
+fn certification_is_voided_by_findings() {
+    let report = Engine::from_root(fixture_root())
+        .expect("config parses")
+        .run()
+        .expect("scan succeeds");
+    let cert = report
+        .certifications
+        .iter()
+        .find(|c| c.crate_key == "crates/chain")
+        .expect("chain crate has a certification row");
+    assert!(!cert.certified, "P findings must void the certificate");
+    assert!(cert.findings > 0);
+}
+
+#[test]
+fn baseline_ratchet_tolerates_debt_then_forces_shrink() {
+    let dir = std::env::temp_dir().join(format!("stabl-lint-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("lint-baseline.json");
+
+    // Record every current finding as debt, then rerun with the
+    // ratchet: nothing fails the build, everything is marked.
+    let engine = Engine::from_root(fixture_root()).expect("config parses");
+    let report = engine.run().expect("scan succeeds");
+    let unbaselined = report.errors().count();
+    assert!(unbaselined > 0, "fixture must have findings");
+    let baseline = Baseline::from_diagnostics(report.diagnostics.iter());
+    std::fs::write(&path, baseline.render()).expect("write baseline");
+
+    let engine = Engine::from_root(fixture_root())
+        .expect("config parses")
+        .with_baseline(&path);
+    let report = engine.run().expect("scan succeeds");
+    assert_eq!(report.errors().count(), 0, "all debt tolerated");
+    assert_eq!(report.baselined().count(), unbaselined);
+    let cert = report
+        .certifications
+        .iter()
+        .find(|c| c.crate_key == "crates/chain")
+        .expect("certification row");
+    assert!(
+        !cert.certified,
+        "baselined P debt still voids the certificate"
+    );
+
+    // A baseline that allows more than remains is stale: B-001.
+    let mut inflated = baseline.clone();
+    inflated.entries[0].count += 1;
+    std::fs::write(&path, inflated.render()).expect("write baseline");
+    let engine = Engine::from_root(fixture_root())
+        .expect("config parses")
+        .with_baseline(&path);
+    let report = engine.run().expect("scan succeeds");
+    let stale: Vec<&Diagnostic> = report.errors().filter(|d| d.rule == "B-001").collect();
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert!(stale[0].message.contains("ratchet down"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fixture_report_is_deterministic() {
+    let a = Engine::from_root(fixture_root())
+        .expect("config parses")
+        .run()
+        .expect("scan succeeds")
+        .json();
+    let b = Engine::from_root(fixture_root())
+        .expect("config parses")
+        .run()
+        .expect("scan succeeds")
+        .json();
+    assert_eq!(a, b, "two runs must be byte-identical");
+}

@@ -31,6 +31,26 @@ fn workspace_lints_clean() {
         errors.join("\n")
     );
     assert!(report.files_scanned > 50, "walked the whole workspace");
+    assert_eq!(
+        report.baselined().count(),
+        0,
+        "the committed lint-baseline.json must carry no debt"
+    );
+    let uncertified: Vec<&str> = report
+        .certifications
+        .iter()
+        .filter(|c| !c.certified)
+        .map(|c| c.crate_key.as_str())
+        .collect();
+    assert!(
+        uncertified.is_empty(),
+        "kernel and chain crates must certify shard-safe: {uncertified:?}"
+    );
+    assert_eq!(
+        report.certifications.len(),
+        6,
+        "sim plus the five chains are certified"
+    );
 }
 
 #[test]
@@ -87,7 +107,8 @@ fn cli_lists_rules() {
         .expect("binary runs");
     let text = String::from_utf8_lossy(&out.stdout);
     for id in [
-        "D-001", "D-002", "D-003", "R-001", "R-002", "R-003", "R-004", "S-001",
+        "B-001", "D-001", "D-002", "D-003", "E-001", "E-002", "N-001", "N-002", "N-003", "P-001",
+        "P-002", "P-003", "P-004", "P-005", "P-006", "R-001", "R-002", "R-003", "R-004", "S-001",
     ] {
         assert!(text.contains(id), "missing {id} in --list-rules");
     }

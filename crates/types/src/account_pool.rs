@@ -8,7 +8,7 @@
 //! only when an account's committed nonce advances, so a failed proposal
 //! needs no restore step.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::{AccountId, Transaction, TxId};
 
@@ -33,8 +33,8 @@ use crate::{AccountId, Transaction, TxId};
 #[derive(Clone, Debug, Default)]
 pub struct AccountPool {
     by_account: BTreeMap<AccountId, BTreeMap<u64, Transaction>>,
-    ids: HashSet<TxId>,
-    committed_next: HashMap<AccountId, u64>,
+    ids: BTreeSet<TxId>,
+    committed_next: BTreeMap<AccountId, u64>,
     len: usize,
     capacity: usize,
     rejected_stale: u64,

@@ -1,6 +1,6 @@
 //! The replicated account ledger each node executes committed blocks on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{AccountId, Transaction, TxId};
@@ -69,8 +69,8 @@ impl std::error::Error for ApplyError {}
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Ledger {
-    balances: HashMap<AccountId, u64>,
-    nonces: HashMap<AccountId, u64>,
+    balances: BTreeMap<AccountId, u64>,
+    nonces: BTreeMap<AccountId, u64>,
     executed: u64,
 }
 

@@ -5,7 +5,7 @@
 //! forwards to scheduled leaders), which is why its crate does not use
 //! this type.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::{Transaction, TxId};
 
@@ -25,9 +25,9 @@ use crate::{Transaction, TxId};
 #[derive(Clone, Debug)]
 pub struct Mempool {
     queue: VecDeque<Transaction>,
-    ids: HashSet<TxId>,
+    ids: BTreeSet<TxId>,
     /// Ids seen committed; future inserts of these are rejected.
-    committed: HashSet<TxId>,
+    committed: BTreeSet<TxId>,
     capacity: usize,
     dropped_full: u64,
     rejected_duplicate: u64,
@@ -43,8 +43,8 @@ impl Mempool {
         assert!(capacity > 0, "mempool capacity must be positive");
         Mempool {
             queue: VecDeque::new(),
-            ids: HashSet::new(),
-            committed: HashSet::new(),
+            ids: BTreeSet::new(),
+            committed: BTreeSet::new(),
             capacity,
             dropped_full: 0,
             rejected_duplicate: 0,
