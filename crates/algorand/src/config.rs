@@ -54,6 +54,11 @@ pub struct AlgorandConfig {
     pub conn: ConnConfig,
     /// Connection-manager tick period.
     pub conn_tick: SimDuration,
+    /// Models production-shaped contention: funds the whole declared
+    /// account population lazily instead of the paper's 256 prefunded
+    /// accounts. Off by default so paper-standard runs are
+    /// byte-identical.
+    pub model_contention: bool,
 }
 
 impl Default for AlgorandConfig {
@@ -81,6 +86,7 @@ impl Default for AlgorandConfig {
                 backoff_cap: SimDuration::from_secs(240),
             },
             conn_tick: SimDuration::from_millis(1_000),
+            model_contention: false,
         }
     }
 }

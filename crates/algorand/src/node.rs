@@ -3,7 +3,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use stabl_sim::{ConnAction, ConnectionManager, Ctx, NodeId, Protocol, SimDuration, SimTime};
+use stabl_sim::{
+    ConnAction, ConnectionManager, ContentionStats, Ctx, NodeId, Protocol, SimDuration, SimTime,
+};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
 
 use crate::{sortition, AlgorandConfig};
@@ -463,7 +465,11 @@ impl Protocol for AlgorandNode {
             config: config.clone(),
             seed: 0x5eed_a190_04a7_d000,
             chain: Vec::new(),
-            ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
+            ledger: if config.model_contention {
+                Ledger::with_lazy_balance(u64::MAX / 512)
+            } else {
+                Ledger::with_uniform_balance(256, u64::MAX / 512)
+            },
             executed_height: 0,
             round: 0,
             attempt: 0,
@@ -652,6 +658,14 @@ impl Protocol for AlgorandNode {
                 from_height: self.chain_height() + 1,
             },
         );
+    }
+
+    fn contention_stats(&self) -> ContentionStats {
+        ContentionStats {
+            pool_evictions: self.pool.rejected_full(),
+            pool_replacements: self.pool.rejected_conflict(),
+            ..ContentionStats::default()
+        }
     }
 }
 

@@ -45,6 +45,11 @@ pub struct AptosConfig {
     pub conn: ConnConfig,
     /// Connection-manager tick period.
     pub conn_tick: SimDuration,
+    /// Models production-shaped contention: funds the whole declared
+    /// account population lazily (instead of the paper's 256 prefunded
+    /// accounts) and enables the Block-STM within-block conflict model.
+    /// Off by default so the paper-standard runs are byte-identical.
+    pub model_contention: bool,
 }
 
 impl Default for AptosConfig {
@@ -64,6 +69,7 @@ impl Default for AptosConfig {
             stale_exec_cost: SimDuration::from_millis(4),
             conn: ConnConfig::fast_recovery(),
             conn_tick: SimDuration::from_millis(1_000),
+            model_contention: false,
         }
     }
 }

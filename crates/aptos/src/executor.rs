@@ -14,8 +14,10 @@
 //! and the owning node arms a timer for that instant to deliver commit
 //! notifications.
 
+use std::collections::BTreeMap;
+
 use stabl_sim::{CpuMeter, SimDuration, SimTime};
-use stabl_types::Block;
+use stabl_types::{AccountId, Block};
 
 /// Half-life of the ancillary-load estimator.
 const ANCILLARY_HALF_LIFE: SimDuration = SimDuration::from_secs(2);
@@ -49,11 +51,15 @@ pub struct BlockStmExecutor {
     ancillary: CpuMeter,
     stale_reexecutions: u64,
     blocks_executed: u64,
+    model_conflicts: bool,
+    conflict_aborts: u64,
 }
 
 impl BlockStmExecutor {
     /// Creates an executor with the given per-transaction and per-block
-    /// costs.
+    /// costs. Within-block conflict modelling is off — the paper's
+    /// disjoint-account workload never conflicts, so the legacy timing
+    /// is preserved exactly.
     pub fn new(per_tx: SimDuration, per_block: SimDuration) -> Self {
         BlockStmExecutor {
             per_tx,
@@ -63,7 +69,32 @@ impl BlockStmExecutor {
             ancillary: CpuMeter::new(ANCILLARY_HALF_LIFE),
             stale_reexecutions: 0,
             blocks_executed: 0,
+            model_conflicts: false,
+            conflict_aborts: 0,
         }
+    }
+
+    /// Enables the Block-STM within-block conflict model: transactions
+    /// of a block that touch the same account (as sender or receiver)
+    /// abort and re-execute speculatively, adding one `per_tx` charge
+    /// per conflict. Production-shaped Zipf traffic turns this on.
+    pub fn with_conflict_model(mut self) -> Self {
+        self.model_conflicts = true;
+        self
+    }
+
+    /// Counts within-block read-write conflicts: for every account
+    /// appearing `k > 1` times across the block's `{from, to}` sets,
+    /// `k − 1` speculative executions abort and re-run — the optimistic
+    /// Block-STM schedule where the lowest-index transaction wins each
+    /// round.
+    fn block_conflicts(block: &Block) -> u64 {
+        let mut touches: BTreeMap<AccountId, u64> = BTreeMap::new();
+        for tx in block.txs() {
+            *touches.entry(tx.from()).or_insert(0) += 1;
+            *touches.entry(tx.to()).or_insert(0) += 1;
+        }
+        touches.values().map(|&k| k.saturating_sub(1)).sum()
     }
 
     /// The estimated ancillary core utilisation at `now` (0 = idle).
@@ -80,7 +111,12 @@ impl BlockStmExecutor {
     /// Enqueues a committed block for execution; returns the time at
     /// which its execution completes (arm a timer for it).
     pub fn submit_block(&mut self, now: SimTime, block: Block) -> SimTime {
-        let base = self.per_block + self.per_tx * block.len() as u64;
+        let mut base = self.per_block + self.per_tx * block.len() as u64;
+        if self.model_conflicts {
+            let conflicts = Self::block_conflicts(&block);
+            self.conflict_aborts += conflicts;
+            base += self.per_tx * conflicts;
+        }
         let cost = base.mul_f64(self.contention_factor(now));
         let start = self.busy_until.max(now);
         let done_at = start + cost;
@@ -125,6 +161,12 @@ impl BlockStmExecutor {
     /// Number of stale re-executions charged so far.
     pub fn stale_reexecutions(&self) -> u64 {
         self.stale_reexecutions
+    }
+
+    /// Number of within-block conflict aborts (zero unless the conflict
+    /// model is enabled via [`BlockStmExecutor::with_conflict_model`]).
+    pub fn conflict_aborts(&self) -> u64 {
+        self.conflict_aborts
     }
 
     /// Number of blocks fully executed.
@@ -238,6 +280,25 @@ mod tests {
         e.charge_stale(SimTime::ZERO, SimDuration::from_millis(4));
         assert_eq!(e.stale_reexecutions(), 2);
         assert!(e.ancillary_rate(SimTime::ZERO) > 0.0);
+    }
+
+    #[test]
+    fn conflict_model_charges_reexecutions() {
+        // Five transfers from the same hot sender: 4 sender conflicts
+        // plus 4 receiver conflicts (all pay AccountId 1) = 8 aborts.
+        let mut e = exec().with_conflict_model();
+        let done = e.submit_block(SimTime::ZERO, block(1, 5));
+        // 10ms per block + 5*2ms per tx + 8*2ms conflict re-executions.
+        assert_eq!(done, SimTime::from_millis(36));
+        assert_eq!(e.conflict_aborts(), 8);
+
+        // Off by default: same block costs the legacy 20ms, no aborts.
+        let mut legacy = exec();
+        assert_eq!(
+            legacy.submit_block(SimTime::ZERO, block(1, 5)),
+            SimTime::from_millis(20)
+        );
+        assert_eq!(legacy.conflict_aborts(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use stabl_sim::{ConnAction, ConnectionManager, Ctx, NodeId, Protocol, SimTime};
+use stabl_sim::{ConnAction, ConnectionManager, ContentionStats, Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
 
 use crate::{AptosConfig, BlockStmExecutor};
@@ -486,7 +486,11 @@ impl Protocol for AptosNode {
             n,
             config: config.clone(),
             chain: Vec::new(),
-            ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
+            ledger: if config.model_contention {
+                Ledger::with_lazy_balance(u64::MAX / 512)
+            } else {
+                Ledger::with_uniform_balance(256, u64::MAX / 512)
+            },
             executed_height: 0,
             height: 1,
             round: 0,
@@ -500,7 +504,12 @@ impl Protocol for AptosNode {
             strikes: vec![0; n],
             excluded_until: vec![SimTime::ZERO; n],
             pool: AccountPool::new(config.mempool_capacity),
-            executor: BlockStmExecutor::new(config.exec_per_tx, config.exec_per_block),
+            executor: if config.model_contention {
+                BlockStmExecutor::new(config.exec_per_tx, config.exec_per_block)
+                    .with_conflict_model()
+            } else {
+                BlockStmExecutor::new(config.exec_per_tx, config.exec_per_block)
+            },
             conn: ConnectionManager::new(id, n, config.conn),
             syncing: false,
         };
@@ -633,6 +642,18 @@ impl Protocol for AptosNode {
                 from_height: self.chain_height() + 1,
             },
         );
+    }
+
+    fn contention_stats(&self) -> ContentionStats {
+        ContentionStats {
+            // Every conflict abort re-runs speculatively, on top of the
+            // SEQUENCE_NUMBER_TOO_OLD re-executions of stale copies.
+            speculative_reexecutions: self.executor.stale_reexecutions()
+                + self.executor.conflict_aborts(),
+            conflict_aborts: self.executor.conflict_aborts(),
+            pool_evictions: self.pool.rejected_full(),
+            pool_replacements: self.pool.rejected_conflict(),
+        }
     }
 }
 

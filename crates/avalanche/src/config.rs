@@ -59,6 +59,11 @@ pub struct AvalancheConfig {
     pub cost_proposal_per_tx: f64,
     /// Execution cost per committed transaction.
     pub cost_exec_per_tx: f64,
+    /// Models production-shaped contention: funds the whole declared
+    /// account population lazily instead of the paper's 256 prefunded
+    /// accounts. Off by default so paper-standard runs are
+    /// byte-identical.
+    pub model_contention: bool,
 }
 
 impl AvalancheConfig {
@@ -97,6 +102,7 @@ impl Default for AvalancheConfig {
             cost_proposal_base: 0.002,
             cost_proposal_per_tx: 0.000_1,
             cost_exec_per_tx: 0.000_3,
+            model_contention: false,
         }
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use stabl_sim::{Ctx, NodeId, Protocol, SimTime};
+use stabl_sim::{ContentionStats, Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
 
 use crate::throttle::Admission;
@@ -491,7 +491,11 @@ impl Protocol for AvalancheNode {
             k_eff,
             alpha_eff,
             chain: Vec::new(),
-            ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
+            ledger: if config.model_contention {
+                Ledger::with_lazy_balance(u64::MAX / 512)
+            } else {
+                Ledger::with_uniform_balance(256, u64::MAX / 512)
+            },
             proposals: BTreeMap::new(),
             snowball: Snowball::new(alpha_eff, config.beta),
             proposed: None,
@@ -568,6 +572,14 @@ impl Protocol for AvalancheNode {
         let peers = self.sample_peers(ctx, 3);
         for peer in peers {
             ctx.send(peer, AvalancheMsg::BlockRequest { height });
+        }
+    }
+
+    fn contention_stats(&self) -> ContentionStats {
+        ContentionStats {
+            pool_evictions: self.pool.rejected_full(),
+            pool_replacements: self.pool.rejected_conflict(),
+            ..ContentionStats::default()
         }
     }
 }

@@ -10,6 +10,8 @@
 //!   consensus-phase spans, fault windows, crashes and commits;
 //! * `events_<chain>.jsonl` — every recorded event, one JSON object per
 //!   line;
+//! * `stats_<chain>.json` — the run's aggregate kernel counters
+//!   (traffic plus the contention-model counts);
 //! * `trace_summary.json` — event counters and stage-latency
 //!   decompositions for all chains (deterministic: no wall-clock data).
 //!
@@ -47,6 +49,10 @@ fn main() {
         opts.write_text(
             &format!("events_{lower}.jsonl"),
             &stabl::observe::events_jsonl(&traced.trace),
+        );
+        opts.write_text(
+            &format!("stats_{lower}.json"),
+            &stabl::observe::stats_json(&traced.result.stats),
         );
 
         if traced.result.stats.dropped_trace_lines > 0 {
@@ -86,6 +92,12 @@ fn main() {
             "events_dropped": traced.trace.dropped_events,
             "trace_lines_dropped": traced.result.stats.dropped_trace_lines,
             "counters": serde_json::to_value(counters),
+            "contention": serde_json::json!({
+                "speculative_reexecutions": traced.result.stats.speculative_reexecutions,
+                "conflict_aborts": traced.result.stats.conflict_aborts,
+                "pool_evictions": traced.result.stats.pool_evictions,
+                "pool_replacements": traced.result.stats.pool_replacements,
+            }),
             "queueing": stage(&stages.queueing),
             "consensus": stage(&stages.consensus),
             "delivery": stage(&stages.delivery),

@@ -6,6 +6,11 @@
 //! from 200 to 400 TPS, without any fault, and reports the sensitivity
 //! relative to the constant-rate baseline — i.e. how gracefully each
 //! chain absorbs load variation.
+//!
+//! Generation rides the `stabl-workload` grid generator (via the
+//! `stabl::WorkloadSpec` shim), so these cells are byte-identical to
+//! the pre-subsystem artifact; the stochastic production model is
+//! exercised by `ext_contention` instead.
 
 use stabl::{report_from_runs, Chain, ScenarioKind, WorkloadShape};
 use stabl_bench::{sensitivity_table, BenchOpts, Job};

@@ -47,8 +47,13 @@ use stabl_types::Sha256;
 /// `LivenessPostMortem`, `Diagnosis` and friends) joined the serialised
 /// surface, `SimEvent` gained the `Gauge` variant (`EventCounters`
 /// gained `gauge_samples`), `RunSummary` gained `dropped_trace_lines`,
-/// and `GateReport` gained the optional utilisation summary.
-pub const CACHE_SCHEMA_VERSION: u32 = 6;
+/// and `GateReport` gained the optional utilisation summary. v7: the
+/// production workload model (`TrafficModel`, `ArrivalProcess`,
+/// `ConflictProfile`) joined the serialised surface via `RunConfig`'s
+/// workload spec, and `SimStats` gained the four contention counters
+/// (`speculative_reexecutions`, `conflict_aborts`, `pool_evictions`,
+/// `pool_replacements`).
+pub const CACHE_SCHEMA_VERSION: u32 = 7;
 
 // The cache-schema manifest: every type with a `Serialize` impl in the
 // `RunResult`-reachable crates must be listed here, and `stabl-lint`
@@ -73,6 +78,7 @@ pub const CACHE_SCHEMA_VERSION: u32 = 6;
 // stabl-lint: cache-schema: MeanVar, QuantileSketch, SeedSequence
 // stabl-lint: cache-schema: ConfidenceInterval, CellObservation, ReplicateScore
 // stabl-lint: cache-schema: MetricCi, ReplicatedCell, ReplicatedCampaign
+// stabl-lint: cache-schema: ArrivalProcess, ConflictProfile, TrafficModel
 // stabl-lint: cache-schema: MetricVerdict, GateReport, UtilizationSummary
 // stabl-lint: cache-schema: Genome, ByzGene, Fitness, Objective
 // stabl-lint: cache-schema: Strategy, SearchConfig, SearchTrace, TraceStep
@@ -652,6 +658,17 @@ mod tests {
             },
             RunConfig {
                 stall_grace: base.stall_grace + stabl_sim::SimDuration::from_secs(1),
+                ..base.clone()
+            },
+            RunConfig {
+                model_contention: true,
+                ..base.clone()
+            },
+            RunConfig {
+                workload: stabl::WorkloadSpec::production(
+                    base.workload.end,
+                    stabl::TrafficModel::production(900, 4),
+                ),
                 ..base.clone()
             },
         ];

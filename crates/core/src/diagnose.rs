@@ -568,6 +568,16 @@ pub struct Diagnosis {
     pub dropped_events: u64,
     /// Free-text trace lines evicted from the kernel ring.
     pub dropped_trace_lines: u64,
+    /// Speculative (Block-STM) transaction re-executions, stale plus
+    /// conflict-driven. Zero under the paper's contention-free workload.
+    pub speculative_reexecutions: u64,
+    /// Within-block read-write conflicts the execution engine aborted
+    /// and re-ran.
+    pub conflict_aborts: u64,
+    /// Transactions rejected because an admission pool was full.
+    pub pool_evictions: u64,
+    /// Transactions rejected by first-arrival-wins nonce-slot conflicts.
+    pub pool_replacements: u64,
     /// Every fault the schedule injects (for timeline shading).
     pub faults: Vec<FaultDescription>,
     /// Latency attribution — present when at least one tx committed.
@@ -907,6 +917,10 @@ pub fn diagnose_run(
         lost_liveness: result.lost_liveness,
         dropped_events: trace.dropped_events,
         dropped_trace_lines: result.stats.dropped_trace_lines,
+        speculative_reexecutions: result.stats.speculative_reexecutions,
+        conflict_aborts: result.stats.conflict_aborts,
+        pool_evictions: result.stats.pool_evictions,
+        pool_replacements: result.stats.pool_replacements,
         faults: config
             .faults
             .actions()
@@ -1087,6 +1101,25 @@ pub fn html_report(run: &DiagnosedRun) -> String {
             "<p class=\"warn\">warning: {} free-text trace lines were dropped at the kernel \
              ring.</p>\n",
             diagnosis.dropped_trace_lines
+        ));
+    }
+    let contention = diagnosis.speculative_reexecutions
+        + diagnosis.conflict_aborts
+        + diagnosis.pool_evictions
+        + diagnosis.pool_replacements;
+    if contention > 0 {
+        html.push_str(&format!(
+            "<h2>Contention</h2>\n<table>\n\
+             <tr><th>counter</th><th>count</th></tr>\n\
+             <tr><td>speculative re-executions</td><td>{}</td></tr>\n\
+             <tr><td>conflict aborts</td><td>{}</td></tr>\n\
+             <tr><td>pool evictions (full)</td><td>{}</td></tr>\n\
+             <tr><td>pool replacements (nonce-slot conflicts)</td><td>{}</td></tr>\n\
+             </table>\n",
+            diagnosis.speculative_reexecutions,
+            diagnosis.conflict_aborts,
+            diagnosis.pool_evictions,
+            diagnosis.pool_replacements,
         ));
     }
 

@@ -51,6 +51,11 @@ pub struct RunConfig {
     /// Liveness rule: the run lost liveness if transactions are left
     /// unresolved and nothing committed in this final window.
     pub stall_grace: SimDuration,
+    /// Forces the chains' contention models on (lazy genesis funding,
+    /// Block-STM conflict accounting) even for a legacy workload.
+    /// Traffic-model workloads ([`WorkloadSpec::production`]) enable
+    /// them regardless of this flag.
+    pub model_contention: bool,
 }
 
 impl RunConfig {
@@ -71,7 +76,14 @@ impl RunConfig {
             byzantine_rpc: Vec::new(),
             retry: None,
             stall_grace: SimDuration::from_secs(10),
+            model_contention: false,
         }
+    }
+
+    /// `true` if this run should enable the chains' contention models
+    /// (explicitly requested, or implied by a traffic-model workload).
+    pub fn contention_active(&self) -> bool {
+        self.model_contention || self.workload.traffic.is_some()
     }
 }
 
@@ -270,7 +282,7 @@ where
     // Clients reach their nodes over the same network fabric: each
     // submission pays an independent client-link delay.
     let mut client_rng = DetRng::new(config.seed ^ 0xC11E_17DE_1A75_0000);
-    let submissions = config.workload.generate();
+    let submissions = config.workload.generate_seeded(config.seed);
     // The nodes each submission has been sent to, grown by retries.
     let mut contacted: Vec<Vec<NodeId>> = submissions
         .iter()

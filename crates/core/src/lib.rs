@@ -47,6 +47,10 @@ pub use faults::{FaultAction, FaultError, FaultPlan, FaultSchedule, FaultWindow}
 pub use harness::{run_protocol, run_protocol_traced, RunConfig, RunResult, RunTrace, TracedRun};
 pub use scenario::{report_from_runs, PaperSetup, ScenarioKind};
 pub use workload::{Submission, WorkloadShape, WorkloadSpec};
+// The production traffic model behind WorkloadSpec::production.
+pub use stabl_workload::{
+    AccountPopulation, ArrivalProcess, ConflictProfile, TrafficModel, ZipfSampler,
+};
 
 // The message-level adversity surface, re-exported so campaign configs
 // can be written against one crate.

@@ -18,7 +18,7 @@
 //!
 //! [`Ctx::span`]: stabl_sim::Ctx::span
 
-use stabl_sim::{SimEvent, SimTime};
+use stabl_sim::{SimEvent, SimStats, SimTime};
 
 use crate::harness::RunTrace;
 
@@ -31,6 +31,18 @@ pub fn events_jsonl(trace: &RunTrace) -> String {
         out.push_str(&serde_json::to_string(event).expect("event serialisation cannot fail"));
         out.push('\n');
     }
+    out
+}
+
+/// Serialises the run's aggregate kernel counters — traffic plus the
+/// contention model's re-execution and pool-rejection counts — as one
+/// JSON object (newline terminated). The stats companion to the event
+/// exports: a trace bundle carries the aggregates without re-parsing
+/// the JSONL stream.
+pub fn stats_json(stats: &SimStats) -> String {
+    // stabl-lint: allow(R-002, in-memory serialisation of SimStats is infallible and a Result signature would push an impossible branch onto every exporter caller)
+    let mut out = serde_json::to_string_pretty(stats).expect("stats serialisation cannot fail");
+    out.push('\n');
     out
 }
 
@@ -280,6 +292,31 @@ mod tests {
         // The last phase slice extends to the horizon.
         assert!(json.contains(&format!("\"dur\":{}", 10_000_000 - 3_000)));
         assert!(json.contains("testchain"));
+    }
+
+    #[test]
+    fn stats_json_carries_the_contention_counters() {
+        let stats = SimStats {
+            messages_sent: 3,
+            speculative_reexecutions: 7,
+            conflict_aborts: 5,
+            pool_evictions: 2,
+            pool_replacements: 1,
+            ..SimStats::default()
+        };
+        let json = stats_json(&stats);
+        assert!(json.ends_with('\n'));
+        for needle in [
+            "\"messages_sent\": 3",
+            "\"speculative_reexecutions\": 7",
+            "\"conflict_aborts\": 5",
+            "\"pool_evictions\": 2",
+            "\"pool_replacements\": 1",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+        let back: SimStats = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, stats);
     }
 
     #[test]

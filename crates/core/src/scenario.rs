@@ -164,6 +164,7 @@ impl PaperSetup {
             byzantine_rpc: Vec::new(),
             retry: None,
             stall_grace: self.stall_grace,
+            model_contention: false,
         }
     }
 

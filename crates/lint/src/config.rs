@@ -84,6 +84,7 @@ impl Default for Config {
                 "crates/types/src".to_owned(),
                 "crates/stats/src".to_owned(),
                 "crates/adversary/src".to_owned(),
+                "crates/workload/src".to_owned(),
             ],
             robustness: vec![
                 "crates/core/src".to_owned(),
@@ -98,6 +99,7 @@ impl Default for Config {
                 "crates/bench/src/engine.rs".to_owned(),
                 "crates/stats/src".to_owned(),
                 "crates/adversary/src".to_owned(),
+                "crates/workload/src".to_owned(),
             ],
             manifest: Some("crates/bench/src/engine.rs".to_owned()),
             shard: vec![
@@ -107,6 +109,7 @@ impl Default for Config {
                 "crates/avalanche/src".to_owned(),
                 "crates/redbelly/src".to_owned(),
                 "crates/solana/src".to_owned(),
+                "crates/workload/src".to_owned(),
             ],
             exhaustive: vec![
                 "crates/sim/src".to_owned(),
@@ -139,6 +142,7 @@ impl Default for Config {
                 "crates/types/src".to_owned(),
                 "crates/stats/src".to_owned(),
                 "crates/adversary/src".to_owned(),
+                "crates/workload/src".to_owned(),
             ],
         }
     }

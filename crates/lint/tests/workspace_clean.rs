@@ -48,8 +48,8 @@ fn workspace_lints_clean() {
     );
     assert_eq!(
         report.certifications.len(),
-        6,
-        "sim plus the five chains are certified"
+        7,
+        "sim, the five chains and the workload generator are certified"
     );
 }
 

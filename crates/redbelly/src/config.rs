@@ -38,6 +38,11 @@ pub struct RedbellyConfig {
     pub conn: ConnConfig,
     /// Connection-manager tick period.
     pub conn_tick: SimDuration,
+    /// Models production-shaped contention: funds the whole declared
+    /// account population lazily instead of the paper's 256 prefunded
+    /// accounts. Off by default so paper-standard runs are
+    /// byte-identical.
+    pub model_contention: bool,
 }
 
 impl Default for RedbellyConfig {
@@ -60,6 +65,7 @@ impl Default for RedbellyConfig {
                 backoff_cap: SimDuration::from_secs(240),
             },
             conn_tick: SimDuration::from_millis(1_000),
+            model_contention: false,
         }
     }
 }

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use stabl_sim::{ConnAction, ConnectionManager, Ctx, NodeId, Protocol, SimTime};
+use stabl_sim::{ConnAction, ConnectionManager, ContentionStats, Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Ledger, Transaction, TxId};
 
 use crate::{BinaryAction, BinaryInstance, RedbellyConfig};
@@ -531,7 +531,11 @@ impl Protocol for RedbellyNode {
             t,
             config: config.clone(),
             chain: Vec::new(),
-            ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
+            ledger: if config.model_contention {
+                Ledger::with_lazy_balance(u64::MAX / 512)
+            } else {
+                Ledger::with_uniform_balance(256, u64::MAX / 512)
+            },
             executed_height: 0,
             height: 0,
             heights: BTreeMap::new(),
@@ -681,6 +685,14 @@ impl Protocol for RedbellyNode {
                 from_height: self.chain_height() + 1,
             },
         );
+    }
+
+    fn contention_stats(&self) -> ContentionStats {
+        ContentionStats {
+            pool_evictions: self.pool.rejected_full(),
+            pool_replacements: self.pool.rejected_conflict(),
+            ..ContentionStats::default()
+        }
     }
 }
 

@@ -408,6 +408,10 @@ impl<P: Protocol> Protocol for ByzantineWrapper<P> {
         self.last_sent = None;
         self.drive(ctx, |inner, inner_ctx| inner.on_restart(inner_ctx));
     }
+
+    fn contention_stats(&self) -> crate::ContentionStats {
+        self.inner.contention_stats()
+    }
 }
 
 impl<P: Protocol + fmt::Debug> fmt::Debug for ByzantineWrapper<P> {

@@ -6,7 +6,7 @@ use std::fmt::Debug;
 use smallvec::SmallVec;
 
 use crate::agenda::TimerRegistry;
-use crate::{CaptureLevel, DetRng, NodeId, SimDuration, SimTime};
+use crate::{CaptureLevel, ContentionStats, DetRng, NodeId, SimDuration, SimTime};
 
 /// Handle to a pending timer, usable to cancel it.
 ///
@@ -64,6 +64,19 @@ pub trait Protocol: Sized {
 
     /// Reinitialises the node after a restart (see the trait docs).
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Self>);
+
+    /// Reports this node's accumulated contention counters (speculative
+    /// re-executions, conflict aborts, pool evictions/replacements).
+    ///
+    /// The kernel folds every node's report into [`SimStats`] when a
+    /// run's statistics are read. The default reports zeros, which is
+    /// correct for protocols whose model has no mempool or speculative
+    /// execution layer.
+    ///
+    /// [`SimStats`]: crate::SimStats
+    fn contention_stats(&self) -> ContentionStats {
+        ContentionStats::default()
+    }
 }
 
 /// An effect requested by a protocol callback, applied by the kernel after

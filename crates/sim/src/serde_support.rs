@@ -118,6 +118,22 @@ impl Serialize for SimStats {
                 "dropped_trace_lines".to_owned(),
                 self.dropped_trace_lines.to_content(),
             ),
+            (
+                "speculative_reexecutions".to_owned(),
+                self.speculative_reexecutions.to_content(),
+            ),
+            (
+                "conflict_aborts".to_owned(),
+                self.conflict_aborts.to_content(),
+            ),
+            (
+                "pool_evictions".to_owned(),
+                self.pool_evictions.to_content(),
+            ),
+            (
+                "pool_replacements".to_owned(),
+                self.pool_replacements.to_content(),
+            ),
         ])
     }
 }
@@ -141,6 +157,10 @@ impl Deserialize for SimStats {
             requests_dropped: serde::__private::field(content, "requests_dropped")?,
             events_processed: serde::__private::field(content, "events_processed")?,
             dropped_trace_lines: serde::__private::field(content, "dropped_trace_lines")?,
+            speculative_reexecutions: serde::__private::field(content, "speculative_reexecutions")?,
+            conflict_aborts: serde::__private::field(content, "conflict_aborts")?,
+            pool_evictions: serde::__private::field(content, "pool_evictions")?,
+            pool_replacements: serde::__private::field(content, "pool_replacements")?,
         })
     }
 }
@@ -480,6 +500,10 @@ mod tests {
             requests_dropped: 8,
             events_processed: 9,
             dropped_trace_lines: 13,
+            speculative_reexecutions: 14,
+            conflict_aborts: 15,
+            pool_evictions: 16,
+            pool_replacements: 17,
         };
         assert_eq!(roundtrip(&stats), stats);
     }

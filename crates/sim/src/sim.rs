@@ -375,9 +375,14 @@ impl<P: Protocol> Simulation<P> {
         self.recorder.record(time, event);
     }
 
-    /// Aggregate traffic counters.
+    /// Aggregate traffic counters, with every node's contention
+    /// counters ([`Protocol::contention_stats`]) folded in.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut stats = self.stats;
+        for node in &self.nodes {
+            stats.absorb_contention(&node.proto.contention_stats());
+        }
+        stats
     }
 
     /// The network fabric (latency model, partition drop counters).

@@ -75,4 +75,72 @@ pub struct SimStats {
     /// [`TraceLine`]s evicted from the bounded trace ring after it
     /// filled (long runs keep the newest lines; this counts the loss).
     pub dropped_trace_lines: u64,
+    /// Speculative transaction executions that had to be redone —
+    /// Block-STM within-block conflict re-executions plus
+    /// `SEQUENCE_NUMBER_TOO_OLD` re-runs (folded from per-node
+    /// [`ContentionStats`]).
+    pub speculative_reexecutions: u64,
+    /// Speculative executions aborted because another transaction in the
+    /// same block wrote an account they read (folded from per-node
+    /// [`ContentionStats`]).
+    pub conflict_aborts: u64,
+    /// Transactions a node's pool turned away for capacity (folded from
+    /// per-node [`ContentionStats`]).
+    pub pool_evictions: u64,
+    /// Attempts to occupy an already-taken (account, nonce) pool slot
+    /// with a different transaction — first arrival wins, like
+    /// production pools without fee bumping (folded from per-node
+    /// [`ContentionStats`]).
+    pub pool_replacements: u64,
+}
+
+impl SimStats {
+    /// Folds one node's contention counters into the run totals.
+    pub fn absorb_contention(&mut self, c: &ContentionStats) {
+        self.speculative_reexecutions += c.speculative_reexecutions;
+        self.conflict_aborts += c.conflict_aborts;
+        self.pool_evictions += c.pool_evictions;
+        self.pool_replacements += c.pool_replacements;
+    }
+}
+
+/// Per-node contention counters reported by a protocol through
+/// [`Protocol::contention_stats`]; the kernel folds them into
+/// [`SimStats`] when a run's statistics are read.
+///
+/// All four stay zero for the paper's uniform constant-rate workload on
+/// honest configurations — they move when production-shaped traffic
+/// (Zipf skew, bursts, conflicting read-write sets) stresses the
+/// mempool and execution layers.
+///
+/// [`Protocol::contention_stats`]: crate::Protocol::contention_stats
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// Speculative executions that were redone (Block-STM conflict
+    /// re-executions and stale re-runs).
+    pub speculative_reexecutions: u64,
+    /// Speculative executions aborted on a read-write conflict.
+    pub conflict_aborts: u64,
+    /// Transactions turned away by a full pool.
+    pub pool_evictions: u64,
+    /// Conflicting same-nonce arrivals (attempted replacements).
+    pub pool_replacements: u64,
+}
+
+impl ContentionStats {
+    /// Sums another node's counters into this one.
+    pub fn merge(&mut self, other: &ContentionStats) {
+        self.speculative_reexecutions += other.speculative_reexecutions;
+        self.conflict_aborts += other.conflict_aborts;
+        self.pool_evictions += other.pool_evictions;
+        self.pool_replacements += other.pool_replacements;
+    }
+
+    /// Total contention events of any kind.
+    pub fn total(&self) -> u64 {
+        self.speculative_reexecutions
+            + self.conflict_aborts
+            + self.pool_evictions
+            + self.pool_replacements
+    }
 }

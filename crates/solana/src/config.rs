@@ -41,6 +41,11 @@ pub struct SolanaConfig {
     /// Per-validator stakes; `None` means uniform (the paper's testbed).
     /// Leader slots and vote quorums are stake-weighted.
     pub stakes: Option<Vec<u64>>,
+    /// Models production-shaped contention: funds the whole declared
+    /// account population lazily instead of the paper's 256 prefunded
+    /// accounts. Off by default so paper-standard runs are
+    /// byte-identical.
+    pub model_contention: bool,
 }
 
 impl Default for SolanaConfig {
@@ -57,6 +62,7 @@ impl Default for SolanaConfig {
             root_lag_slots: 8,
             exec_per_tx: SimDuration::from_micros(100),
             stakes: None,
+            model_contention: false,
         }
     }
 }

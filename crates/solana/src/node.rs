@@ -5,7 +5,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use stabl_sim::{Ctx, NodeId, Protocol, SimTime};
+use stabl_sim::{ContentionStats, Ctx, NodeId, Protocol, SimTime};
 use stabl_types::{AccountPool, Block, Hash32, Ledger, Transaction, TxId};
 
 use crate::{schedule, SolanaConfig};
@@ -330,7 +330,11 @@ impl Protocol for SolanaNode {
             confirmed: BTreeSet::new(),
             highest_confirmed: 0,
             root: 0,
-            ledger: Ledger::with_uniform_balance(256, u64::MAX / 512),
+            ledger: if config.model_contention {
+                Ledger::with_lazy_balance(u64::MAX / 512)
+            } else {
+                Ledger::with_uniform_balance(256, u64::MAX / 512)
+            },
             eah: BTreeMap::new(),
             buffer: AccountPool::new(config.outbox_capacity),
             outbox: VecDeque::new(),
@@ -414,6 +418,14 @@ impl Protocol for SolanaNode {
         ctx.broadcast(SolanaMsg::SyncRequest {
             from_slot: self.root,
         });
+    }
+
+    fn contention_stats(&self) -> ContentionStats {
+        ContentionStats {
+            pool_evictions: self.buffer.rejected_full(),
+            pool_replacements: self.buffer.rejected_conflict(),
+            ..ContentionStats::default()
+        }
     }
 }
 

@@ -39,6 +39,7 @@ pub struct AccountPool {
     capacity: usize,
     rejected_stale: u64,
     rejected_full: u64,
+    rejected_conflict: u64,
 }
 
 impl AccountPool {
@@ -91,7 +92,7 @@ impl AccountPool {
         if slots.contains_key(&tx.nonce()) {
             // A different transaction already occupies this nonce; first
             // arrival wins (like production pools without fee bumping).
-            self.rejected_stale += 1;
+            self.rejected_conflict += 1;
             return false;
         }
         slots.insert(tx.nonce(), tx);
@@ -243,6 +244,12 @@ impl AccountPool {
     pub fn rejected_full(&self) -> u64 {
         self.rejected_full
     }
+
+    /// Attempted same-nonce replacements: a different transaction
+    /// already held the (account, nonce) slot when this one arrived.
+    pub fn rejected_conflict(&self) -> u64 {
+        self.rejected_conflict
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +357,8 @@ mod tests {
         let b = Transaction::transfer(AccountId::new(0), 0, AccountId::new(2), 1);
         assert!(pool.insert(a));
         assert!(!pool.insert(b));
+        assert_eq!(pool.rejected_conflict(), 1);
+        assert_eq!(pool.rejected_stale(), 0, "conflicts counted separately");
         assert_eq!(pool.take_ready(10)[0].id(), a.id());
     }
 

@@ -72,6 +72,11 @@ pub struct Ledger {
     balances: BTreeMap<AccountId, u64>,
     nonces: BTreeMap<AccountId, u64>,
     executed: u64,
+    /// Balance credited lazily to accounts never seen before — the
+    /// genesis allocation of a declared-but-unmaterialized population.
+    /// Zero for the paper-standard prefunded ledgers, so their behavior
+    /// is unchanged.
+    default_balance: u64,
 }
 
 impl Ledger {
@@ -89,9 +94,23 @@ impl Ledger {
         ledger
     }
 
-    /// The balance of `account` (zero if unknown).
+    /// A ledger where *every* account starts at `balance`, materialized
+    /// lazily on first touch. This funds populations of millions of
+    /// Feistel-scattered accounts in O(active set) memory — the
+    /// production-workload counterpart of [`Ledger::with_uniform_balance`].
+    pub fn with_lazy_balance(balance: u64) -> Ledger {
+        Ledger {
+            default_balance: balance,
+            ..Ledger::new()
+        }
+    }
+
+    /// The balance of `account` (the lazy default if never touched).
     pub fn balance(&self, account: AccountId) -> u64 {
-        self.balances.get(&account).copied().unwrap_or(0)
+        self.balances
+            .get(&account)
+            .copied()
+            .unwrap_or(self.default_balance)
     }
 
     /// The next sequence number expected from `account`.
@@ -104,7 +123,9 @@ impl Ledger {
         self.executed
     }
 
-    /// Total supply across all accounts (conserved by transfers).
+    /// Total supply across all *materialized* accounts (conserved by
+    /// transfers between them; lazily-funded accounts join the sum when
+    /// first touched).
     pub fn total_supply(&self) -> u64 {
         self.balances.values().sum()
     }
@@ -148,8 +169,9 @@ impl Ledger {
     /// unchanged on failure.
     pub fn apply(&mut self, tx: &Transaction) -> Result<TxId, ApplyError> {
         self.check(tx)?;
-        *self.balances.entry(tx.from()).or_insert(0) -= tx.amount();
-        *self.balances.entry(tx.to()).or_insert(0) += tx.amount();
+        let default = self.default_balance;
+        *self.balances.entry(tx.from()).or_insert(default) -= tx.amount();
+        *self.balances.entry(tx.to()).or_insert(default) += tx.amount();
         self.nonces.insert(tx.from(), tx.nonce() + 1);
         self.executed += 1;
         Ok(tx.id())
@@ -261,6 +283,18 @@ mod tests {
         l.check(&t).expect("valid");
         assert_eq!(l.executed(), 0);
         assert_eq!(l.next_nonce(AccountId::new(0)), 0);
+    }
+
+    #[test]
+    fn lazy_balance_funds_unseen_accounts() {
+        let mut l = Ledger::with_lazy_balance(1_000);
+        // Account 123456 was never inserted, yet it can spend.
+        l.apply(&tx(123_456, 0, 7, 30)).expect("lazily funded");
+        assert_eq!(l.balance(AccountId::new(123_456)), 970);
+        assert_eq!(l.balance(AccountId::new(7)), 1_030);
+        assert_eq!(l.balance(AccountId::new(42)), 1_000, "untouched default");
+        // Only the touched accounts are materialized.
+        assert_eq!(l.total_supply(), 2_000);
     }
 
     #[test]

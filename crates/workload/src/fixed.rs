@@ -1,0 +1,225 @@
+//! Pinned-precision Q32.32 fixed-point transcendentals.
+//!
+//! The Zipf sampler and the Poisson arrival process need `log`, `exp`
+//! and `pow`, but the libm implementations behind `f64::powf`/`f64::ln`
+//! are *not* pinned across platforms or libc versions — a workload
+//! generated on one machine could differ by one transaction on another,
+//! breaking the byte-identical-artifact guarantee. This module
+//! implements the three functions over signed Q32.32 fixed point with
+//! pure integer arithmetic (shift-and-square logarithms, a
+//! square-root-ladder exponential), so every bit of every sample is the
+//! same everywhere, forever.
+//!
+//! Precision: both `log2_q32` and `exp2_q32` run a fixed 32-step ladder,
+//! giving ~2⁻³² relative error — far below anything a workload sampler
+//! can observe at realistic population sizes.
+
+/// The Q32.32 representation of 1.
+pub const ONE_Q32: i64 = 1 << 32;
+
+/// ln(2) in Q32.32 (`0.693147180559945…` scaled by 2³²).
+pub const LN2_Q32: i64 = 2_977_044_471;
+
+/// Floor of the square root of a `u128` (Newton's method, exact).
+const fn isqrt_u128(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    // Start from a power-of-two overestimate and contract.
+    let mut guess = 1u128 << (x.ilog2() / 2 + 1);
+    loop {
+        let next = (guess + x / guess) / 2;
+        if next >= guess {
+            return guess;
+        }
+        guess = next;
+    }
+}
+
+/// The ladder constants `2^(2^-k)` for `k = 1..=32`, in Q63: each entry
+/// is the square root of the previous, computed with the exact integer
+/// square root so the table is identical on every platform.
+const EXP_LADDER: [u64; 32] = {
+    let mut table = [0u64; 32];
+    let mut value: u128 = 2 << 63; // 2.0 in Q63
+    let mut k = 0;
+    while k < 32 {
+        // sqrt(v·2⁶³ · 2⁶³) = sqrt(v)·2⁶³ — one ladder step down.
+        value = isqrt_u128(value << 63);
+        table[k] = value as u64;
+        k += 1;
+    }
+    table
+};
+
+/// Base-2 logarithm of a positive Q32.32 value, in Q32.32.
+///
+/// Uses the classic shift-and-square bit recurrence: normalise the
+/// mantissa to `[1, 2)`, then square 32 times, emitting one fraction
+/// bit per squaring.
+///
+/// # Panics
+///
+/// Panics if `x` is zero (the logarithm diverges).
+pub fn log2_q32(x: u64) -> i64 {
+    assert!(x > 0, "log2 of zero");
+    let lz = x.leading_zeros();
+    let int_part = 31 - lz as i64; // exponent relative to the Q32.32 one
+    let mut mantissa = (x as u128) << lz; // value in [1, 2) scaled by 2^63
+    let mut frac: u64 = 0;
+    let mut step = 0;
+    while step < 32 {
+        mantissa = (mantissa * mantissa) >> 63;
+        frac <<= 1;
+        if mantissa >= 1u128 << 64 {
+            frac |= 1;
+            mantissa >>= 1;
+        }
+        step += 1;
+    }
+    int_part * ONE_Q32 + frac as i64
+}
+
+/// `2^y` for a Q32.32 exponent, as Q32.32, saturating at the ends.
+///
+/// The fractional part is assembled from the [`EXP_LADDER`]: one Q63
+/// multiplication per set bit, in fixed order.
+pub fn exp2_q32(y: i64) -> u64 {
+    let int_part = y >> 32; // floor division (sign-correct for i64)
+    let frac = (y & 0xFFFF_FFFF) as u64; // in [0, 2^32), frac of 2^-32 units
+    if int_part >= 31 {
+        return u64::MAX;
+    }
+    if int_part < -63 {
+        return 0;
+    }
+    let mut acc: u128 = 1 << 63; // 1.0 in Q63
+    let mut k = 0;
+    while k < 32 {
+        if frac & (1 << (31 - k)) != 0 {
+            acc = (acc * EXP_LADDER[k] as u128) >> 63;
+        }
+        k += 1;
+    }
+    // acc is 2^(frac·2⁻³²) in Q63, in [1, 2); rescale to Q32.32 and
+    // apply the integer exponent.
+    let shift = 31 - int_part; // in (0, 94]
+    if shift >= 128 {
+        0
+    } else {
+        (acc >> shift) as u64
+    }
+}
+
+/// `base^exponent` for a positive Q32.32 base and a signed Q32.32
+/// exponent, as Q32.32 (saturating).
+///
+/// # Panics
+///
+/// Panics if `base` is zero.
+pub fn pow_q32(base: u64, exponent: i64) -> u64 {
+    let log = log2_q32(base);
+    let product = (log as i128 * exponent as i128) >> 32;
+    let clamped = product.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+    exp2_q32(clamped)
+}
+
+/// Q32.32 division `a / b` (both positive), saturating.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+pub fn div_q32(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "fixed-point division by zero");
+    let q = ((a as i128) << 32) / b as i128;
+    q.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+/// `-ln(u)` for a uniform fraction `u ∈ (0, 1]` given as Q32.32, in
+/// Q32.32 — the exponential-distribution inverse CDF used by the
+/// Poisson arrival process.
+///
+/// # Panics
+///
+/// Panics if `u` is zero.
+pub fn neg_ln_q32(u: u64) -> i64 {
+    let log2 = log2_q32(u); // ≤ 0 for u ≤ 1
+    let ln = (log2 as i128 * LN2_Q32 as i128) >> 32;
+    (-ln).clamp(0, i64::MAX as i128) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(x: f64) -> u64 {
+        (x * ONE_Q32 as f64).round() as u64
+    }
+
+    fn unq(x: u64) -> f64 {
+        x as f64 / ONE_Q32 as f64
+    }
+
+    #[test]
+    fn ladder_head_is_sqrt2() {
+        // 2^(1/2) in Q63.
+        let sqrt2 = EXP_LADDER[0] as f64 / (1u128 << 63) as f64;
+        assert!((sqrt2 - std::f64::consts::SQRT_2).abs() < 1e-12, "{sqrt2}");
+    }
+
+    #[test]
+    fn log2_matches_float() {
+        for x in [0.001, 0.5, 1.0, 1.5, 2.0, 3.7, 1000.0, 1e6] {
+            let got = log2_q32(q(x)) as f64 / ONE_Q32 as f64;
+            assert!((got - x.log2()).abs() < 1e-7, "log2({x}): {got}");
+        }
+    }
+
+    #[test]
+    fn exp2_matches_float() {
+        for y in [-20.0, -1.5, -0.3, 0.0, 0.5, 1.0, 7.25, 20.9] {
+            let got = unq(exp2_q32((y * ONE_Q32 as f64).round() as i64));
+            let want = 2f64.powf(y);
+            assert!(
+                (got - want).abs() / want.max(1e-12) < 1e-7,
+                "exp2({y}): {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow_roundtrips() {
+        for (b, e) in [
+            (2.0, 10.0),
+            (10.0, -0.4),
+            (1_000_000.0, 0.0917),
+            (0.25, -1.1),
+        ] {
+            let got = unq(pow_q32(q(b), (e * ONE_Q32 as f64).round() as i64));
+            let want = b.powf(e);
+            assert!((got - want).abs() / want < 1e-6, "{b}^{e}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exp2_saturates() {
+        assert_eq!(exp2_q32(i64::MAX), u64::MAX);
+        assert_eq!(exp2_q32(i64::MIN), 0);
+        assert_eq!(exp2_q32(0), ONE_Q32 as u64);
+    }
+
+    #[test]
+    fn neg_ln_of_uniform() {
+        for u in [0.01, 0.1, 0.5, 0.9, 0.999] {
+            let got = neg_ln_q32(q(u)) as f64 / ONE_Q32 as f64;
+            assert!((got - (-u.ln())).abs() < 1e-6, "-ln({u}): {got}");
+        }
+        assert_eq!(neg_ln_q32(ONE_Q32 as u64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 of zero")]
+    fn log2_rejects_zero() {
+        let _ = log2_q32(0);
+    }
+}

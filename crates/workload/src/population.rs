@@ -1,0 +1,241 @@
+//! Lazily-materialized account populations.
+//!
+//! Production chains serve millions of accounts, but any finite run only
+//! ever touches a small active set. `AccountPopulation` lets a workload
+//! *declare* an enormous population (10M accounts by default) while
+//! paying memory only for the accounts that actually appear in a
+//! transaction: state springs into existence on first touch.
+//!
+//! The index→[`AccountId`] mapping is a pure 4-round Feistel permutation
+//! of the 32-bit id space, keyed from the workload seed. Purity means
+//! the mapping needs no storage and never draws from the RNG stream;
+//! the permutation property means distinct indices can never collide on
+//! an id, so Zipf rank 0 is always exactly one account.
+
+use std::collections::BTreeMap;
+
+use stabl_sim::DetRng;
+use stabl_types::AccountId;
+
+/// Mixes a 16-bit half with a 32-bit round key into a 16-bit output
+/// (the Feistel round function; any deterministic mixer works, this one
+/// is two rounds of multiply-xorshift over the combined word).
+#[inline]
+fn round(half: u16, key: u32) -> u16 {
+    let mut z = (half as u64) ^ ((key as u64) << 16);
+    z = (z ^ (z >> 16)).wrapping_mul(0x45D9_F3B3_335B_369D);
+    z = (z ^ (z >> 29)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (z >> 32) as u16
+}
+
+/// Per-account mutable workload state, created on first touch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccountState {
+    /// The next nonce this account will sign with.
+    pub next_nonce: u64,
+    /// How many transfers have named this account as receiver.
+    pub received: u64,
+}
+
+/// A declared-size account population with O(active set) memory.
+///
+/// # Examples
+///
+/// ```
+/// use stabl_workload::AccountPopulation;
+///
+/// let mut pop = AccountPopulation::new(10_000_000, 42);
+/// let hot = pop.account_at(0);
+/// assert_eq!(pop.account_at(0), hot, "derivation is pure");
+/// assert_eq!(pop.materialized(), 0, "nothing stored yet");
+/// assert_eq!(pop.touch_sender(0), (hot, 0));
+/// assert_eq!(pop.touch_sender(0), (hot, 1), "nonces advance");
+/// assert_eq!(pop.materialized(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AccountPopulation {
+    declared: u64,
+    keys: [u32; 4],
+    state: BTreeMap<AccountId, AccountState>,
+}
+
+impl AccountPopulation {
+    /// Declares a population of `declared` accounts (at most `2^32`),
+    /// with the id permutation keyed from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `declared` is zero or exceeds the 32-bit id space.
+    pub fn new(declared: u64, seed: u64) -> Self {
+        assert!(declared > 0, "empty population");
+        assert!(
+            declared <= 1 << 32,
+            "population exceeds the 32-bit id space"
+        );
+        let mut rng = DetRng::new(seed).derive(0x5EED_AC07);
+        let keys = [
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+        ];
+        AccountPopulation {
+            declared,
+            keys,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// The declared population size.
+    pub fn declared(&self) -> u64 {
+        self.declared
+    }
+
+    /// How many accounts have been materialized so far.
+    pub fn materialized(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The pure index→id derivation: a 4-round Feistel permutation of
+    /// the 32-bit space, so distinct indices never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= declared`.
+    pub fn account_at(&self, index: u64) -> AccountId {
+        assert!(index < self.declared, "index beyond declared population");
+        self.permute(index as u32)
+    }
+
+    /// A sink id for the sender at `index`, guaranteed disjoint from
+    /// every sender id: it permutes the index range just *above* the
+    /// declared population, and a permutation maps disjoint index
+    /// ranges to disjoint id sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= declared`, or if the declared population
+    /// exceeds half the id space (no room for sinks).
+    pub fn sink_at(&self, index: u64) -> AccountId {
+        assert!(index < self.declared, "index beyond declared population");
+        assert!(
+            2 * self.declared <= 1 << 32,
+            "no id space left for disjoint sinks"
+        );
+        self.permute((index + self.declared) as u32)
+    }
+
+    fn permute(&self, x: u32) -> AccountId {
+        let mut left = (x >> 16) as u16;
+        let mut right = x as u16;
+        for key in self.keys {
+            let next = left ^ round(right, key);
+            left = right;
+            right = next;
+        }
+        AccountId::new(((left as u32) << 16) | right as u32)
+    }
+
+    /// Materializes the account at `index` (if new) and consumes its
+    /// next nonce; returns the id and the nonce to sign with.
+    pub fn touch_sender(&mut self, index: u64) -> (AccountId, u64) {
+        let id = self.account_at(index);
+        let entry = self.state.entry(id).or_default();
+        let nonce = entry.next_nonce;
+        entry.next_nonce += 1;
+        (id, nonce)
+    }
+
+    /// Materializes the account at `index` (if new) as a receiver and
+    /// returns its id.
+    pub fn touch_receiver(&mut self, index: u64) -> AccountId {
+        let id = self.account_at(index);
+        self.state.entry(id).or_default().received += 1;
+        id
+    }
+
+    /// The materialized state of an account, if it has been touched.
+    pub fn state_of(&self, id: AccountId) -> Option<&AccountState> {
+        self.state.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn permutation_has_no_collisions() {
+        let pop = AccountPopulation::new(1 << 16, 7);
+        let ids: HashSet<AccountId> = (0..1u64 << 16).map(|i| pop.account_at(i)).collect();
+        assert_eq!(ids.len(), 1 << 16);
+    }
+
+    #[test]
+    fn derivation_is_seed_keyed() {
+        let a = AccountPopulation::new(1000, 1);
+        let b = AccountPopulation::new(1000, 2);
+        let same = (0..1000)
+            .filter(|&i| a.account_at(i) == b.account_at(i))
+            .count();
+        assert!(same < 5, "{same} fixed points across different seeds");
+        let a2 = AccountPopulation::new(1000, 1);
+        assert!((0..1000).all(|i| a.account_at(i) == a2.account_at(i)));
+    }
+
+    #[test]
+    fn memory_tracks_active_set_only() {
+        let mut pop = AccountPopulation::new(10_000_000, 99);
+        for i in 0..100 {
+            let _ = pop.touch_sender(i % 10);
+        }
+        assert_eq!(pop.materialized(), 10);
+        assert_eq!(pop.declared(), 10_000_000);
+    }
+
+    #[test]
+    fn nonces_advance_per_account() {
+        let mut pop = AccountPopulation::new(100, 3);
+        let (id, n0) = pop.touch_sender(5);
+        let (_, n1) = pop.touch_sender(5);
+        let (other, m0) = pop.touch_sender(6);
+        assert_eq!((n0, n1, m0), (0, 1, 0));
+        assert_ne!(id, other);
+        assert_eq!(pop.state_of(id).map(|s| s.next_nonce), Some(2));
+    }
+
+    #[test]
+    fn receivers_materialize_without_nonce_use() {
+        let mut pop = AccountPopulation::new(100, 3);
+        let id = pop.touch_receiver(7);
+        assert_eq!(
+            pop.state_of(id),
+            Some(&AccountState {
+                next_nonce: 0,
+                received: 1
+            })
+        );
+    }
+
+    #[test]
+    fn sinks_are_disjoint_from_senders() {
+        let pop = AccountPopulation::new(1 << 15, 21);
+        let senders: HashSet<AccountId> = (0..1u64 << 15).map(|i| pop.account_at(i)).collect();
+        assert!((0..1u64 << 15).all(|i| !senders.contains(&pop.sink_at(i))));
+    }
+
+    #[test]
+    #[should_panic(expected = "no id space left")]
+    fn sinks_need_headroom() {
+        let pop = AccountPopulation::new(1 << 32, 0);
+        let _ = pop.sink_at(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond declared")]
+    fn out_of_range_index_rejected() {
+        let pop = AccountPopulation::new(10, 0);
+        let _ = pop.account_at(10);
+    }
+}

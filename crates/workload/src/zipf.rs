@@ -1,0 +1,210 @@
+//! Deterministic, rejection-free Zipf sampling.
+//!
+//! Sender/receiver skew is the lever that makes production traffic
+//! contend: under Zipf with θ ≈ 0.9–1.1 a handful of accounts absorb a
+//! large share of all transfers, which is exactly what collides inside
+//! Block-STM speculation and nonce-ordered pools. The sampler uses the
+//! Jain–Chlamtac continuous-power-law inversion (the same approximation
+//! behind YCSB's "quick" Zipf generator): draw `u ~ U(0,1)` and invert
+//!
+//! ```text
+//! rank + 1 = (1 + u·((N+1)^s − 1))^(1/s),   s = 1 − θ
+//! ```
+//!
+//! which needs no rejection loop and exactly one uniform draw per
+//! sample, so the RNG stream position after `k` samples is pure in `k`.
+//! All powers run through the pinned Q32.32 fixed-point kernel in
+//! [`crate::fixed`] — no libm, so artifacts are byte-identical on every
+//! platform.
+//!
+//! θ is carried in permille (`900` = 0.9) to keep the parameterization
+//! itself exact; θ = 0 degenerates to uniform and θ = 1000 (the harmonic
+//! point where `s = 0`) uses the exact limit `rank + 1 = (N+1)^u`.
+
+use stabl_sim::DetRng;
+
+use crate::fixed::{div_q32, exp2_q32, log2_q32, pow_q32, ONE_Q32};
+
+/// A Zipf(θ) sampler over ranks `0..n` (rank 0 is the hottest).
+///
+/// # Examples
+///
+/// ```
+/// use stabl_sim::DetRng;
+/// use stabl_workload::ZipfSampler;
+///
+/// let zipf = ZipfSampler::new(1_000_000, 900);
+/// let mut rng = DetRng::new(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000_000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZipfSampler {
+    n: u64,
+    theta_permille: u32,
+    /// `1/s` in Q32.32 (unused at θ ∈ {0, 1000}).
+    inv_s_q32: i64,
+    /// `(N+1)^s − 1` in signed Q32.32 (negative when θ > 1).
+    span_q32: i64,
+    /// `log2(N+1)` in Q32.32, for the θ = 1000 limit.
+    log2_n1_q32: i64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `theta_permille/1000`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the 32-bit id space (larger
+    /// populations would overflow the Q32.32 integer part).
+    pub fn new(n: u64, theta_permille: u32) -> Self {
+        assert!(n > 0, "empty rank space");
+        assert!(n <= 1 << 32, "rank space exceeds Q32.32 integer range");
+        let log2_n1_q32 = if n + 1 >= 1 << 32 {
+            // log2(N+1) for N+1 ≥ 2^32 is 32 to within Q32.32 resolution
+            // (and `(N+1) << 32` would overflow the u64 argument).
+            32 * ONE_Q32
+        } else {
+            log2_q32((n + 1) << 32)
+        };
+        let s_q32 = ONE_Q32 - (theta_permille as i64 * ONE_Q32) / 1000;
+        let (inv_s_q32, span_q32) = if theta_permille == 0 || theta_permille == 1000 {
+            (0, 0)
+        } else {
+            // (N+1)^s = exp2(s·log2(N+1)); signed because s may be < 0.
+            let exponent = ((s_q32 as i128 * log2_n1_q32 as i128) >> 32) as i64;
+            let pow = exp2_q32(exponent) as i64;
+            (div_q32(ONE_Q32, s_q32), pow - ONE_Q32)
+        };
+        ZipfSampler {
+            n,
+            theta_permille,
+            inv_s_q32,
+            span_q32,
+            log2_n1_q32,
+        }
+    }
+
+    /// The rank-space size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter in permille.
+    pub fn theta_permille(&self) -> u32 {
+        self.theta_permille
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        if self.theta_permille == 0 {
+            return rng.next_below(self.n);
+        }
+        // One uniform draw in (0, 1] as Q32.32 (zero is excluded so the
+        // logarithm in pow_q32 is always defined).
+        let u_q32 = ((rng.next_u64() >> 32) as i64).max(1);
+        let x_q32 = if self.theta_permille == 1000 {
+            // rank + 1 = (N+1)^u.
+            let exponent = ((u_q32 as i128 * self.log2_n1_q32 as i128) >> 32) as i64;
+            exp2_q32(exponent)
+        } else {
+            // rank + 1 = (1 + u·((N+1)^s − 1))^(1/s).
+            let base = ONE_Q32 + ((u_q32 as i128 * self.span_q32 as i128) >> 32) as i64;
+            pow_q32(base.max(1) as u64, self.inv_s_q32)
+        };
+        let rank = (x_q32 >> 32).saturating_sub(1);
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(n: u64, theta: u32, draws: usize) -> Vec<u64> {
+        let zipf = ZipfSampler::new(n, theta);
+        let mut rng = DetRng::new(0xD15C0);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let counts = frequencies(8, 0, 16_000);
+        for &c in &counts {
+            assert!((1700..=2300).contains(&c), "uniform bucket drifted: {c}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let counts = frequencies(1000, 900, 20_000);
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head > 20_000 / 4, "θ=0.9 head (top 1%) got {head} of 20000");
+        let uniform_head: u64 = frequencies(1000, 0, 20_000)[..10].iter().sum();
+        assert!(
+            uniform_head < 500,
+            "uniform head unexpectedly hot: {uniform_head}"
+        );
+    }
+
+    #[test]
+    fn higher_theta_is_hotter() {
+        let mut last_head = 0;
+        for theta in [0, 600, 900, 1100] {
+            let counts = frequencies(10_000, theta, 30_000);
+            let head: u64 = counts[..100].iter().sum();
+            assert!(
+                head >= last_head,
+                "θ={theta} head {head} < previous {last_head}"
+            );
+            last_head = head;
+        }
+    }
+
+    #[test]
+    fn harmonic_point_matches_neighbors() {
+        // θ = 1000 uses a separate code path; its head mass must land
+        // between θ = 900 and θ = 1100.
+        let head = |theta| -> u64 { frequencies(10_000, theta, 30_000)[..100].iter().sum() };
+        let (lo, mid, hi) = (head(900), head(1000), head(1100));
+        assert!(lo <= mid && mid <= hi, "heads not ordered: {lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn ranks_stay_in_bounds() {
+        for theta in [0, 1, 600, 999, 1000, 1001, 1100, 2000] {
+            let zipf = ZipfSampler::new(37, theta);
+            let mut rng = DetRng::new(theta as u64);
+            for _ in 0..2000 {
+                assert!(zipf.sample(&mut rng) < 37, "θ={theta} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn one_draw_per_sample_for_skewed_theta() {
+        // Rejection-free: the stream position after k samples equals
+        // exactly k draws (θ > 0 paths use one next_u64 each).
+        let zipf = ZipfSampler::new(1_000_000, 900);
+        let mut a = DetRng::new(5);
+        let mut b = DetRng::new(5);
+        for _ in 0..100 {
+            let _ = zipf.sample(&mut a);
+            let _ = b.next_u64();
+        }
+        assert_eq!(a, b, "sampler consumed a different number of draws");
+    }
+
+    #[test]
+    fn singleton_population_always_rank_zero() {
+        let zipf = ZipfSampler::new(1, 900);
+        let mut rng = DetRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Seed-compatibility pins: the paper-standard workload routed through
+//! this crate must reproduce the submission streams the seed generator
+//! produced, byte for byte.
+//!
+//! The hashes below were computed against the pre-refactor
+//! `crates/core/src/workload.rs` generator (the one every committed
+//! artifact under `results/` was produced with). If any of these
+//! change, every golden artifact in the repository is invalidated —
+//! that is a release decision, not a test update.
+
+use stabl_sim::SimTime;
+use stabl_types::Sha256;
+use stabl_workload::{Submission, WorkloadSpec};
+
+/// Hashes a submission stream exactly as the pinning tool did: for each
+/// submission in order, the big-endian micros, client index and
+/// transaction id digest.
+fn stream_hash(submissions: &[Submission]) -> String {
+    let mut hasher = Sha256::new();
+    for s in submissions {
+        hasher.update(&s.at.as_micros().to_be_bytes());
+        hasher.update(&(s.client as u64).to_be_bytes());
+        hasher.update(s.transaction.id().hash().as_bytes());
+    }
+    let digest = hasher.finalize();
+    digest
+        .as_bytes()
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+fn check(end_secs: u64, expected_len: usize, expected_hash: &str) {
+    let spec = WorkloadSpec::paper_standard(SimTime::from_secs(end_secs));
+    let subs = spec.generate();
+    assert_eq!(
+        subs.len(),
+        expected_len,
+        "stream length for end={end_secs}s"
+    );
+    assert_eq!(
+        stream_hash(&subs),
+        expected_hash,
+        "paper-standard stream for end={end_secs}s diverged from the seed"
+    );
+    // The seeded entry point must take the identical legacy path.
+    for seed in [0, 0xB10C_7357, u64::MAX] {
+        assert_eq!(spec.generate_seeded(seed), subs, "seed {seed} perturbed it");
+    }
+}
+
+#[test]
+fn paper_standard_19s_matches_seed() {
+    // The quick-scenario window (PaperSetup::quick horizons).
+    check(
+        19,
+        3600,
+        "11799b66655f45bf651d639ba2bdb30b13c4eb93bf6237b0f410aeecae713845",
+    );
+}
+
+#[test]
+fn paper_standard_25s_matches_seed() {
+    // The RunConfig::default window.
+    check(
+        25,
+        4800,
+        "80838a6dc58b064e870793a3596887c9d869f06dc1c8b0694827e1d626322940",
+    );
+}
+
+#[test]
+fn paper_standard_380s_matches_seed() {
+    // The full-scale paper window (400 s horizon, submissions to 380 s).
+    check(
+        380,
+        75800,
+        "19f35fe89d96a0612cfe7d89c2e233eae436a5b706edb3e10f588fbb86e6bfb5",
+    );
+}

@@ -1,0 +1,130 @@
+//! Property tests for the production traffic model.
+//!
+//! The load-bearing properties the campaign machinery relies on: the
+//! Zipf sampler is pure in the seed (one stream per seed, forever) and
+//! actually rank-skewed; the account population materializes at most
+//! its active set no matter how large the declared population; and
+//! arrival processes produce event counts consistent with their
+//! closed-form mean rates.
+
+use proptest::prelude::*;
+
+use stabl_sim::{DetRng, SimDuration, SimTime};
+use stabl_workload::{ArrivalProcess, ConflictProfile, TrafficModel, ZipfSampler};
+
+fn thetas() -> impl Strategy<Value = u32> {
+    // The 0..1 arm pins the uniform special case; the other arm spans
+    // the skewed range including the θ = 1 harmonic point.
+    prop_oneof![0u32..1, 1u32..2000]
+}
+
+proptest! {
+    /// Purity: the same seed yields the same sample stream, and the
+    /// sampler itself carries no hidden state between streams.
+    #[test]
+    fn zipf_streams_are_pure(seed in any::<u64>(), theta in thetas(), n in 1u64..5_000_000) {
+        let zipf = ZipfSampler::new(n, theta);
+        let mut a = DetRng::new(seed);
+        let first: Vec<u64> = (0..64).map(|_| zipf.sample(&mut a)).collect();
+        let mut b = DetRng::new(seed);
+        let again: Vec<u64> = (0..64).map(|_| zipf.sample(&mut b)).collect();
+        prop_assert_eq!(&first, &again);
+        prop_assert!(first.iter().all(|&rank| rank < n));
+    }
+
+    /// Rank-frequency monotonicity: binned by rank decade, lower ranks
+    /// are sampled at least as often as higher ranks (for skewed θ).
+    #[test]
+    fn zipf_rank_frequency_is_monotone(seed in any::<u64>(), theta in 600u32..1500) {
+        let n = 1000u64;
+        let zipf = ZipfSampler::new(n, theta);
+        let mut rng = DetRng::new(seed);
+        // Equal-width rank bins: per-rank mass is strictly decreasing
+        // in rank for any θ > 0, so each bin's count must not exceed
+        // its lower-ranked neighbour beyond sampling noise.
+        let mut bins = [0u64; 10];
+        for _ in 0..8000 {
+            bins[(zipf.sample(&mut rng) / 100) as usize] += 1;
+        }
+        for pair in bins.windows(2) {
+            prop_assert!(pair[0] + 200 >= pair[1], "{bins:?}");
+        }
+        // And the head must genuinely dominate (catches an accidental
+        // fallback to uniform, which the slack above would let through).
+        prop_assert!(bins[0] >= 2 * bins[9], "head not hot: {bins:?}");
+    }
+
+    /// Memory bound: a 10M-account population materializes at most
+    /// 2 entries per generated transfer (sender + receiver), however
+    /// the model is parameterized.
+    #[test]
+    fn population_materializes_at_most_the_active_set(
+        seed in any::<u64>(),
+        theta in thetas(),
+        secs in 1u64..8,
+        hot_permille in 0u32..1000,
+    ) {
+        let model = TrafficModel {
+            accounts: 10_000_000,
+            theta_permille: theta,
+            arrival: ArrivalProcess::Poisson { tps: 25 },
+            conflict: ConflictProfile::HotSpot { permille: hot_permille },
+        };
+        let start = SimTime::from_secs(1);
+        let end = start + SimDuration::from_secs(secs);
+        let (subs, pop) = model.generate_with_population(3, start, end, seed);
+        prop_assert_eq!(pop.declared(), 10_000_000);
+        prop_assert!(
+            pop.materialized() <= 2 * subs.len(),
+            "{} materialized for {} transfers", pop.materialized(), subs.len()
+        );
+    }
+
+    /// Arrival counts track the closed-form mean: over a long window,
+    /// the thinned-Poisson count lands within 5σ of mean·window.
+    #[test]
+    fn arrival_counts_match_closed_form(seed in any::<u64>(), process_idx in 0usize..4) {
+        let secs = 60u64;
+        let process = match process_idx {
+            0 => ArrivalProcess::Poisson { tps: 30 },
+            1 => ArrivalProcess::BurstTrain {
+                base_tps: 10,
+                period: SimDuration::from_secs(6),
+                burst_len: SimDuration::from_secs(1),
+                factor: 4,
+            },
+            2 => ArrivalProcess::Diurnal {
+                mean_tps: 30,
+                period: SimDuration::from_secs(20),
+                amplitude_permille: 700,
+            },
+            _ => ArrivalProcess::Constant { tps: 30 },
+        };
+        let window = SimDuration::from_secs(secs);
+        let expected = (process.mean_tps(window) * secs) as f64;
+        let start = SimTime::from_secs(1);
+        let got = process
+            .arrivals(start, start + window, &mut DetRng::new(seed))
+            .len() as f64;
+        // Poisson σ = sqrt(mean); 5σ keeps the flake rate ≈ 0 across
+        // the proptest case budget while still catching rate bugs.
+        let slack = 5.0 * expected.sqrt();
+        prop_assert!(
+            (got - expected).abs() <= slack,
+            "expected {expected} ± {slack}, got {got}"
+        );
+    }
+
+    /// End-to-end purity: the full schedule is a pure function of the
+    /// seed for arbitrary model parameters.
+    #[test]
+    fn schedules_are_pure(seed in any::<u64>(), theta in thetas(), burst in 1u32..20) {
+        let model = TrafficModel::production(theta, burst);
+        let start = SimTime::from_secs(1);
+        let end = SimTime::from_secs(5);
+        prop_assert_eq!(
+            model.generate(2, start, end, seed),
+            model.generate(2, start, end, seed)
+        );
+    }
+}
